@@ -1,0 +1,121 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * interval vs event timing model (speed of the substrate),
+//! * oracle exhaustive sweep vs Harmonia's online decision,
+//! * governor decision overhead (Harmonia must be cheap relative to kernel
+//!   execution to be deployable as a runtime policy),
+//! * compute-DVFS-only vs full three-tunable management.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harmonia::governor::{Governor, HarmoniaConfig, HarmoniaGovernor, OracleGovernor};
+use harmonia::runtime::Runtime;
+use harmonia_bench::BenchHarness;
+use harmonia_sim::{EventModel, IntervalModel, TimingModel};
+use harmonia_types::HwConfig;
+use harmonia_workloads::suite;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn harness() -> &'static BenchHarness {
+    static CELL: OnceLock<BenchHarness> = OnceLock::new();
+    CELL.get_or_init(BenchHarness::new)
+}
+
+/// The timing-model fidelity ladder on the same kernel/config:
+/// interval (closed form) → event (uniform blocks) → trace (jittered ops).
+fn ablation_timing_models(c: &mut Criterion) {
+    let k = suite::devicememory().kernels[0].clone();
+    let cfg = HwConfig::max_hd7970();
+    let interval = IntervalModel::default();
+    let event = EventModel::default();
+    let trace = harmonia_sim::TraceModel::default();
+    let mut group = c.benchmark_group("ablation_timing_model");
+    group.bench_function("interval", |b| {
+        b.iter(|| black_box(interval.simulate(cfg, &k, 0).time.value()));
+    });
+    group.sample_size(10);
+    group.bench_function("event", |b| {
+        b.iter(|| black_box(event.simulate(cfg, &k, 0).time.value()));
+    });
+    group.bench_function("trace", |b| {
+        b.iter(|| black_box(trace.simulate(cfg, &k, 0).time.value()));
+    });
+    group.finish();
+}
+
+/// The oracle's per-invocation exhaustive sweep vs Harmonia's O(1) decision.
+fn ablation_decision_cost(c: &mut Criterion) {
+    let h = harness();
+    let k = suite::stencil().kernels[0].clone();
+    let mut group = c.benchmark_group("ablation_decision_cost");
+    group.sample_size(10);
+    group.bench_function("oracle_sweep_per_kernel", |b| {
+        b.iter_batched(
+            || OracleGovernor::new(&h.model, &h.power),
+            |mut g| black_box(g.decide(&k, 0)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("harmonia_decide_observe", |b| {
+        let counters = h.model.simulate(HwConfig::max_hd7970(), &k, 0).counters;
+        b.iter_batched(
+            || HarmoniaGovernor::new(h.predictor.clone()),
+            |mut g| {
+                let cfg = g.decide(&k, 0);
+                g.observe(&k, 0, cfg, &counters);
+                black_box(g.decide(&k, 1))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// Full three-tunable Harmonia vs CG-only vs compute-DVFS-only.
+fn ablation_governor_variants(c: &mut Criterion) {
+    let h = harness();
+    let app = suite::comd();
+    let rt = Runtime::new(&h.model, &h.power).without_trace();
+    let mut group = c.benchmark_group("ablation_governor_variants");
+    group.sample_size(10);
+    for (name, config) in [
+        ("full", HarmoniaConfig::full()),
+        ("cg_only", HarmoniaConfig::cg_only()),
+        ("freq_only", HarmoniaConfig::freq_only()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || HarmoniaGovernor::with_config(h.predictor.clone(), config.clone()),
+                |mut g| black_box(rt.run(&app, &mut g).ed2()),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Event-model wave-cap sensitivity (fidelity vs speed).
+fn ablation_event_wave_cap(c: &mut Criterion) {
+    let k = suite::devicememory().kernels[0].clone();
+    let cfg = HwConfig::max_hd7970();
+    let mut group = c.benchmark_group("ablation_event_wave_cap");
+    group.sample_size(10);
+    for cap in [1024u64, 4096, 16384] {
+        let model = EventModel::default().with_max_waves(cap);
+        group.bench_function(format!("waves_{cap}"), |b| {
+            b.iter(|| black_box(model.simulate(cfg, &k, 0).time.value()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(20);
+    targets =
+        ablation_timing_models,
+        ablation_decision_cost,
+        ablation_governor_variants,
+        ablation_event_wave_cap,
+}
+criterion_main!(ablations);

@@ -1,0 +1,213 @@
+//! One Criterion bench per evaluation figure: measures the cost of the
+//! computation that regenerates it.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harmonia::governor::{BaselineGovernor, HarmoniaGovernor, OracleGovernor};
+use harmonia::runtime::Runtime;
+use harmonia_bench::BenchHarness;
+use harmonia_power::Activity;
+use harmonia_sim::TimingModel;
+use harmonia_types::{ConfigSpace, HwConfig, Tunable};
+use harmonia_workloads::suite;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn harness() -> &'static BenchHarness {
+    static CELL: OnceLock<BenchHarness> = OnceLock::new();
+    CELL.get_or_init(BenchHarness::new)
+}
+
+fn power_of(h: &BenchHarness, cfg: HwConfig, k: &harmonia_sim::KernelProfile) -> f64 {
+    let c = h.model.simulate(cfg, k, 0).counters;
+    h.power
+        .card_pwr(
+            cfg,
+            &Activity {
+                valu_activity: c.valu_activity(),
+                dram_bytes_per_sec: c.dram_bytes_per_sec(),
+                dram_traffic_fraction: c.ic_activity,
+            },
+        )
+        .value()
+}
+
+/// Figure 1: a single power-breakdown evaluation.
+fn fig01_power_breakdown(c: &mut Criterion) {
+    let h = harness();
+    let k = suite::xsbench().kernels[0].clone();
+    c.bench_function("fig01_power_breakdown", |b| {
+        b.iter(|| black_box(power_of(h, HwConfig::max_hd7970(), &k)));
+    });
+}
+
+/// Figure 3: a full 448-point balance sweep of one kernel.
+fn fig03_balance_curves(c: &mut Criterion) {
+    let h = harness();
+    let k = suite::devicememory().kernels[0].clone();
+    let space = ConfigSpace::hd7970();
+    c.bench_function("fig03_balance_sweep_448cfg", |b| {
+        b.iter(|| {
+            let total: f64 = space
+                .iter()
+                .map(|cfg| h.model.simulate(cfg, &k, 0).time.value())
+                .sum();
+            black_box(total)
+        });
+    });
+}
+
+/// Figure 4: the 64-point compute-configuration power sweep.
+fn fig04_compute_power_sweep(c: &mut Criterion) {
+    let h = harness();
+    let k = suite::devicememory().kernels[0].clone();
+    let configs: Vec<HwConfig> = ConfigSpace::hd7970()
+        .iter()
+        .filter(|c| c.memory.bus_freq().value() == 1375)
+        .collect();
+    c.bench_function("fig04_compute_power_sweep", |b| {
+        b.iter(|| {
+            let total: f64 = configs.iter().map(|&cfg| power_of(h, cfg, &k)).sum();
+            black_box(total)
+        });
+    });
+}
+
+/// Figure 5: the 7-point memory-configuration power sweep.
+fn fig05_memory_power_sweep(c: &mut Criterion) {
+    let h = harness();
+    let k = suite::maxflops().kernels[0].clone();
+    let configs: Vec<HwConfig> = ConfigSpace::hd7970()
+        .iter()
+        .filter(|c| c.compute == harmonia_types::ComputeConfig::max_hd7970())
+        .collect();
+    c.bench_function("fig05_memory_power_sweep", |b| {
+        b.iter(|| {
+            let total: f64 = configs.iter().map(|&cfg| power_of(h, cfg, &k)).sum();
+            black_box(total)
+        });
+    });
+}
+
+/// Figure 6: the exhaustive metric-optima search over one application.
+fn fig06_metric_optima(c: &mut Criterion) {
+    let h = harness();
+    let app = suite::devicememory();
+    let space = ConfigSpace::hd7970();
+    c.bench_function("fig06_exhaustive_app_sweep", |b| {
+        b.iter(|| {
+            let mut best_ed2 = f64::INFINITY;
+            for cfg in space.iter() {
+                let mut t = 0.0;
+                let mut e = 0.0;
+                for i in 0..app.iterations {
+                    for k in &app.kernels {
+                        let sim = h.model.simulate(cfg, k, i);
+                        t += sim.time.value();
+                        e += power_of(h, cfg, k) * sim.time.value();
+                    }
+                }
+                best_ed2 = best_ed2.min(e * t * t);
+            }
+            black_box(best_ed2)
+        });
+    });
+}
+
+/// Figures 7–9: the sensitivity measurements behind the characterization.
+fn fig07_09_sensitivity_measurement(c: &mut Criterion) {
+    let h = harness();
+    let k = suite::sort().kernel("Sort.BottomScan").unwrap().clone();
+    c.bench_function("fig07_09_sensitivity_measure", |b| {
+        b.iter(|| black_box(harmonia::sensitivity::Sensitivity::measure(&h.model, &k)));
+    });
+}
+
+/// Figures 10–13: one full governed application run per scheme.
+fn fig10_13_governed_runs(c: &mut Criterion) {
+    let h = harness();
+    let app = suite::stencil();
+    let rt = Runtime::new(&h.model, &h.power).without_trace();
+    c.bench_function("fig10_13_baseline_run", |b| {
+        b.iter(|| black_box(rt.run(&app, &mut BaselineGovernor::new()).ed2()));
+    });
+    c.bench_function("fig10_13_harmonia_run", |b| {
+        b.iter_batched(
+            || HarmoniaGovernor::new(h.predictor.clone()),
+            |mut g| black_box(rt.run(&app, &mut g).ed2()),
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("fig10_13_oracle_run", |b| {
+        b.iter_batched(
+            || OracleGovernor::new(&h.model, &h.power),
+            |mut g| black_box(rt.run(&app, &mut g).ed2()),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Figure 14: per-iteration phase counters of Graph500.
+fn fig14_graph500_phases(c: &mut Criterion) {
+    let h = harness();
+    let app = suite::graph500();
+    let k = app.kernel("Graph500.BottomStepUp").unwrap().clone();
+    c.bench_function("fig14_graph500_phase_counters", |b| {
+        b.iter(|| {
+            let total: u64 = (0..app.iterations)
+                .map(|i| h.model.simulate(HwConfig::max_hd7970(), &k, i).counters.valu_insts)
+                .sum();
+            black_box(total)
+        });
+    });
+}
+
+/// Figures 15–16: a governed Graph500 run plus residency accounting.
+fn fig15_16_residency(c: &mut Criterion) {
+    let h = harness();
+    let app = suite::graph500();
+    let rt = Runtime::new(&h.model, &h.power);
+    c.bench_function("fig15_16_residency_run", |b| {
+        b.iter_batched(
+            || HarmoniaGovernor::new(h.predictor.clone()),
+            |mut g| {
+                let report = rt.run(&app, &mut g);
+                black_box(report.residency.distribution(Tunable::MemFreq).len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Figures 17–18: energy decomposition across a governed run.
+fn fig17_18_power_sharing(c: &mut Criterion) {
+    let h = harness();
+    let app = suite::comd();
+    let rt = Runtime::new(&h.model, &h.power).without_trace();
+    c.bench_function("fig17_18_energy_split_run", |b| {
+        b.iter_batched(
+            || HarmoniaGovernor::new(h.predictor.clone()),
+            |mut g| {
+                let r = rt.run(&app, &mut g);
+                black_box(r.gpu_energy.value() / r.mem_energy.value())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        fig01_power_breakdown,
+        fig03_balance_curves,
+        fig04_compute_power_sweep,
+        fig05_memory_power_sweep,
+        fig06_metric_optima,
+        fig07_09_sensitivity_measurement,
+        fig10_13_governed_runs,
+        fig14_graph500_phases,
+        fig15_16_residency,
+        fig17_18_power_sharing,
+}
+criterion_main!(figures);

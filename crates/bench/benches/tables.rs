@@ -1,0 +1,79 @@
+//! One Criterion bench per table: DVFS lookups (Table 1), counter sampling
+//! and derived metrics (Table 2), and regression training (Table 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harmonia::dataset::TrainingSet;
+use harmonia::predictor::SensitivityPredictor;
+use harmonia_bench::BenchHarness;
+use harmonia_sim::TimingModel;
+use harmonia_types::{DvfsTable, HwConfig, MegaHertz};
+use harmonia_workloads::suite;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn harness() -> &'static BenchHarness {
+    static CELL: OnceLock<BenchHarness> = OnceLock::new();
+    CELL.get_or_init(BenchHarness::new)
+}
+
+/// Table 1: voltage interpolation across the managed frequency grid.
+fn table1_dvfs_lookup(c: &mut Criterion) {
+    let table = DvfsTable::hd7970();
+    c.bench_function("table1_dvfs_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for f in (300..=1000).step_by(100) {
+                acc += table.voltage_for(MegaHertz(f)).value();
+            }
+            black_box(acc)
+        });
+    });
+}
+
+/// Table 2: one counter sample plus the derived Eq. 1–3 metrics.
+fn table2_counter_sampling(c: &mut Criterion) {
+    let h = harness();
+    let k = suite::comd().kernel("CoMD.AdvanceVelocity").unwrap().clone();
+    c.bench_function("table2_counter_sample", |b| {
+        b.iter(|| {
+            let s = h.model.simulate(HwConfig::max_hd7970(), &k, 0).counters;
+            black_box((s.c_to_m_intensity(), s.ic_activity, s.valu_activity()))
+        });
+    });
+}
+
+/// Table 3: full training-set collection plus the three OLS fits.
+fn table3_training(c: &mut Criterion) {
+    let h = harness();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("collect_training_set", |b| {
+        b.iter(|| black_box(TrainingSet::collect(&h.model).rows.len()));
+    });
+    let data = TrainingSet::collect(&h.model);
+    group.bench_function("fit_sensitivity_models", |b| {
+        b.iter(|| black_box(SensitivityPredictor::fit(&data).expect("fit").bandwidth.multiple_r));
+    });
+    group.finish();
+}
+
+/// Section 7.2 predictor-error evaluation.
+fn predictor_error_eval(c: &mut Criterion) {
+    let h = harness();
+    let data = TrainingSet::collect(&h.model);
+    let p = SensitivityPredictor::fit(&data).expect("fit");
+    c.bench_function("predictor_error_mean_abs", |b| {
+        b.iter(|| black_box(p.mean_abs_error(&data).bandwidth));
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(20);
+    targets =
+        table1_dvfs_lookup,
+        table2_counter_sampling,
+        table3_training,
+        predictor_error_eval,
+}
+criterion_main!(tables);

@@ -1,0 +1,50 @@
+//! Benchmark support crate.
+//!
+//! The actual Criterion benches live in `benches/`:
+//!
+//! * `figures` — one bench per evaluation figure (the work that regenerates
+//!   it: configuration sweeps, governor runs, residency accounting).
+//! * `tables` — one bench per table (DVFS lookup, counter sampling,
+//!   regression training).
+//! * `ablations` — design-choice ablations called out in `DESIGN.md`:
+//!   interval vs event timing model, oracle sweep cost, and governor
+//!   decision overhead (the paper's premise is that the runtime policy is
+//!   cheap relative to kernel execution).
+//!
+//! This library only hosts shared helpers so the bench files stay small.
+
+use harmonia::dataset::TrainingSet;
+use harmonia::predictor::SensitivityPredictor;
+use harmonia_power::PowerModel;
+use harmonia_sim::IntervalModel;
+
+/// A prebuilt (model, power, predictor) bundle for benches.
+pub struct BenchHarness {
+    /// Interval timing model.
+    pub model: IntervalModel,
+    /// Card power model.
+    pub power: PowerModel,
+    /// Predictor fitted on the suite.
+    pub predictor: SensitivityPredictor,
+}
+
+impl BenchHarness {
+    /// Builds the harness (trains the predictor once).
+    pub fn new() -> Self {
+        let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let data = TrainingSet::collect(&model);
+        let predictor = SensitivityPredictor::fit(&data).expect("well-formed training set");
+        Self {
+            model,
+            power,
+            predictor,
+        }
+    }
+}
+
+impl Default for BenchHarness {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,99 @@
+//! Sensitivity binning (Section 5.2).
+//!
+//! "Sensitivity is computed for each tunable ... and binned into three bins
+//! of high, medium, and low ... the three bins are set to `<30%`, `30%-70%`,
+//! and `>70%`". Each bin maps to an empirically fixed proportional value of
+//! the tunable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Lower edge of the MED bin.
+pub const MED_THRESHOLD: f64 = 0.30;
+/// Lower edge of the HIGH bin.
+pub const HIGH_THRESHOLD: f64 = 0.70;
+
+/// A binned sensitivity level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SensitivityBin {
+    /// Sensitivity below 30%: the tunable can be set low.
+    Low,
+    /// Sensitivity between 30% and 70%.
+    Med,
+    /// Sensitivity above 70%: the tunable must stay high.
+    High,
+}
+
+impl SensitivityBin {
+    /// Bins a raw sensitivity value. Negative sensitivities (more resource
+    /// hurts, e.g. cache thrashing) bin as `Low` — the resource should be
+    /// reduced.
+    pub fn from_sensitivity(s: f64) -> Self {
+        if s > HIGH_THRESHOLD {
+            SensitivityBin::High
+        } else if s >= MED_THRESHOLD {
+            SensitivityBin::Med
+        } else {
+            SensitivityBin::Low
+        }
+    }
+
+    /// The empirically fixed tunable fraction this bin maps to in the CG
+    /// step (0.0 = grid minimum, 1.0 = grid maximum).
+    ///
+    /// The values are deliberately conservative (0.5/0.75/1.0): CG only
+    /// brings the configuration to the *vicinity* of the balance point —
+    /// sensitivity is measured around the current operating point and grows
+    /// as a tunable approaches the knee, so overshooting costs performance
+    /// that the FG loop would have to claw back one step per iteration.
+    pub fn tunable_fraction(self) -> f64 {
+        match self {
+            SensitivityBin::Low => 0.50,
+            SensitivityBin::Med => 0.75,
+            SensitivityBin::High => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for SensitivityBin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SensitivityBin::Low => "LOW",
+            SensitivityBin::Med => "MED",
+            SensitivityBin::High => "HIGH",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_match_paper() {
+        assert_eq!(SensitivityBin::from_sensitivity(0.29), SensitivityBin::Low);
+        assert_eq!(SensitivityBin::from_sensitivity(0.30), SensitivityBin::Med);
+        assert_eq!(SensitivityBin::from_sensitivity(0.70), SensitivityBin::Med);
+        assert_eq!(SensitivityBin::from_sensitivity(0.71), SensitivityBin::High);
+    }
+
+    #[test]
+    fn negative_sensitivity_is_low() {
+        assert_eq!(SensitivityBin::from_sensitivity(-0.4), SensitivityBin::Low);
+    }
+
+    #[test]
+    fn fractions_are_ordered() {
+        assert!(SensitivityBin::Low.tunable_fraction() < SensitivityBin::Med.tunable_fraction());
+        assert!(SensitivityBin::Med.tunable_fraction() < SensitivityBin::High.tunable_fraction());
+        assert_eq!(SensitivityBin::High.tunable_fraction(), 1.0);
+    }
+
+    #[test]
+    fn bins_are_ordered_and_display() {
+        assert!(SensitivityBin::Low < SensitivityBin::Med);
+        assert!(SensitivityBin::Med < SensitivityBin::High);
+        assert_eq!(SensitivityBin::High.to_string(), "HIGH");
+    }
+}

@@ -1,0 +1,147 @@
+//! Training-data collection (Sections 4.1–4.2).
+//!
+//! For every kernel of the suite, the pipeline:
+//!
+//! 1. executes the kernel across the full ~450-point configuration space and
+//!    records the performance counters at each point,
+//! 2. replaces each counter by its average across configurations ("for the
+//!    same kernel ... across multiple hardware configurations, there are
+//!    generally only small variations around the nominal values"),
+//! 3. labels the averaged counter vector with the kernel's *measured*
+//!    compute and bandwidth sensitivities.
+
+use crate::sensitivity::Sensitivity;
+use harmonia_sim::{CounterSample, KernelProfile, TimingModel};
+use harmonia_types::ConfigSpace;
+use harmonia_workloads::suite;
+use serde::{Deserialize, Serialize};
+
+/// One training observation: a kernel's averaged counters and its measured
+/// sensitivities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Counters averaged across the configuration space.
+    pub counters: CounterSample,
+    /// Measured sensitivities (the regression target).
+    pub measured: Sensitivity,
+}
+
+/// A labelled training set over the workload suite.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrainingSet {
+    /// One row per kernel.
+    pub rows: Vec<TrainingRow>,
+}
+
+impl TrainingSet {
+    /// Collects the training set for the paper's 14-application suite.
+    pub fn collect<M: TimingModel>(model: &M) -> TrainingSet {
+        Self::collect_for(model, &suite::training_kernels())
+    }
+
+    /// Collects a training set for arbitrary kernels.
+    pub fn collect_for<M: TimingModel>(
+        model: &M,
+        kernels: &[(String, KernelProfile)],
+    ) -> TrainingSet {
+        let space = ConfigSpace::hd7970();
+        let rows = kernels
+            .iter()
+            .map(|(_, kernel)| {
+                // Average over configurations *and* the first few
+                // invocations so phase-modulated kernels contribute their
+                // nominal behaviour.
+                let samples: Vec<CounterSample> = space
+                    .iter()
+                    .flat_map(|cfg| {
+                        (0..4).map(move |i| (cfg, i))
+                    })
+                    .map(|(cfg, i)| model.simulate(cfg, kernel, i).counters)
+                    .collect();
+                let counters =
+                    CounterSample::average(&samples).expect("config space is non-empty");
+                TrainingRow {
+                    kernel: kernel.name.clone(),
+                    counters,
+                    measured: Sensitivity::measure(model, kernel),
+                }
+            })
+            .collect();
+        TrainingSet { rows }
+    }
+
+    /// Number of (kernel × configuration) simulations behind this set —
+    /// the paper's "11250 vectors" (25 × 450) becomes ~27 × 448 here.
+    pub fn simulated_points(&self) -> usize {
+        self.rows.len() * ConfigSpace::hd7970().len()
+    }
+
+    /// Splits into (train, test) by taking every `k`-th row as test — used
+    /// for the leave-out error evaluation reported in `EXPERIMENTS.md`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn split_every(&self, k: usize) -> (TrainingSet, TrainingSet) {
+        assert!(k >= 2, "split period must be at least 2");
+        let mut train = TrainingSet::default();
+        let mut test = TrainingSet::default();
+        for (i, row) in self.rows.iter().enumerate() {
+            if i % k == 0 {
+                test.rows.push(row.clone());
+            } else {
+                train.rows.push(row.clone());
+            }
+        }
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_sim::IntervalModel;
+
+    #[test]
+    fn collect_covers_all_suite_kernels() {
+        let model = IntervalModel::default();
+        let data = TrainingSet::collect(&model);
+        assert!(data.rows.len() >= 25);
+        assert_eq!(data.simulated_points(), data.rows.len() * 448);
+        for row in &data.rows {
+            assert!(row.counters.duration.value() > 0.0);
+            assert!(row.measured.compute().is_finite());
+            assert!(row.measured.bandwidth.is_finite());
+        }
+    }
+
+    #[test]
+    fn labels_match_direct_measurement() {
+        let model = IntervalModel::default();
+        let kernels = vec![(
+            "MaxFlops".to_string(),
+            suite::maxflops().kernels[0].clone(),
+        )];
+        let data = TrainingSet::collect_for(&model, &kernels);
+        let direct = Sensitivity::measure(&model, &kernels[0].1);
+        assert_eq!(data.rows[0].measured, direct);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let model = IntervalModel::default();
+        let data = TrainingSet::collect(&model);
+        let (train, test) = data.split_every(5);
+        assert_eq!(train.rows.len() + test.rows.len(), data.rows.len());
+        assert!(!test.rows.is_empty());
+        assert!(train.rows.len() > test.rows.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "split period")]
+    fn split_rejects_small_k() {
+        let _ = TrainingSet::default().split_every(1);
+    }
+}

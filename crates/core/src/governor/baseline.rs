@@ -1,0 +1,59 @@
+//! The stock power-management baseline.
+//!
+//! "Due to the consistent availability of thermal headroom, the baseline
+//! power management always runs at the boost frequency of 1GHz for all
+//! applications" (Section 7.1), with all CUs enabled and the memory bus at
+//! its maximum — so the baseline is simply the maximum configuration.
+
+use crate::governor::Governor;
+use harmonia_sim::{CounterSample, KernelProfile};
+use harmonia_types::HwConfig;
+
+/// The stock PowerTune-like baseline: always the boost configuration.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineGovernor {
+    _private: (),
+}
+
+impl BaselineGovernor {
+    /// Creates the baseline governor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Governor for BaselineGovernor {
+    fn name(&self) -> &str {
+        "baseline"
+    }
+
+    fn decide(&mut self, _kernel: &KernelProfile, _iteration: u64) -> HwConfig {
+        HwConfig::max_hd7970()
+    }
+
+    fn observe(
+        &mut self,
+        _kernel: &KernelProfile,
+        _iteration: u64,
+        _cfg: HwConfig,
+        _counters: &CounterSample,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_boost() {
+        let mut g = BaselineGovernor::new();
+        let k = KernelProfile::builder("k").build();
+        for i in 0..5 {
+            assert_eq!(g.decide(&k, i), HwConfig::max_hd7970());
+            let c = CounterSample::default();
+            g.observe(&k, i, HwConfig::max_hd7970(), &c);
+        }
+        assert_eq!(g.name(), "baseline");
+    }
+}

@@ -1,0 +1,165 @@
+//! The coarse-grain (CG) tuning block.
+//!
+//! `SetCU_Freq_MemBW()` of Algorithm 1: predicted sensitivities are binned
+//! HIGH/MED/LOW and each tunable jumps to the bin's empirically fixed
+//! proportional value — compute sensitivity drives the CU count and CU
+//! frequency, bandwidth sensitivity drives the memory bus frequency. All
+//! three tunables are adjusted concurrently.
+
+use crate::binning::SensitivityBin;
+use crate::predictor::SensitivityPredictor;
+use crate::sensitivity::Sensitivity;
+use harmonia_sim::CounterSample;
+use harmonia_types::{HwConfig, Tunable};
+use serde::{Deserialize, Serialize};
+
+/// Binned sensitivity levels, one per tunable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SensitivityBins {
+    /// Bin of the CU-count sensitivity.
+    pub cu: SensitivityBin,
+    /// Bin of the CU-frequency sensitivity.
+    pub freq: SensitivityBin,
+    /// Bin of the memory-bandwidth sensitivity.
+    pub bandwidth: SensitivityBin,
+}
+
+impl SensitivityBins {
+    /// The bin that governs `tunable`.
+    pub fn bin_for(&self, tunable: Tunable) -> SensitivityBin {
+        match tunable {
+            Tunable::CuCount => self.cu,
+            Tunable::CuFreq => self.freq,
+            Tunable::MemFreq => self.bandwidth,
+        }
+    }
+}
+
+/// The CG decision block: prediction, binning, and proportional setting.
+#[derive(Debug, Clone)]
+pub struct CoarseGrain {
+    predictor: SensitivityPredictor,
+    tunables: Vec<Tunable>,
+}
+
+impl CoarseGrain {
+    /// Creates a CG block managing all three tunables.
+    pub fn new(predictor: SensitivityPredictor) -> Self {
+        Self::with_tunables(predictor, Tunable::ALL.to_vec())
+    }
+
+    /// Creates a CG block managing only `tunables` (ablation studies).
+    pub fn with_tunables(predictor: SensitivityPredictor, tunables: Vec<Tunable>) -> Self {
+        Self {
+            predictor,
+            tunables,
+        }
+    }
+
+    /// The managed tunables.
+    pub fn tunables(&self) -> &[Tunable] {
+        &self.tunables
+    }
+
+    /// Predicts sensitivities from a counter sample.
+    pub fn predict(&self, counters: &CounterSample) -> Sensitivity {
+        self.predictor.predict(counters)
+    }
+
+    /// Bins a predicted sensitivity triple: one bin per tunable, in
+    /// `(CU count, CU frequency, memory bandwidth)` order.
+    pub fn bins(&self, sensitivity: Sensitivity) -> SensitivityBins {
+        SensitivityBins {
+            cu: SensitivityBin::from_sensitivity(sensitivity.cu),
+            freq: SensitivityBin::from_sensitivity(sensitivity.freq),
+            bandwidth: SensitivityBin::from_sensitivity(sensitivity.bandwidth),
+        }
+    }
+
+    /// Applies the binned sensitivities to `cfg`: each managed tunable moves
+    /// to its bin's proportional grid value.
+    pub fn apply(&self, cfg: HwConfig, bins: SensitivityBins) -> HwConfig {
+        let mut next = cfg;
+        for &t in &self.tunables {
+            let fraction = bins.bin_for(t).tunable_fraction();
+            next = next.with_fraction(t, fraction);
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::SensitivityPredictor;
+
+    fn cg() -> CoarseGrain {
+        CoarseGrain::new(SensitivityPredictor::paper_table3())
+    }
+
+    fn bins(cu: SensitivityBin, freq: SensitivityBin, bandwidth: SensitivityBin) -> SensitivityBins {
+        SensitivityBins { cu, freq, bandwidth }
+    }
+
+    #[test]
+    fn high_high_is_max_config() {
+        let cfg = cg().apply(
+            HwConfig::min_hd7970(),
+            bins(SensitivityBin::High, SensitivityBin::High, SensitivityBin::High),
+        );
+        assert_eq!(cfg, HwConfig::max_hd7970());
+    }
+
+    #[test]
+    fn low_low_is_near_min_config() {
+        let cfg = cg().apply(
+            HwConfig::max_hd7970(),
+            bins(SensitivityBin::Low, SensitivityBin::Low, SensitivityBin::Low),
+        );
+        assert!(cfg.compute.cu_count() <= 20);
+        assert!(cfg.compute.freq().value() <= 700);
+        assert!(cfg.memory.bus_freq().value() <= 925);
+    }
+
+    #[test]
+    fn bins_split_per_tunable() {
+        // CU gated, frequency kept high, memory low — the BPT shape.
+        let cfg = cg().apply(
+            HwConfig::max_hd7970(),
+            bins(SensitivityBin::Low, SensitivityBin::High, SensitivityBin::Med),
+        );
+        assert!(cfg.compute.cu_count() <= 20);
+        assert_eq!(cfg.compute.freq().value(), 1000);
+        assert_eq!(cfg.memory.bus_freq().value(), 1225);
+    }
+
+    #[test]
+    fn restricted_tunables_leave_others_untouched() {
+        let cg = CoarseGrain::with_tunables(
+            SensitivityPredictor::paper_table3(),
+            vec![Tunable::CuFreq],
+        );
+        let cfg = cg.apply(
+            HwConfig::max_hd7970(),
+            bins(SensitivityBin::Low, SensitivityBin::Low, SensitivityBin::Low),
+        );
+        assert_eq!(cfg.compute.cu_count(), 32); // unmanaged
+        assert_eq!(cfg.memory.bus_freq().value(), 1375); // unmanaged
+        assert!(cfg.compute.freq().value() < 1000); // managed
+    }
+
+    #[test]
+    fn binning_round_trip() {
+        let cg = cg();
+        let b = cg.bins(Sensitivity {
+            cu: 0.9,
+            freq: 0.5,
+            bandwidth: 0.1,
+        });
+        assert_eq!(b.cu, SensitivityBin::High);
+        assert_eq!(b.freq, SensitivityBin::Med);
+        assert_eq!(b.bandwidth, SensitivityBin::Low);
+        assert_eq!(b.bin_for(Tunable::CuCount), SensitivityBin::High);
+        assert_eq!(b.bin_for(Tunable::MemFreq), SensitivityBin::Low);
+    }
+}

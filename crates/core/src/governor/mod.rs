@@ -1,0 +1,57 @@
+//! Power-management governors.
+//!
+//! Every governor implements [`Governor`]: before each kernel invocation the
+//! runtime asks it to [`decide`](Governor::decide) the hardware
+//! configuration, and afterwards lets it [`observe`](Governor::observe) the
+//! performance counters — exactly the monitoring-at-kernel-boundaries
+//! structure of Section 5.1.
+//!
+//! * [`BaselineGovernor`] — the stock PowerTune behaviour: with thermal
+//!   headroom it always runs the boost configuration.
+//! * [`HarmoniaGovernor`] — the paper's contribution: coarse-grain
+//!   sensitivity-driven jumps plus fine-grain feedback tuning, with switches
+//!   to run CG-only or restrict the managed tunables (the compute-DVFS-only
+//!   ablation of Section 7.2).
+//! * [`OracleGovernor`] — exhaustive per-kernel-per-iteration ED²
+//!   minimization over all ~450 configurations ("impractical to implement",
+//!   but the paper's upper bound).
+
+mod baseline;
+mod capped;
+mod coarse;
+mod fine;
+#[allow(clippy::module_inception)]
+mod harmonia;
+mod oracle;
+mod powertune;
+
+pub use baseline::BaselineGovernor;
+pub use capped::CappedGovernor;
+pub use coarse::{CoarseGrain, SensitivityBins};
+pub use fine::{FgState, FineGrain};
+pub use harmonia::{HarmoniaConfig, HarmoniaGovernor};
+pub use oracle::OracleGovernor;
+pub use powertune::PowerTuneGovernor;
+
+use harmonia_sim::{CounterSample, KernelProfile};
+use harmonia_types::HwConfig;
+
+/// A runtime power-management policy.
+pub trait Governor {
+    /// Human-readable policy name used in reports.
+    fn name(&self) -> &str;
+
+    /// Chooses the hardware configuration for the upcoming invocation of
+    /// `kernel` (application iteration `iteration`).
+    fn decide(&mut self, kernel: &KernelProfile, iteration: u64) -> HwConfig;
+
+    /// Observes the counters produced by the invocation that just ran at
+    /// `cfg`.
+    fn observe(
+        &mut self,
+        kernel: &KernelProfile,
+        iteration: u64,
+        cfg: HwConfig,
+        counters: &CounterSample,
+    );
+}

@@ -1,0 +1,145 @@
+//! The oracle governor (Section 7).
+//!
+//! "An oracle scheme optimized for ED² based on exhaustive online profiling
+//! of every iteration of each kernel across all of the 450 possible
+//! hardware configurations ... While the oracle technique provides a useful
+//! basis for evaluation, it is impractical to implement."
+//!
+//! Here the exhaustive profiling runs against the timing and power models:
+//! for each (kernel, iteration) the oracle sweeps the full [`ConfigSpace`]
+//! and picks the configuration minimizing per-invocation `E·D²`.
+
+use crate::governor::Governor;
+use harmonia_power::{Activity, PowerModel};
+use harmonia_sim::{CounterSample, KernelProfile, TimingModel};
+use harmonia_types::{ConfigSpace, HwConfig};
+use std::collections::HashMap;
+
+/// The exhaustive per-kernel ED² oracle.
+pub struct OracleGovernor<'a> {
+    model: &'a dyn TimingModel,
+    power: &'a PowerModel,
+    space: ConfigSpace,
+    cache: HashMap<(String, u64), HwConfig>,
+}
+
+impl<'a> OracleGovernor<'a> {
+    /// Creates an oracle over the given timing and power models.
+    pub fn new(model: &'a dyn TimingModel, power: &'a PowerModel) -> Self {
+        Self {
+            model,
+            power,
+            space: ConfigSpace::hd7970(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The ED²-optimal configuration for one invocation, computed by
+    /// exhaustive sweep (and memoized).
+    pub fn best_config(&mut self, kernel: &KernelProfile, iteration: u64) -> HwConfig {
+        let key = (kernel.name.clone(), iteration);
+        if let Some(&cfg) = self.cache.get(&key) {
+            return cfg;
+        }
+        let mut best = HwConfig::max_hd7970();
+        let mut best_ed2 = f64::INFINITY;
+        for cfg in self.space.iter() {
+            let r = self.model.simulate(cfg, kernel, iteration);
+            let t = r.time.value();
+            let activity = Activity {
+                valu_activity: r.counters.valu_activity(),
+                dram_bytes_per_sec: r.counters.dram_bytes_per_sec(),
+                dram_traffic_fraction: r.counters.ic_activity,
+            };
+            let p = self.power.card_pwr(cfg, &activity).value();
+            let ed2 = p * t * t * t; // E·D² = (P·D)·D²
+            if ed2 < best_ed2 {
+                best_ed2 = ed2;
+                best = cfg;
+            }
+        }
+        self.cache.insert(key, best);
+        best
+    }
+}
+
+impl Governor for OracleGovernor<'_> {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn decide(&mut self, kernel: &KernelProfile, iteration: u64) -> HwConfig {
+        self.best_config(kernel, iteration)
+    }
+
+    fn observe(
+        &mut self,
+        _kernel: &KernelProfile,
+        _iteration: u64,
+        _cfg: HwConfig,
+        _counters: &CounterSample,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_sim::IntervalModel;
+    use harmonia_workloads::suite;
+
+    #[test]
+    fn oracle_prefers_low_memory_for_compute_stress() {
+        let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let mut oracle = OracleGovernor::new(&model, &power);
+        let app = suite::maxflops();
+        let cfg = oracle.decide(&app.kernels[0], 0);
+        assert_eq!(cfg.compute.cu_count(), 32, "MaxFlops needs all CUs");
+        assert_eq!(cfg.compute.freq().value(), 1000);
+        assert!(
+            cfg.memory.bus_freq().value() <= 775,
+            "MaxFlops should not pay for memory bandwidth, got {cfg}"
+        );
+    }
+
+    #[test]
+    fn oracle_keeps_memory_high_for_memory_stress() {
+        let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let mut oracle = OracleGovernor::new(&model, &power);
+        let app = suite::devicememory();
+        let cfg = oracle.decide(&app.kernels[0], 0);
+        assert_eq!(
+            cfg.memory.bus_freq().value(),
+            1375,
+            "DeviceMemory needs full bandwidth, got {cfg}"
+        );
+        assert!(cfg.compute.cu_count() < 32, "compute should be trimmed");
+    }
+
+    #[test]
+    fn oracle_caches_per_invocation() {
+        let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let mut oracle = OracleGovernor::new(&model, &power);
+        let app = suite::stencil();
+        let a = oracle.decide(&app.kernels[0], 0);
+        let b = oracle.decide(&app.kernels[0], 0);
+        assert_eq!(a, b);
+        assert_eq!(oracle.cache.len(), 1);
+    }
+
+    #[test]
+    fn oracle_gates_cus_for_thrashing_kernels() {
+        let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let mut oracle = OracleGovernor::new(&model, &power);
+        let app = suite::bpt();
+        let cfg = oracle.decide(&app.kernels[0], 0);
+        assert!(
+            cfg.compute.cu_count() < 32,
+            "BPT thrashes the L2; oracle should gate CUs, got {cfg}"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! The monitoring/decision runtime (Section 5.1).
+//!
+//! [`Runtime::run`] executes an [`Application`] under a [`Governor`]: for
+//! every kernel invocation it asks the governor for a configuration, runs
+//! the timing model, evaluates the power model over the resulting activity,
+//! accumulates energy/time/residency, and feeds the counters back to the
+//! governor — the paper's monitoring block operating at kernel boundaries.
+
+use crate::governor::Governor;
+use crate::metrics::{InvocationRecord, KernelReport, Residency, RunReport};
+use harmonia_power::{Activity, PowerModel};
+use harmonia_sim::TimingModel;
+use harmonia_types::{Joules, Seconds};
+use harmonia_workloads::Application;
+use std::collections::BTreeMap;
+
+/// Executes applications on a timing model and power model under a governor.
+pub struct Runtime<'a> {
+    model: &'a dyn TimingModel,
+    power: &'a PowerModel,
+    keep_trace: bool,
+}
+
+impl<'a> Runtime<'a> {
+    /// Creates a runtime over the given models (full traces kept).
+    pub fn new(model: &'a dyn TimingModel, power: &'a PowerModel) -> Self {
+        Self {
+            model,
+            power,
+            keep_trace: true,
+        }
+    }
+
+    /// Disables per-invocation trace recording (large sweeps).
+    pub fn without_trace(mut self) -> Self {
+        self.keep_trace = false;
+        self
+    }
+
+    /// The timing model in use.
+    pub fn model(&self) -> &dyn TimingModel {
+        self.model
+    }
+
+    /// The power model in use.
+    pub fn power(&self) -> &PowerModel {
+        self.power
+    }
+
+    /// Runs `app` to completion under `governor` and reports.
+    pub fn run(&self, app: &Application, governor: &mut dyn Governor) -> RunReport {
+        let mut total_time = Seconds(0.0);
+        let mut card_energy = Joules(0.0);
+        let mut gpu_energy = Joules(0.0);
+        let mut mem_energy = Joules(0.0);
+        let mut residency = Residency::new();
+        let mut trace = Vec::new();
+        let mut per_kernel: BTreeMap<String, KernelReport> = BTreeMap::new();
+
+        for iteration in 0..app.iterations {
+            for kernel in &app.kernels {
+                let cfg = governor.decide(kernel, iteration);
+                let result = self.model.simulate(cfg, kernel, iteration);
+                let counters = result.counters;
+                let activity = Activity {
+                    valu_activity: counters.valu_activity(),
+                    dram_bytes_per_sec: counters.dram_bytes_per_sec(),
+                    dram_traffic_fraction: counters.ic_activity,
+                };
+                let breakdown = self.power.breakdown(cfg, &activity);
+
+                let dt = result.time;
+                total_time += dt;
+                card_energy += breakdown.card_pwr() * dt;
+                gpu_energy += breakdown.gpu_pwr() * dt;
+                mem_energy += breakdown.mem_pwr() * dt;
+                residency.record(cfg, dt);
+
+                let entry = per_kernel
+                    .entry(kernel.name.clone())
+                    .or_insert_with(|| KernelReport {
+                        kernel: kernel.name.clone(),
+                        invocations: 0,
+                        total_time: Seconds(0.0),
+                        card_energy: Joules(0.0),
+                    });
+                entry.invocations += 1;
+                entry.total_time += dt;
+                entry.card_energy += breakdown.card_pwr() * dt;
+
+                if self.keep_trace {
+                    trace.push(InvocationRecord {
+                        kernel: kernel.name.clone(),
+                        iteration,
+                        cfg,
+                        time: dt,
+                        card_power: breakdown.card_pwr(),
+                        gpu_power: breakdown.gpu_pwr(),
+                        mem_power: breakdown.mem_pwr(),
+                        valu_busy_pct: counters.valu_busy_pct,
+                    });
+                }
+
+                governor.observe(kernel, iteration, cfg, &counters);
+            }
+        }
+
+        RunReport {
+            app: app.name.clone(),
+            governor: governor.name().to_string(),
+            total_time,
+            card_energy,
+            gpu_energy,
+            mem_energy,
+            per_kernel: per_kernel.into_values().collect(),
+            residency,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::{BaselineGovernor, HarmoniaGovernor, OracleGovernor};
+    use crate::predictor::SensitivityPredictor;
+    use harmonia_sim::IntervalModel;
+    use harmonia_types::Tunable;
+    use harmonia_workloads::suite;
+
+    fn harness() -> (IntervalModel, PowerModel) {
+        (IntervalModel::default(), PowerModel::hd7970())
+    }
+
+    #[test]
+    fn baseline_runs_everything_at_boost() {
+        let (model, power) = harness();
+        let rt = Runtime::new(&model, &power);
+        let app = suite::stencil();
+        let report = rt.run(&app, &mut BaselineGovernor::new());
+        assert_eq!(report.governor, "baseline");
+        assert_eq!(report.trace.len() as u64, app.total_invocations());
+        assert!((report.residency.fraction(Tunable::CuFreq, 1000) - 1.0).abs() < 1e-12);
+        assert!(report.total_time.value() > 0.0);
+        assert!(report.card_energy.value() > 0.0);
+        // Energy decomposes.
+        let parts = report.gpu_energy.value() + report.mem_energy.value();
+        assert!(parts < report.card_energy.value());
+    }
+
+    #[test]
+    fn per_kernel_reports_cover_all_kernels() {
+        let (model, power) = harness();
+        let rt = Runtime::new(&model, &power);
+        let app = suite::sort();
+        let report = rt.run(&app, &mut BaselineGovernor::new());
+        assert_eq!(report.per_kernel.len(), app.kernels.len());
+        for k in &app.kernels {
+            let kr = report.kernel_report(&k.name).unwrap();
+            assert_eq!(kr.invocations, app.iterations);
+        }
+    }
+
+    #[test]
+    fn harmonia_beats_baseline_ed2_on_stress_kernels() {
+        let (model, power) = harness();
+        let rt = Runtime::new(&model, &power);
+        // Train the predictor on the simulator, as the evaluation pipeline
+        // does — the published Table 3 coefficients describe the authors'
+        // silicon, not this model.
+        let data = crate::dataset::TrainingSet::collect(&model);
+        let predictor = SensitivityPredictor::fit(&data).expect("fit");
+        for app in [suite::maxflops(), suite::sort(), suite::bpt()] {
+            let base = rt.run(&app, &mut BaselineGovernor::new());
+            let mut hm = HarmoniaGovernor::new(predictor.clone());
+            let harmonia = rt.run(&app, &mut hm);
+            assert!(
+                harmonia.ed2() < base.ed2() * 1.02,
+                "{}: harmonia ED² {} vs baseline {}",
+                app.name,
+                harmonia.ed2(),
+                base.ed2()
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_is_at_least_as_good_as_baseline() {
+        let (model, power) = harness();
+        let rt = Runtime::new(&model, &power).without_trace();
+        for app in [suite::maxflops(), suite::stencil()] {
+            let base = rt.run(&app, &mut BaselineGovernor::new());
+            let mut oracle = OracleGovernor::new(&model, &power);
+            let orc = rt.run(&app, &mut oracle);
+            assert!(
+                orc.ed2() <= base.ed2() * 1.0001,
+                "{}: oracle ED² {} vs baseline {}",
+                app.name,
+                orc.ed2(),
+                base.ed2()
+            );
+        }
+    }
+
+    #[test]
+    fn without_trace_keeps_aggregates() {
+        let (model, power) = harness();
+        let rt = Runtime::new(&model, &power).without_trace();
+        let app = suite::stencil();
+        let report = rt.run(&app, &mut BaselineGovernor::new());
+        assert!(report.trace.is_empty());
+        assert!(report.total_time.value() > 0.0);
+    }
+}

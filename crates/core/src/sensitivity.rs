@@ -1,0 +1,224 @@
+//! Measured performance sensitivities (Section 4.1).
+//!
+//! "Sensitivity ... is computed as the ratio of the relative change in the
+//! performance metric to the relative change in the corresponding values of
+//! the hardware tunable", with the *other* tunables held at their maxima so
+//! they are not the limiting factor. CU-count and CU-frequency sensitivities
+//! are aggregated into a single compute-throughput sensitivity.
+
+use harmonia_sim::{KernelProfile, TimingModel};
+use harmonia_types::{ComputeConfig, HwConfig, MegaHertz, MemoryConfig};
+use serde::{Deserialize, Serialize};
+
+/// A kernel's measured (or predicted) sensitivities, as fractions where 1.0
+/// means perfect proportional scaling with the tunable and 0.0 means no
+/// effect. Values may exceed [0, 1] slightly (super-linear effects) or go
+/// negative (e.g. cache thrashing makes *fewer* CUs faster).
+///
+/// Sensitivity is kept *per tunable* — "Sensitivity is computed for each
+/// tunable using weighted linear equation per Table 3" (Section 5.2) — with
+/// [`Sensitivity::compute`] providing the aggregated compute-throughput
+/// number the paper also reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Sensitivity {
+    /// Sensitivity to the number of active CUs.
+    pub cu: f64,
+    /// Sensitivity to the CU clock frequency.
+    pub freq: f64,
+    /// Sensitivity to memory bandwidth (memory bus frequency).
+    pub bandwidth: f64,
+}
+
+impl Sensitivity {
+    /// The aggregated compute-throughput sensitivity (Section 4.1: "the
+    /// sensitivity to the number of CUs and CU frequency are aggregated into
+    /// a single compute throughput sensitivity metric").
+    pub fn compute(&self) -> f64 {
+        0.5 * (self.cu + self.freq)
+    }
+
+    /// Measures all sensitivities of `kernel` on `model`, averaged over
+    /// the first four invocations so data-dependent phases contribute (the
+    /// paper executes "multiple times for multiple iterations" and averages;
+    /// Section 4.1).
+    pub fn measure<M: TimingModel>(model: &M, kernel: &KernelProfile) -> Sensitivity {
+        const ITERS: u64 = 4;
+        let mut acc = Sensitivity::default();
+        for i in 0..ITERS {
+            let s = Self::measure_at(model, kernel, i);
+            acc.cu += s.cu;
+            acc.freq += s.freq;
+            acc.bandwidth += s.bandwidth;
+        }
+        Sensitivity {
+            cu: acc.cu / ITERS as f64,
+            freq: acc.freq / ITERS as f64,
+            bandwidth: acc.bandwidth / ITERS as f64,
+        }
+    }
+
+    /// Measures sensitivities at a specific invocation index (phase).
+    pub fn measure_at<M: TimingModel>(
+        model: &M,
+        kernel: &KernelProfile,
+        iteration: u64,
+    ) -> Sensitivity {
+        Sensitivity {
+            cu: cu_sensitivity(model, kernel, iteration),
+            freq: freq_sensitivity(model, kernel, iteration),
+            bandwidth: bandwidth_sensitivity(model, kernel, iteration),
+        }
+    }
+}
+
+fn time_at<M: TimingModel>(
+    model: &M,
+    kernel: &KernelProfile,
+    iteration: u64,
+    cu: u32,
+    freq: u32,
+    mem: u32,
+) -> f64 {
+    let cfg = HwConfig::new(
+        ComputeConfig::new(cu, MegaHertz(freq)).expect("valid grid point"),
+        MemoryConfig::new(MegaHertz(mem)).expect("valid grid point"),
+    );
+    model.simulate(cfg, kernel, iteration).time.value()
+}
+
+/// Sensitivity of execution time to the number of active CUs, measured
+/// between 16 and 32 CUs with frequency and bandwidth at maximum.
+pub fn cu_sensitivity<M: TimingModel>(model: &M, kernel: &KernelProfile, iteration: u64) -> f64 {
+    let t_hi = time_at(model, kernel, iteration, 32, 1000, 1375);
+    let t_lo = time_at(model, kernel, iteration, 16, 1000, 1375);
+    relative_sensitivity(t_lo, t_hi, 2.0)
+}
+
+/// Sensitivity to CU frequency, measured between 500 MHz and 1 GHz.
+pub fn freq_sensitivity<M: TimingModel>(model: &M, kernel: &KernelProfile, iteration: u64) -> f64 {
+    let t_hi = time_at(model, kernel, iteration, 32, 1000, 1375);
+    let t_lo = time_at(model, kernel, iteration, 32, 500, 1375);
+    relative_sensitivity(t_lo, t_hi, 2.0)
+}
+
+/// Sensitivity to memory bandwidth, measured between 475 MHz and 1375 MHz
+/// bus clocks (90 → 264 GB/s).
+pub fn bandwidth_sensitivity<M: TimingModel>(
+    model: &M,
+    kernel: &KernelProfile,
+    iteration: u64,
+) -> f64 {
+    let t_hi = time_at(model, kernel, iteration, 32, 1000, 1375);
+    let t_lo = time_at(model, kernel, iteration, 32, 1000, 475);
+    relative_sensitivity(t_lo, t_hi, 1375.0 / 475.0)
+}
+
+/// `((t_low / t_high) − 1) / (ratio − 1)`: 1.0 when time scales perfectly
+/// inversely with the tunable, 0.0 when the tunable does not matter,
+/// negative when *more* resource makes things slower.
+fn relative_sensitivity(t_low: f64, t_high: f64, resource_ratio: f64) -> f64 {
+    (t_low / t_high - 1.0) / (resource_ratio - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_sim::IntervalModel;
+    use harmonia_workloads::suite;
+
+    fn model() -> IntervalModel {
+        IntervalModel::default()
+    }
+
+    #[test]
+    fn maxflops_is_compute_sensitive_not_bandwidth() {
+        let app = suite::maxflops();
+        let s = Sensitivity::measure(&model(), &app.kernels[0]);
+        assert!(s.compute() > 0.8, "MaxFlops compute sensitivity {}", s.compute());
+        assert!(s.bandwidth < 0.1, "MaxFlops bandwidth sensitivity {}", s.bandwidth);
+    }
+
+    #[test]
+    fn devicememory_is_bandwidth_sensitive() {
+        let app = suite::devicememory();
+        let s = Sensitivity::measure(&model(), &app.kernels[0]);
+        assert!(s.bandwidth > 0.6, "DeviceMemory bandwidth sensitivity {}", s.bandwidth);
+        // Compute sensitivity is moderate (clock-domain crossing; Fig 9),
+        // not zero.
+        assert!(s.compute() < 0.6);
+    }
+
+    #[test]
+    fn bottom_scan_compute_sensitive_bandwidth_insensitive() {
+        // Figure 8 / Section 7.1: high compute sensitivity, can drop the
+        // memory bus to 475 MHz.
+        let app = suite::sort();
+        let k = app.kernel("Sort.BottomScan").unwrap();
+        let s = Sensitivity::measure(&model(), k);
+        assert!(s.compute() > 0.5, "BottomScan compute {}", s.compute());
+        assert!(s.bandwidth < 0.25, "BottomScan bandwidth {}", s.bandwidth);
+    }
+
+    #[test]
+    fn srad_prepare_is_insensitive_to_compute() {
+        // Figure 8: 75% divergence but 8 instructions — overhead dominated.
+        let app = suite::srad();
+        let k = app.kernel("SRAD.Prepare").unwrap();
+        let s = Sensitivity::measure(&model(), k);
+        assert!(s.compute() < 0.3, "SRAD.Prepare compute {}", s.compute());
+    }
+
+    #[test]
+    fn advance_velocity_more_bandwidth_sensitive_than_bottom_scan() {
+        // Figure 7's ordering.
+        let comd = suite::comd();
+        let sort = suite::sort();
+        let av = Sensitivity::measure(&model(), comd.kernel("CoMD.AdvanceVelocity").unwrap());
+        let bs = Sensitivity::measure(&model(), sort.kernel("Sort.BottomScan").unwrap());
+        assert!(
+            av.bandwidth > bs.bandwidth + 0.1,
+            "AdvanceVelocity {} vs BottomScan {}",
+            av.bandwidth,
+            bs.bandwidth
+        );
+    }
+
+    #[test]
+    fn bpt_cu_sensitivity_is_negative() {
+        // Thrashing: fewer CUs are faster, so CU sensitivity < 0.
+        let app = suite::bpt();
+        let k = app.kernel("BPT.FindK").unwrap();
+        let cu = cu_sensitivity(&model(), k, 0);
+        assert!(cu < 0.05, "BPT CU sensitivity {cu} should be ~negative");
+    }
+
+    #[test]
+    fn relative_sensitivity_identities() {
+        // Perfect scaling: halving the resource doubles the time.
+        assert!((relative_sensitivity(2.0, 1.0, 2.0) - 1.0).abs() < 1e-12);
+        // No effect.
+        assert!(relative_sensitivity(1.0, 1.0, 2.0).abs() < 1e-12);
+        // Inverse effect (more resource is slower).
+        assert!(relative_sensitivity(0.5, 1.0, 2.0) < 0.0);
+    }
+
+    #[test]
+    fn sensitivities_bounded_for_whole_suite() {
+        let m = model();
+        for (_, k) in suite::training_kernels() {
+            let s = Sensitivity::measure(&m, &k);
+            assert!(
+                (-1.0..=1.5).contains(&s.compute()),
+                "{} compute {} out of band",
+                k.name,
+                s.compute()
+            );
+            assert!(
+                (-0.5..=1.5).contains(&s.bandwidth),
+                "{} bandwidth {} out of band",
+                k.name,
+                s.bandwidth
+            );
+        }
+    }
+}

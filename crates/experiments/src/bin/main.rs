@@ -1,0 +1,89 @@
+//! `harmonia-experiments` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! harmonia-experiments [EXPERIMENT ...] [--out DIR] [--no-csv] [--json]
+//! harmonia-experiments all
+//! harmonia-experiments list
+//! ```
+//!
+//! With no arguments, runs everything. CSVs land in `results/` (or `--out`).
+
+use harmonia_experiments::{run, Context, ALL_EXPERIMENTS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut ids: Vec<String> = Vec::new();
+    let mut out_dir = PathBuf::from("results");
+    let mut write_csv = true;
+    let mut write_json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                };
+                out_dir = PathBuf::from(dir);
+            }
+            "--no-csv" => write_csv = false,
+            "--json" => write_json = true,
+            "list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| (*s).to_string())),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.extend(ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()));
+    }
+
+    let ctx = Context::new();
+    let mut failed = false;
+    for id in &ids {
+        match run(&ctx, id) {
+            Some(report) => {
+                println!("{report}");
+                if write_csv {
+                    match report.write_csv(&out_dir) {
+                        Ok(path) => println!("  → {}", path.display()),
+                        Err(err) => {
+                            eprintln!("failed to write CSV for {id}: {err}");
+                            failed = true;
+                        }
+                    }
+                }
+                if write_json {
+                    match report.write_json(&out_dir) {
+                        Ok(path) => println!("  → {}", path.display()),
+                        Err(err) => {
+                            eprintln!("failed to write JSON for {id}: {err}");
+                            failed = true;
+                        }
+                    }
+                }
+                println!();
+            }
+            None => {
+                eprintln!("unknown experiment: {id} (try `list`)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,157 @@
+//! Shared experiment context: models, trained predictor, and the cached
+//! evaluation matrix used by Figures 10–13 and 17–18.
+
+use harmonia::dataset::TrainingSet;
+use harmonia::governor::{
+    BaselineGovernor, HarmoniaConfig, HarmoniaGovernor, OracleGovernor,
+};
+use harmonia::metrics::RunReport;
+use harmonia::predictor::SensitivityPredictor;
+use harmonia::runtime::Runtime;
+use harmonia_power::PowerModel;
+use harmonia_sim::IntervalModel;
+use harmonia_workloads::{suite, Application};
+use std::sync::OnceLock;
+
+/// Per-application evaluation under all governors of Section 7.
+#[derive(Debug, Clone)]
+pub struct AppEval {
+    /// The application evaluated.
+    pub app: Application,
+    /// Stock baseline (always boost).
+    pub baseline: RunReport,
+    /// Coarse-grain tuning only.
+    pub cg: RunReport,
+    /// Full Harmonia (CG + FG).
+    pub harmonia: RunReport,
+    /// Exhaustive ED² oracle.
+    pub oracle: RunReport,
+    /// Compute-DVFS-only ablation.
+    pub freq_only: RunReport,
+}
+
+/// Lazily constructed shared state for all experiments.
+pub struct Context {
+    model: IntervalModel,
+    power: PowerModel,
+    training: OnceLock<TrainingSet>,
+    predictor: OnceLock<SensitivityPredictor>,
+    matrix: OnceLock<Vec<AppEval>>,
+}
+
+impl Context {
+    /// Creates the experiment context over the HD7970 models.
+    pub fn new() -> Self {
+        Self {
+            model: IntervalModel::default(),
+            power: PowerModel::hd7970(),
+            training: OnceLock::new(),
+            predictor: OnceLock::new(),
+            matrix: OnceLock::new(),
+        }
+    }
+
+    /// The timing model.
+    pub fn model(&self) -> &IntervalModel {
+        &self.model
+    }
+
+    /// The power model.
+    pub fn power(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// The training set collected from the simulator (computed once).
+    pub fn training(&self) -> &TrainingSet {
+        self.training
+            .get_or_init(|| TrainingSet::collect(&self.model))
+    }
+
+    /// The predictor fitted to this platform (computed once).
+    pub fn predictor(&self) -> &SensitivityPredictor {
+        self.predictor.get_or_init(|| {
+            SensitivityPredictor::fit(self.training())
+                .expect("the suite training set is well-conditioned")
+        })
+    }
+
+    /// Evaluates one application under every governor.
+    pub fn evaluate_app(&self, app: &Application) -> AppEval {
+        let rt = Runtime::new(&self.model, &self.power);
+        let baseline = rt.run(app, &mut BaselineGovernor::new());
+        let mut cg = HarmoniaGovernor::with_config(
+            self.predictor().clone(),
+            HarmoniaConfig::cg_only(),
+        );
+        let cg = rt.run(app, &mut cg);
+        let mut hm = HarmoniaGovernor::new(self.predictor().clone());
+        let harmonia = rt.run(app, &mut hm);
+        let mut orc = OracleGovernor::new(&self.model, &self.power);
+        let oracle = rt.run(app, &mut orc);
+        let mut fo = HarmoniaGovernor::with_config(
+            self.predictor().clone(),
+            HarmoniaConfig::freq_only(),
+        );
+        let freq_only = rt.run(app, &mut fo);
+        AppEval {
+            app: app.clone(),
+            baseline,
+            cg,
+            harmonia,
+            oracle,
+            freq_only,
+        }
+    }
+
+    /// The full evaluation matrix over the 14-application suite (computed
+    /// once, in parallel across applications).
+    pub fn matrix(&self) -> &[AppEval] {
+        self.matrix.get_or_init(|| {
+            // Ensure the shared predictor exists before fanning out.
+            let _ = self.predictor();
+            let apps = suite::all();
+            let mut results: Vec<Option<AppEval>> = (0..apps.len()).map(|_| None).collect();
+            crossbeam::thread::scope(|scope| {
+                for (slot, app) in results.iter_mut().zip(&apps) {
+                    scope.spawn(move |_| {
+                        *slot = Some(self.evaluate_app(app));
+                    });
+                }
+            })
+            .expect("evaluation threads must not panic");
+            results
+                .into_iter()
+                .map(|r| r.expect("every slot filled"))
+                .collect()
+        })
+    }
+
+    /// Geometric mean of per-app improvement *ratios* for a metric, returned
+    /// as an improvement fraction (paper: "all averages represent the
+    /// geometric mean").
+    ///
+    /// `exclude_stress` reproduces "Geomean 2" (without MaxFlops and
+    /// DeviceMemory).
+    pub fn geomean_improvement<F>(&self, metric: F, exclude_stress: bool) -> f64
+    where
+        F: Fn(&AppEval) -> (f64, f64), // (baseline value, candidate value)
+    {
+        let ratios: Vec<f64> = self
+            .matrix()
+            .iter()
+            .filter(|e| !(exclude_stress && suite::STRESS_APPS.contains(&e.app.name.as_str())))
+            .map(|e| {
+                let (base, cand) = metric(e);
+                cand / base
+            })
+            .collect();
+        let g = harmonia_stats::geometric_mean(&ratios).unwrap_or(1.0);
+        1.0 - g
+    }
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,141 @@
+//! Experiment harness: regenerates every table and figure of the Harmonia
+//! paper on the simulated platform.
+//!
+//! Each experiment produces a [`Report`] (an id, a title, column headers,
+//! rows, and notes comparing the paper's published values with the measured
+//! ones). The `harmonia-experiments` binary prints reports as aligned text
+//! tables and writes CSVs into `results/`.
+//!
+//! | id | paper content |
+//! |----|---------------|
+//! | `table1` | GPU DVFS table |
+//! | `table2` | performance counters and derived metrics |
+//! | `table3` | sensitivity-model coefficients and correlations |
+//! | `fig1`  | card power breakdown, memory-intensive workload |
+//! | `fig2`  | simulated GPU architecture parameters |
+//! | `fig3`  | hardware balance curves (MaxFlops / DeviceMemory / LUD) |
+//! | `fig4`  | power across compute configs (DeviceMemory) |
+//! | `fig5`  | power across memory configs (MaxFlops) |
+//! | `fig6`  | energy- vs ED²- vs performance-optimal configurations |
+//! | `fig7`  | occupancy-driven bandwidth sensitivity |
+//! | `fig8`  | divergence/kernel-size-driven compute sensitivity |
+//! | `fig9`  | clock-domain coupling |
+//! | `fig10`–`fig13` | ED² / energy / power / performance vs baseline |
+//! | `fig14` | Graph500 per-iteration instruction counts |
+//! | `fig15` | memory-bus frequency residency (Graph500) |
+//! | `fig16` | residency of all tunables (Graph500) |
+//! | `fig17` | coordinated GPU/memory power sharing |
+//! | `fig18` | CG vs FG contribution split |
+//! | `sensitivity-table` | per-kernel characterization (contribution 1) |
+//! | `oracle-configs` | ED²-optimal balance point per kernel |
+//! | `predictor-error` | sensitivity-predictor accuracy (§7.2) |
+//! | `ablation-freq-only` | compute-DVFS-only ablation (§7.2) |
+//! | `ablation-tdp` | TDP-capped PowerTune vs Harmonia (§2.3 extension) |
+//! | `ablation-stacked` | stacked-memory shared-envelope study (§9) |
+//! | `ablation-mem-voltage` | memory voltage-scaling what-if (§3.3/§7.1) |
+//! | `ablation-models` | interval vs event vs trace timing models |
+//! | `ablation-noise` | controller robustness to measurement noise |
+//! | `characterize` | probe-based platform characterization (§3 as a tool) |
+//! | `appendix` / `appendix-<app>` | per-application deep dives |
+
+pub mod appendix;
+pub mod context;
+pub mod evaluation;
+pub mod figures;
+pub mod report;
+pub mod tables;
+
+#[cfg(test)]
+mod lib_tests;
+
+pub use context::Context;
+pub use report::Report;
+
+/// Every experiment id, in presentation order.
+pub const ALL_EXPERIMENTS: [&str; 32] = [
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "sensitivity-table",
+    "oracle-configs",
+    "predictor-error",
+    "ablation-freq-only",
+    "ablation-tdp",
+    "ablation-stacked",
+    "ablation-mem-voltage",
+    "ablation-models",
+    "ablation-noise",
+    "characterize",
+    "appendix",
+];
+
+/// Runs one experiment by id.
+///
+/// Returns `None` for an unknown id.
+pub fn run(ctx: &Context, id: &str) -> Option<Report> {
+    let report = match id {
+        "table1" => tables::table1(ctx),
+        "table2" => tables::table2(ctx),
+        "table3" => tables::table3(ctx),
+        "fig1" => figures::fig1(ctx),
+        "fig2" => figures::fig2(ctx),
+        "fig3" => figures::fig3(ctx),
+        "fig4" => figures::fig4(ctx),
+        "fig5" => figures::fig5(ctx),
+        "fig6" => figures::fig6(ctx),
+        "fig7" => figures::fig7(ctx),
+        "fig8" => figures::fig8(ctx),
+        "fig9" => figures::fig9(ctx),
+        "fig10" => evaluation::fig10(ctx),
+        "fig11" => evaluation::fig11(ctx),
+        "fig12" => evaluation::fig12(ctx),
+        "fig13" => evaluation::fig13(ctx),
+        "fig14" => evaluation::fig14(ctx),
+        "fig15" => evaluation::fig15(ctx),
+        "fig16" => evaluation::fig16(ctx),
+        "fig17" => evaluation::fig17(ctx),
+        "fig18" => evaluation::fig18(ctx),
+        "sensitivity-table" => tables::sensitivity_table(ctx),
+        "oracle-configs" => tables::oracle_configs(ctx),
+        "predictor-error" => tables::predictor_error(ctx),
+        "ablation-freq-only" => evaluation::ablation_freq_only(ctx),
+        "ablation-tdp" => evaluation::ablation_tdp(ctx),
+        "ablation-stacked" => evaluation::ablation_stacked(ctx),
+        "ablation-mem-voltage" => evaluation::ablation_mem_voltage(ctx),
+        "ablation-models" => evaluation::ablation_models(ctx),
+        "ablation-noise" => evaluation::ablation_noise(ctx),
+        "characterize" => figures::characterize(ctx),
+        "appendix" => appendix::appendix_summary(ctx),
+        other => {
+            // Dynamic per-application deep dives: `appendix-<app>`.
+            let dive = other
+                .strip_prefix("appendix-")
+                .and_then(|name| {
+                    harmonia_workloads::suite::all()
+                        .into_iter()
+                        .find(|a| a.name.to_lowercase() == name.to_lowercase())
+                })
+                .and_then(|app| appendix::app_deep_dive(ctx, &app.name));
+            return dive;
+        }
+    };
+    Some(report)
+}

@@ -1,0 +1,221 @@
+//! Tabular experiment reports: aligned text rendering and CSV export.
+
+use serde::Serialize;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One regenerated table/figure: rows of string cells plus commentary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Report {
+    /// Experiment id (`fig10`, `table3`, ...).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows. Each row must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+    /// Paper-vs-measured commentary lines.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a commentary line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Writes the whole report (headers, rows, notes) as JSON into
+    /// `dir/<id>.json`, creating `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; serialization of string tables cannot fail.
+    pub fn write_json(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let body = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        fs::write(&path, body)?;
+        Ok(path)
+    }
+
+    /// Writes the rows as CSV into `dir/<id>.csv`, creating `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or file writing.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut out = String::new();
+        out.push_str(&csv_line(&self.headers));
+        for row in &self.rows {
+            out.push_str(&csv_line(row));
+        }
+        fs::write(&path, out)?;
+        Ok(path)
+    }
+}
+
+fn csv_line(cells: &[String]) -> String {
+    let escaped: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    format!("{}\n", escaped.join(","))
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        // Column widths from headers and cells.
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:<width$}", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(f, &rule)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  · {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a signed percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Formats a plain number with the given precision.
+pub fn num(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Renders a unit-interval value as a text bar of up to `width` cells —
+/// lets tabular reports read like the paper's bar charts.
+pub fn bar(fraction: f64, width: usize) -> String {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let filled = (fraction * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '\u{2588}' } else { '\u{00b7}' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("fig0", "demo", &["app", "value"]);
+        r.push_row(vec!["LUD".into(), "+1.0%".into()]);
+        r.note("paper: 12% average");
+        r
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let text = sample().to_string();
+        assert!(text.contains("fig0"));
+        assert!(text.contains("app"));
+        assert!(text.contains("LUD"));
+        assert!(text.contains("paper: 12%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new("x", "x", &["a", "b"]);
+        r.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_written_with_full_structure() {
+        let dir = std::env::temp_dir().join("harmonia-report-json-test");
+        let path = sample().write_json(&dir).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"id\": \"fig0\""));
+        assert!(text.contains("paper: 12% average"));
+    }
+
+    #[test]
+    fn csv_written_and_escaped() {
+        let dir = std::env::temp_dir().join("harmonia-report-test");
+        let mut r = sample();
+        r.push_row(vec!["with,comma".into(), "q\"uote".into()]);
+        let path = r.write_csv(&dir).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("app,value\n"));
+        assert!(text.contains("\"with,comma\""));
+        assert!(text.contains("\"q\"\"uote\""));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.123), "+12.3%");
+        assert_eq!(pct(-0.01), "-1.0%");
+        assert_eq!(num(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn bars_fill_proportionally_and_clamp() {
+        assert_eq!(bar(0.0, 4), "\u{00b7}\u{00b7}\u{00b7}\u{00b7}");
+        assert_eq!(bar(1.0, 4), "\u{2588}\u{2588}\u{2588}\u{2588}");
+        assert_eq!(bar(0.5, 4), "\u{2588}\u{2588}\u{00b7}\u{00b7}");
+        assert_eq!(bar(7.0, 3), "\u{2588}\u{2588}\u{2588}");
+        assert_eq!(bar(-1.0, 3), "\u{00b7}\u{00b7}\u{00b7}");
+    }
+}

@@ -1,0 +1,305 @@
+//! The combined card power model and its observable breakdown.
+
+use crate::compute::{chip_power, ComputePowerParams};
+use crate::memory::{memory_power, MemoryPowerParams};
+use harmonia_types::{DvfsTable, HwConfig, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Activity factors the power model consumes, produced by the simulator's
+/// counters for each kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Activity {
+    /// Fraction of time the vector ALUs are issuing (VALUBusy/100 ×
+    /// VALUUtilization/100) — drives CU dynamic power.
+    pub valu_activity: f64,
+    /// Achieved DRAM traffic in bytes per second — drives DRAM access power.
+    pub dram_bytes_per_sec: f64,
+    /// Achieved DRAM bandwidth over the configuration's peak (0..1) — the
+    /// icActivity metric; drives uncore and MC switching.
+    pub dram_traffic_fraction: f64,
+}
+
+impl Activity {
+    /// Convenience constructor for a streaming workload: `valu` ALU
+    /// activity and a memory system running at `traffic_fraction` of the
+    /// maximum 264 GB/s.
+    pub fn streaming(valu: f64, traffic_fraction: f64) -> Self {
+        let traffic_fraction = traffic_fraction.clamp(0.0, 1.0);
+        Self {
+            valu_activity: valu.clamp(0.0, 1.0),
+            dram_bytes_per_sec: traffic_fraction * 264.0e9,
+            dram_traffic_fraction: traffic_fraction,
+        }
+    }
+
+    /// A fully idle card.
+    pub fn idle() -> Self {
+        Self::default()
+    }
+}
+
+/// Full power breakdown of the card at one operating point, mirroring the
+/// paper's measurement taxonomy (Section 6).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// CU dynamic power (switching + idle clocking).
+    pub cu_dynamic: Watts,
+    /// Chip leakage (CUs + uncore).
+    pub leakage: Watts,
+    /// Uncore dynamic power (L2, crossbar, command processor).
+    pub uncore: Watts,
+    /// Integrated memory-controller power (counted inside GPUPwr, as in the
+    /// paper — "memory controller power is not included in measured memory
+    /// power, instead it is part of GPUPwr").
+    pub mem_controller: Watts,
+    /// DDR PHY + PLL power (counted inside MemPwr per Equation 4).
+    pub phy: Watts,
+    /// DRAM background power.
+    pub dram_background: Watts,
+    /// DRAM activate/pre-charge power.
+    pub dram_activate: Watts,
+    /// DRAM array read/write power.
+    pub dram_read_write: Watts,
+    /// DRAM I/O termination power.
+    pub dram_termination: Watts,
+    /// Fan, voltage regulators, board trace losses — constant because the
+    /// fan is pinned at maximum RPM.
+    pub other: Watts,
+}
+
+impl PowerBreakdown {
+    /// GPU chip power — the paper's **GPUPwr** (compute + integrated MC).
+    pub fn gpu_pwr(&self) -> Watts {
+        self.cu_dynamic + self.leakage + self.uncore + self.mem_controller
+    }
+
+    /// Memory power — the paper's **MemPwr** (off-chip GDDR5 + DDR PHYs),
+    /// i.e. Equation 4's `GPUCardPwr − GPUPwr − OtherPwr`.
+    pub fn mem_pwr(&self) -> Watts {
+        self.phy
+            + self.dram_background
+            + self.dram_activate
+            + self.dram_read_write
+            + self.dram_termination
+    }
+
+    /// Rest-of-card power — the paper's **OtherPwr**.
+    pub fn other_pwr(&self) -> Watts {
+        self.other
+    }
+
+    /// Total card power at the PCIe connector — the paper's **GPUCardPwr**.
+    pub fn card_pwr(&self) -> Watts {
+        self.gpu_pwr() + self.mem_pwr() + self.other_pwr()
+    }
+}
+
+/// The calibrated HD7970 card power model.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PowerModel {
+    compute: ComputePowerParams,
+    memory: MemoryPowerParams,
+    dvfs: DvfsTable,
+    other: Watts,
+}
+
+impl PowerModel {
+    /// The default calibration for the HD7970 test bed.
+    pub fn hd7970() -> Self {
+        Self {
+            compute: ComputePowerParams::default(),
+            memory: MemoryPowerParams::default(),
+            dvfs: DvfsTable::hd7970(),
+            other: Watts(33.0),
+        }
+    }
+
+    /// A forward-looking *on-package stacked memory* calibration — the
+    /// future system the paper's conclusion points at ("compute and memory
+    /// will share tighter package power envelopes"). Per-byte DRAM energies
+    /// and interface power drop (short in-package links, no board-level
+    /// termination), and the board overhead shrinks; compute is unchanged.
+    pub fn stacked_package() -> Self {
+        Self {
+            compute: ComputePowerParams::default(),
+            memory: MemoryPowerParams {
+                background_per_ghz: 6.0,
+                phy_per_ghz: 2.5,
+                phy_static: 1.0,
+                activate_pj_per_byte: 10.0,
+                rw_pj_per_byte: 28.0,
+                termination_pj_per_byte: 4.0,
+                slow_clock_energy_penalty: 0.04,
+                voltage_scaling: true, // on-package rails are scalable
+            },
+            dvfs: DvfsTable::hd7970(),
+            other: Watts(18.0),
+        }
+    }
+
+    /// Builds a model with custom parameters (for calibration studies).
+    pub fn with_params(
+        compute: ComputePowerParams,
+        memory: MemoryPowerParams,
+        dvfs: DvfsTable,
+        other: Watts,
+    ) -> Self {
+        Self {
+            compute,
+            memory,
+            dvfs,
+            other,
+        }
+    }
+
+    /// The DVFS table the model uses for voltage lookup.
+    pub fn dvfs(&self) -> &DvfsTable {
+        &self.dvfs
+    }
+
+    /// Evaluates the full card power breakdown at `cfg` under `activity`.
+    pub fn breakdown(&self, cfg: HwConfig, activity: &Activity) -> PowerBreakdown {
+        let chip = chip_power(
+            &self.compute,
+            &self.dvfs,
+            cfg,
+            activity.valu_activity,
+            activity.dram_traffic_fraction,
+        );
+        let mem = memory_power(&self.memory, cfg, activity.dram_bytes_per_sec);
+        PowerBreakdown {
+            cu_dynamic: chip.cu_dynamic,
+            leakage: chip.leakage,
+            uncore: chip.uncore,
+            mem_controller: chip.mem_controller,
+            phy: mem.phy,
+            dram_background: mem.background,
+            dram_activate: mem.activate,
+            dram_read_write: mem.read_write,
+            dram_termination: mem.termination,
+            other: self.other,
+        }
+    }
+
+    /// Total card power — shorthand for `breakdown(..).card_pwr()`.
+    pub fn card_pwr(&self, cfg: HwConfig, activity: &Activity) -> Watts {
+        self.breakdown(cfg, activity).card_pwr()
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::hd7970()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_types::{ComputeConfig, MegaHertz, MemoryConfig};
+
+    fn cfg(cu: u32, f: u32, m: u32) -> HwConfig {
+        HwConfig::new(
+            ComputeConfig::new(cu, MegaHertz(f)).unwrap(),
+            MemoryConfig::new(MegaHertz(m)).unwrap(),
+        )
+    }
+
+    #[test]
+    fn eq4_accounting_is_consistent() {
+        let model = PowerModel::hd7970();
+        let p = model.breakdown(HwConfig::max_hd7970(), &Activity::streaming(0.5, 0.8));
+        let derived_mem = p.card_pwr() - p.gpu_pwr() - p.other_pwr();
+        assert!((derived_mem.value() - p.mem_pwr().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_is_significant_for_memory_bound_work() {
+        // Figure 1: memory is a major consumer for memory-intensive
+        // workloads: expect ≥20% of card power.
+        let model = PowerModel::hd7970();
+        let p = model.breakdown(HwConfig::max_hd7970(), &Activity::streaming(0.25, 0.95));
+        let share = p.mem_pwr() / p.card_pwr();
+        assert!(share > 0.20, "memory share {share} too small");
+        assert!(share < 0.50, "memory share {share} implausibly large");
+    }
+
+    #[test]
+    fn compute_config_span_is_large() {
+        // Figure 4: board power varies by roughly 70% across compute
+        // configurations at fixed max memory bandwidth.
+        let model = PowerModel::hd7970();
+        let act = Activity::streaming(0.3, 0.9);
+        let hi = model.card_pwr(cfg(32, 1000, 1375), &act).value();
+        let lo = model.card_pwr(cfg(4, 300, 1375), &act).value();
+        let span = (hi - lo) / lo;
+        assert!(
+            (0.4..1.2).contains(&span),
+            "compute-config power span {span} outside Figure 4 band"
+        );
+    }
+
+    #[test]
+    fn memory_config_span_is_modest() {
+        // Figure 5: ~10% power variation across memory configs at the max
+        // compute configuration, fixed memory voltage.
+        let model = PowerModel::hd7970();
+        let act = Activity::streaming(1.0, 0.05);
+        let hi = model.card_pwr(cfg(32, 1000, 1375), &act).value();
+        let lo = model.card_pwr(cfg(32, 1000, 475), &act).value();
+        let span = (hi - lo) / hi;
+        assert!(
+            (0.04..0.18).contains(&span),
+            "memory-config power span {span} outside Figure 5 band"
+        );
+    }
+
+    #[test]
+    fn other_power_is_constant() {
+        let model = PowerModel::hd7970();
+        let a = model.breakdown(cfg(4, 300, 475), &Activity::idle());
+        let b = model.breakdown(cfg(32, 1000, 1375), &Activity::streaming(1.0, 1.0));
+        assert_eq!(a.other_pwr(), b.other_pwr());
+    }
+
+    #[test]
+    fn card_power_monotone_in_each_tunable() {
+        let model = PowerModel::hd7970();
+        let act = Activity::streaming(0.6, 0.6);
+        assert!(model.card_pwr(cfg(8, 500, 925), &act) < model.card_pwr(cfg(16, 500, 925), &act));
+        assert!(model.card_pwr(cfg(8, 500, 925), &act) < model.card_pwr(cfg(8, 800, 925), &act));
+        assert!(model.card_pwr(cfg(8, 500, 475), &act) < model.card_pwr(cfg(8, 500, 1375), &act));
+    }
+
+    #[test]
+    fn max_config_tdp_plausible() {
+        let model = PowerModel::hd7970();
+        let p = model.card_pwr(HwConfig::max_hd7970(), &Activity::streaming(1.0, 0.9));
+        assert!(
+            (200.0..300.0).contains(&p.value()),
+            "card power {p} not in HD7970 TDP ballpark"
+        );
+    }
+
+    #[test]
+    fn stacked_package_memory_is_cheaper() {
+        let discrete = PowerModel::hd7970();
+        let stacked = PowerModel::stacked_package();
+        let act = Activity::streaming(0.3, 0.9);
+        let cfg = HwConfig::max_hd7970();
+        let d = discrete.breakdown(cfg, &act);
+        let s = stacked.breakdown(cfg, &act);
+        assert!(s.mem_pwr() < d.mem_pwr() * 0.7, "stacked memory should be much cheaper");
+        assert!(s.other_pwr() < d.other_pwr());
+        // Compute side is identical.
+        assert_eq!(s.cu_dynamic, d.cu_dynamic);
+    }
+
+    #[test]
+    fn idle_power_well_below_busy() {
+        let model = PowerModel::hd7970();
+        let idle = model.card_pwr(HwConfig::max_hd7970(), &Activity::idle());
+        let busy = model.card_pwr(HwConfig::max_hd7970(), &Activity::streaming(1.0, 0.9));
+        assert!(idle.value() < 0.7 * busy.value());
+    }
+}

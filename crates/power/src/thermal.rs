@@ -1,0 +1,168 @@
+//! First-order thermal model of the graphics card.
+//!
+//! The stock power manager "optimizes performance for thermal design
+//! power (TDP)-constrained scenarios ... based on power and thermal
+//! headroom availability" (Section 2.3). To reproduce that behaviour — and
+//! to study Harmonia under a shared package envelope (key insight 6) — the
+//! card is modelled as a single thermal RC node:
+//!
+//! ```text
+//! T(t+Δt) = T_amb + (T(t) − T_amb)·e^(−Δt/τ) + P·R·(1 − e^(−Δt/τ))
+//! ```
+//!
+//! with junction-to-ambient resistance `R` and time constant `τ`.
+
+use harmonia_types::{Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the card's thermal path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalParams {
+    /// Ambient (inlet) temperature, °C.
+    pub ambient_c: f64,
+    /// Junction-to-ambient thermal resistance, °C/W (fan at max RPM).
+    pub resistance_c_per_w: f64,
+    /// Thermal time constant, seconds.
+    pub time_constant_s: f64,
+    /// Junction temperature limit, °C.
+    pub limit_c: f64,
+}
+
+impl Default for ThermalParams {
+    /// HD7970-like defaults: 250 W steady state sits at ≈95 °C in a 25 °C
+    /// ambient with the fan pinned at maximum.
+    fn default() -> Self {
+        Self {
+            ambient_c: 25.0,
+            resistance_c_per_w: 0.28,
+            time_constant_s: 8.0,
+            limit_c: 95.0,
+        }
+    }
+}
+
+/// The card's thermal state, advanced by [`ThermalModel::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    params: ThermalParams,
+    temperature_c: f64,
+}
+
+impl ThermalModel {
+    /// Creates a model at ambient temperature.
+    pub fn new(params: ThermalParams) -> Self {
+        Self {
+            temperature_c: params.ambient_c,
+            params,
+        }
+    }
+
+    /// Current junction temperature, °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.temperature_c
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &ThermalParams {
+        &self.params
+    }
+
+    /// Steady-state temperature at a constant power draw.
+    pub fn steady_state_c(&self, power: Watts) -> f64 {
+        self.params.ambient_c + power.value() * self.params.resistance_c_per_w
+    }
+
+    /// Advances the state by `dt` at constant `power`; returns the new
+    /// temperature. Non-positive `dt` leaves the state unchanged.
+    pub fn step(&mut self, power: Watts, dt: Seconds) -> f64 {
+        let dt = dt.value();
+        if dt > 0.0 {
+            let decay = (-dt / self.params.time_constant_s).exp();
+            let target = self.steady_state_c(power);
+            self.temperature_c = target + (self.temperature_c - target) * decay;
+        }
+        self.temperature_c
+    }
+
+    /// Thermal headroom in °C (negative when over the limit).
+    pub fn headroom_c(&self) -> f64 {
+        self.params.limit_c - self.temperature_c
+    }
+
+    /// Whether the junction exceeds its limit.
+    pub fn over_limit(&self) -> bool {
+        self.headroom_c() < 0.0
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        Self::new(ThermalParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_ambient_with_full_headroom() {
+        let m = ThermalModel::default();
+        assert_eq!(m.temperature_c(), 25.0);
+        assert!((m.headroom_c() - 70.0).abs() < 1e-12);
+        assert!(!m.over_limit());
+    }
+
+    #[test]
+    fn steady_state_matches_tdp_calibration() {
+        let m = ThermalModel::default();
+        assert!((m.steady_state_c(Watts(250.0)) - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let mut m = ThermalModel::default();
+        for _ in 0..100 {
+            m.step(Watts(250.0), Seconds(1.0));
+        }
+        assert!((m.temperature_c() - 95.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn single_step_moves_monotonically_toward_target() {
+        let mut m = ThermalModel::default();
+        let t1 = m.step(Watts(200.0), Seconds(1.0));
+        assert!(t1 > 25.0 && t1 < m.steady_state_c(Watts(200.0)));
+        let t2 = m.step(Watts(200.0), Seconds(1.0));
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn cooling_when_power_drops() {
+        let mut m = ThermalModel::default();
+        for _ in 0..50 {
+            m.step(Watts(250.0), Seconds(1.0));
+        }
+        let hot = m.temperature_c();
+        m.step(Watts(50.0), Seconds(5.0));
+        assert!(m.temperature_c() < hot);
+    }
+
+    #[test]
+    fn over_limit_detection() {
+        let mut m = ThermalModel::default();
+        for _ in 0..100 {
+            m.step(Watts(300.0), Seconds(1.0));
+        }
+        assert!(m.over_limit());
+        assert!(m.headroom_c() < 0.0);
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let mut m = ThermalModel::default();
+        let before = m.temperature_c();
+        m.step(Watts(250.0), Seconds(0.0));
+        assert_eq!(m.temperature_c(), before);
+    }
+}

@@ -1,0 +1,214 @@
+//! DAQ-style power tracing and energy integration.
+//!
+//! The paper profiles power "using a National Instruments data acquisition
+//! (DAQ) card ... with a sampling frequency of 1KHz" (Section 6).
+//! [`PowerTrace`] plays that role for the simulator: execution segments are
+//! appended with their (constant) power breakdown, and the trace can be
+//! resampled at a fixed rate or integrated into energy.
+
+use crate::model::PowerBreakdown;
+use harmonia_types::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One sample of the virtual DAQ.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Timestamp of the sample since trace start.
+    pub at: Seconds,
+    /// Card power at the sample instant.
+    pub card: Watts,
+    /// GPU chip power at the sample instant.
+    pub gpu: Watts,
+    /// Memory power at the sample instant.
+    pub mem: Watts,
+}
+
+/// A piecewise-constant power trace built from execution segments.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    // (segment end time, breakdown) — start time is the previous end.
+    segments: Vec<(Seconds, PowerBreakdown)>,
+}
+
+impl PowerTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an execution segment of `duration` at constant `power`.
+    /// Zero- or negative-duration segments are ignored.
+    pub fn push(&mut self, duration: Seconds, power: PowerBreakdown) {
+        if duration.value() <= 0.0 {
+            return;
+        }
+        let end = Seconds(self.duration().value() + duration.value());
+        self.segments.push((end, power));
+    }
+
+    /// Total trace duration.
+    pub fn duration(&self) -> Seconds {
+        self.segments.last().map_or(Seconds(0.0), |(end, _)| *end)
+    }
+
+    /// Number of segments recorded.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total card energy: exact piecewise integral of card power over time.
+    pub fn card_energy(&self) -> Joules {
+        self.energy_by(|p| p.card_pwr())
+    }
+
+    /// Total GPU chip energy.
+    pub fn gpu_energy(&self) -> Joules {
+        self.energy_by(|p| p.gpu_pwr())
+    }
+
+    /// Total memory energy.
+    pub fn mem_energy(&self) -> Joules {
+        self.energy_by(|p| p.mem_pwr())
+    }
+
+    /// Integral of an arbitrary power component over the trace.
+    pub fn energy_by<F: Fn(&PowerBreakdown) -> Watts>(&self, component: F) -> Joules {
+        let mut start = Seconds(0.0);
+        let mut total = Joules(0.0);
+        for (end, p) in &self.segments {
+            total += component(p) * (*end - start);
+            start = *end;
+        }
+        total
+    }
+
+    /// Time-average card power (total energy over duration). Zero for an
+    /// empty trace.
+    pub fn average_card_power(&self) -> Watts {
+        let d = self.duration();
+        if d.value() <= 0.0 {
+            return Watts(0.0);
+        }
+        self.card_energy() / d
+    }
+
+    /// Resamples the trace at `rate_hz` like the paper's 1 kHz DAQ,
+    /// returning one [`PowerSample`] per tick (sample-and-hold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is not strictly positive.
+    pub fn sample(&self, rate_hz: f64) -> Vec<PowerSample> {
+        assert!(rate_hz > 0.0, "sampling rate must be positive");
+        let period = 1.0 / rate_hz;
+        let mut out = Vec::new();
+        let mut seg = 0;
+        let mut t = 0.0;
+        let total = self.duration().value();
+        while t < total && seg < self.segments.len() {
+            while seg < self.segments.len() && self.segments[seg].0.value() <= t {
+                seg += 1;
+            }
+            if seg >= self.segments.len() {
+                break;
+            }
+            let p = &self.segments[seg].1;
+            out.push(PowerSample {
+                at: Seconds(t),
+                card: p.card_pwr(),
+                gpu: p.gpu_pwr(),
+                mem: p.mem_pwr(),
+            });
+            t += period;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(card_core: f64) -> PowerBreakdown {
+        PowerBreakdown {
+            cu_dynamic: Watts(card_core),
+            ..PowerBreakdown::default()
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let t = PowerTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.duration(), Seconds(0.0));
+        assert_eq!(t.card_energy(), Joules(0.0));
+        assert_eq!(t.average_card_power(), Watts(0.0));
+        assert!(t.sample(1000.0).is_empty());
+    }
+
+    #[test]
+    fn energy_is_exact_piecewise_integral() {
+        let mut t = PowerTrace::new();
+        t.push(Seconds(2.0), flat(100.0));
+        t.push(Seconds(1.0), flat(50.0));
+        assert_eq!(t.duration(), Seconds(3.0));
+        assert_eq!(t.card_energy(), Joules(250.0));
+        assert!((t.average_card_power().value() - 250.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_energies_split() {
+        let p = PowerBreakdown {
+            cu_dynamic: Watts(70.0),
+            dram_read_write: Watts(30.0),
+            other: Watts(10.0),
+            ..PowerBreakdown::default()
+        };
+        let mut t = PowerTrace::new();
+        t.push(Seconds(2.0), p);
+        assert_eq!(t.gpu_energy(), Joules(140.0));
+        assert_eq!(t.mem_energy(), Joules(60.0));
+        assert_eq!(t.card_energy(), Joules(220.0));
+    }
+
+    #[test]
+    fn zero_duration_segments_ignored() {
+        let mut t = PowerTrace::new();
+        t.push(Seconds(0.0), flat(100.0));
+        t.push(Seconds(-1.0), flat(100.0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sampling_at_1khz_counts_ticks() {
+        let mut t = PowerTrace::new();
+        t.push(Seconds(0.01), flat(100.0));
+        let samples = t.sample(1000.0);
+        assert_eq!(samples.len(), 10);
+        assert_eq!(samples[0].at, Seconds(0.0));
+        assert_eq!(samples[0].card, Watts(100.0));
+    }
+
+    #[test]
+    fn sampling_tracks_segment_changes() {
+        let mut t = PowerTrace::new();
+        t.push(Seconds(0.002), flat(100.0));
+        t.push(Seconds(0.002), flat(50.0));
+        let samples = t.sample(1000.0);
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[1].card, Watts(100.0));
+        assert_eq!(samples[2].card, Watts(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn zero_rate_panics() {
+        PowerTrace::new().sample(0.0);
+    }
+}

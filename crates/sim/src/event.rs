@@ -1,0 +1,384 @@
+//! Discrete-event queueing model of the GPU.
+//!
+//! Where [`IntervalModel`](crate::interval::IntervalModel) solves the
+//! steady-state analytically, this model *plays out* the execution: waves
+//! alternate compute blocks (served serially by their SIMD) and memory
+//! batches (served by the L2→MC crossing and the six memory channels, plus
+//! DRAM latency), with occupancy-limited residency and round-robin dispatch.
+//! It exists to validate that the interval model's shortcuts do not distort
+//! the behaviours Harmonia depends on; the two are compared in tests and in
+//! the `ablations` bench.
+//!
+//! Large grids are simulated as a truncated prefix of waves (default 8192)
+//! and rescaled — steady-state throughput dominates for the HPC kernels the
+//! paper studies, so the truncation error is small and is itself measured in
+//! the cross-validation tests.
+
+use crate::counters::CounterSample;
+use crate::device::GpuDescriptor;
+use crate::model::{SimResult, TimingModel};
+use crate::occupancy::Occupancy;
+use crate::profile::KernelProfile;
+use crate::servers::{MemoryPath, SimdBank, PS};
+use harmonia_types::{HwConfig, Seconds};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Average L2 hit latency in compute cycles (matches the interval model).
+const L2_HIT_LATENCY_CYCLES: f64 = 150.0;
+/// Average L1 hit latency in compute cycles.
+const L1_HIT_LATENCY_CYCLES: f64 = 20.0;
+
+/// The discrete-event timing model.
+#[derive(Debug, Clone)]
+pub struct EventModel {
+    gpu: GpuDescriptor,
+    max_waves: u64,
+}
+
+impl EventModel {
+    /// Creates an event model of `gpu` with the default 8192-wave cap.
+    pub fn new(gpu: GpuDescriptor) -> Self {
+        Self {
+            gpu,
+            max_waves: 8192,
+        }
+    }
+
+    /// Overrides the simulated-wave cap (larger = slower, more faithful).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_waves` is zero.
+    pub fn with_max_waves(mut self, max_waves: u64) -> Self {
+        assert!(max_waves > 0, "wave cap must be positive");
+        self.max_waves = max_waves;
+        self
+    }
+}
+
+impl Default for EventModel {
+    fn default() -> Self {
+        Self::new(GpuDescriptor::hd7970())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    ComputeDone,
+    MemDone,
+}
+
+#[derive(Debug)]
+struct Wave {
+    simd: usize,
+    blocks_left: u32,
+}
+
+impl EventModel {
+    #[allow(clippy::too_many_lines)]
+    fn run(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> SimResult {
+        let gpu = &self.gpu;
+        let scale = kernel.phase.scale_for(iteration);
+        let n_cu = cfg.compute.cu_count();
+        let f_cu = cfg.compute.freq().as_hz();
+
+        let occ = Occupancy::compute(gpu, kernel, n_cu);
+        let simds = gpu.simds(n_cu) as usize;
+
+        let total_waves = kernel.waves(gpu.wave_size).max(1);
+        let sim_waves = total_waves.min(self.max_waves);
+        let scale_factor = total_waves as f64 / sim_waves as f64;
+
+        // Per-wave work at this iteration's phase scale.
+        let cycles_per_inst = f64::from(gpu.wave_size) / f64::from(gpu.lanes_per_simd);
+        let items_per_wave = f64::from(gpu.wave_size);
+        let valu_cycles_wave = cycles_per_inst * kernel.valu_insts_per_item * scale.compute
+            * 1.0; // per wave: each lane op batched over 4 cycles
+        let blocks = kernel.blocks_per_wave.max(1);
+        let c_block_ps = (valu_cycles_wave / f64::from(blocks) / f_cu * PS).max(1.0) as u64;
+
+        // Memory bytes per wave per block.
+        let l1_bytes_wave = (kernel.vfetch_insts_per_item * kernel.bytes_per_fetch
+            + kernel.vwrite_insts_per_item * kernel.bytes_per_write)
+            * kernel.mem_divergence
+            * scale.memory
+            * items_per_wave;
+        let l2_hit = kernel.l2_hit_rate_at(n_cu, gpu.max_cu);
+        let l2_bytes_wave = l1_bytes_wave * (1.0 - kernel.l1_hit_rate);
+        let dram_bytes_wave = l2_bytes_wave * (1.0 - l2_hit);
+        let dram_block = dram_bytes_wave / f64::from(blocks);
+        let l2_block = l2_bytes_wave / f64::from(blocks);
+
+        // Service rates.
+        let l2_latency_ps = (L2_HIT_LATENCY_CYCLES / f_cu * PS) as u64;
+        let l1_latency_ps = (L1_HIT_LATENCY_CYCLES / f_cu * PS) as u64;
+        let has_mem = kernel.vfetch_insts_per_item + kernel.vwrite_insts_per_item > 0.0;
+
+        // --- build initial state -------------------------------------------
+        let mut memory = MemoryPath::new(gpu, cfg);
+        let mut simd_bank = SimdBank::new(simds);
+        let mut waves: Vec<Wave> = Vec::with_capacity(sim_waves as usize);
+        let mut heap: BinaryHeap<Reverse<(u64, usize, EventKind)>> = BinaryHeap::new();
+        let mut pending = sim_waves; // waves not yet dispatched
+        let mut mem_residence_ps: u64 = 0;
+        let mut mem_wait_ps: u64 = 0;
+
+        // Fill each SIMD to its occupancy limit.
+        let slots = u64::from(occ.waves_per_simd);
+        'fill: for slot in 0..slots {
+            let _ = slot;
+            for simd in 0..simds {
+                if pending == 0 {
+                    break 'fill;
+                }
+                pending -= 1;
+                let id = waves.len();
+                waves.push(Wave {
+                    simd,
+                    blocks_left: blocks,
+                });
+                // Start with a compute block at t=0 (queued on the SIMD).
+                let done = simd_bank.issue(simd, 0, c_block_ps);
+                heap.push(Reverse((done, id, EventKind::ComputeDone)));
+            }
+        }
+
+        // --- event loop ------------------------------------------------------
+        let mut now: u64 = 0;
+        while let Some(Reverse((t, id, kind))) = heap.pop() {
+            now = t;
+            match kind {
+                EventKind::ComputeDone => {
+                    if has_mem {
+                        // Issue the memory batch for this block. Batches
+                        // fully served by the caches cost latency only; the
+                        // DRAM-bound remainder goes through the shared
+                        // crossing/channel pipeline.
+                        let arrival = now;
+                        let (done, waited) = if dram_block < 1.0 {
+                            let lat = if l2_block >= 1.0 { l2_latency_ps } else { l1_latency_ps };
+                            (arrival + lat, 0)
+                        } else {
+                            memory.service(arrival, dram_block)
+                        };
+                        mem_residence_ps += done - arrival;
+                        mem_wait_ps += waited;
+                        heap.push(Reverse((done, id, EventKind::MemDone)));
+                    } else {
+                        heap.push(Reverse((now, id, EventKind::MemDone)));
+                    }
+                }
+                EventKind::MemDone => {
+                    let simd = waves[id].simd;
+                    waves[id].blocks_left -= 1;
+                    if waves[id].blocks_left > 0 {
+                        // Next compute block queues on the SIMD.
+                        let done = simd_bank.issue(simd, now, c_block_ps);
+                        heap.push(Reverse((done, id, EventKind::ComputeDone)));
+                    } else if pending > 0 {
+                        // Slot freed: dispatch a fresh wave here.
+                        pending -= 1;
+                        let new_id = waves.len();
+                        waves.push(Wave {
+                            simd,
+                            blocks_left: blocks,
+                        });
+                        let done = simd_bank.issue(simd, now, c_block_ps);
+                        heap.push(Reverse((done, new_id, EventKind::ComputeDone)));
+                    }
+                }
+            }
+        }
+
+        // --- rescale and synthesize counters --------------------------------
+        let t_sim = now as f64 / PS;
+        let overhead = kernel.launch_overhead_us * 1.0e-6;
+        let t_total = t_sim * scale_factor + overhead;
+
+        let items = kernel.workitems as f64;
+        let dram_bytes = dram_bytes_wave * total_waves as f64;
+        let achieved_bw = dram_bytes / t_total;
+        let peak_theoretical = cfg.memory.peak_bandwidth().as_bytes_per_sec();
+        let ic_activity = (achieved_bw / peak_theoretical).clamp(0.0, 1.0);
+
+        let valu_busy =
+            simd_bank.busy_total() as f64 / PS / (simds as f64 * t_sim.max(1e-12));
+        let mem_busy =
+            (mem_residence_ps as f64 / PS / (f64::from(n_cu) * t_sim.max(1e-12))).min(1.0);
+        let mem_stalled =
+            (mem_wait_ps as f64 / PS / (f64::from(n_cu) * t_sim.max(1e-12))).min(mem_busy);
+        let fetch_b = kernel.vfetch_insts_per_item * kernel.bytes_per_fetch;
+        let write_b = kernel.vwrite_insts_per_item * kernel.bytes_per_write;
+        let write_share = if fetch_b + write_b > 0.0 {
+            write_b / (fetch_b + write_b)
+        } else {
+            0.0
+        };
+
+        let counters = CounterSample {
+            duration: Seconds(t_total),
+            valu_busy_pct: (100.0 * valu_busy).clamp(0.0, 100.0),
+            valu_utilization_pct: kernel.valu_utilization_pct(),
+            mem_unit_busy_pct: 100.0 * mem_busy,
+            mem_unit_stalled_pct: 100.0 * mem_stalled,
+            write_unit_stalled_pct: 100.0 * mem_stalled * write_share,
+            norm_vgpr: f64::from(kernel.vgprs_per_item) / f64::from(gpu.vgprs_per_simd),
+            norm_sgpr: f64::from(kernel.sgprs_per_wave) / f64::from(gpu.max_sgprs_per_wave),
+            ic_activity,
+            valu_insts: (kernel.valu_insts_per_item * scale.compute * items) as u64,
+            vfetch_insts: (kernel.vfetch_insts_per_item * scale.memory * items) as u64,
+            vwrite_insts: (kernel.vwrite_insts_per_item * scale.memory * items) as u64,
+            dram_bytes,
+            achieved_bw_gbps: achieved_bw / 1.0e9,
+            occupancy_fraction: occ.fraction,
+            l2_hit_rate: l2_hit,
+        };
+
+        SimResult {
+            time: Seconds(t_total),
+            counters,
+        }
+    }
+}
+
+impl TimingModel for EventModel {
+    fn simulate(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> SimResult {
+        self.run(cfg, kernel, iteration)
+    }
+
+    fn gpu(&self) -> &GpuDescriptor {
+        &self.gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::IntervalModel;
+    use harmonia_types::{ComputeConfig, MegaHertz, MemoryConfig};
+
+    fn cfg(cu: u32, f: u32, m: u32) -> HwConfig {
+        HwConfig::new(
+            ComputeConfig::new(cu, MegaHertz(f)).unwrap(),
+            MemoryConfig::new(MegaHertz(m)).unwrap(),
+        )
+    }
+
+    fn compute_kernel() -> KernelProfile {
+        KernelProfile::builder("maxflops")
+            .workitems(1 << 18)
+            .valu_insts_per_item(1024.0)
+            .vfetch_insts_per_item(1.0)
+            .bytes_per_fetch(4.0)
+            .l1_hit_rate(0.9)
+            .l2_hit_rate(0.9)
+            .build()
+    }
+
+    fn memory_kernel() -> KernelProfile {
+        KernelProfile::builder("devicememory")
+            .workitems(1 << 20)
+            .valu_insts_per_item(4.0)
+            .vfetch_insts_per_item(8.0)
+            .bytes_per_fetch(32.0)
+            .l1_hit_rate(0.05)
+            .l2_hit_rate(0.05)
+            .build()
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = EventModel::default();
+        let k = memory_kernel();
+        let a = m.simulate(cfg(16, 700, 925), &k, 0);
+        let b = m.simulate(cfg(16, 700, 925), &k, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compute_kernel_scales_with_compute_config() {
+        let m = EventModel::default();
+        let k = compute_kernel();
+        let slow = m.simulate(cfg(8, 500, 1375), &k, 0).time.value();
+        let fast = m.simulate(cfg(32, 1000, 1375), &k, 0).time.value();
+        assert!(slow / fast > 5.0);
+    }
+
+    #[test]
+    fn memory_kernel_scales_with_bandwidth() {
+        let m = EventModel::default();
+        let k = memory_kernel();
+        let lo = m.simulate(cfg(32, 1000, 475), &k, 0).time.value();
+        let hi = m.simulate(cfg(32, 1000, 1375), &k, 0).time.value();
+        assert!(lo / hi > 2.0, "bandwidth speedup {} too small", lo / hi);
+    }
+
+    #[test]
+    fn agrees_with_interval_model_on_extremes() {
+        // The two models should agree within a factor of 2 on strongly
+        // bound kernels (they share traffic and rate constants; queueing
+        // details differ).
+        let ev = EventModel::default();
+        let iv = IntervalModel::default();
+        for k in [compute_kernel(), memory_kernel()] {
+            for c in [cfg(32, 1000, 1375), cfg(8, 500, 775), cfg(4, 300, 475)] {
+                let te = ev.simulate(c, &k, 0).time.value();
+                let ti = iv.simulate(c, &k, 0).time.value();
+                let ratio = te / ti;
+                // The widest disagreement is at tiny configs where the
+                // interval model's Little's-law cap is stricter than the
+                // event model's batched pipelining.
+                assert!(
+                    (0.35..2.2).contains(&ratio),
+                    "{} at {c}: event {te} vs interval {ti} (ratio {ratio})",
+                    k.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wave_cap_rescaling_is_consistent() {
+        // Doubling the cap must not change the estimated time by more than a
+        // few percent for a steady-state kernel.
+        let k = memory_kernel();
+        let small = EventModel::default().with_max_waves(2048);
+        let large = EventModel::default().with_max_waves(8192);
+        let ts = small.simulate(cfg(32, 1000, 1375), &k, 0).time.value();
+        let tl = large.simulate(cfg(32, 1000, 1375), &k, 0).time.value();
+        assert!((ts / tl - 1.0).abs() < 0.10, "cap sensitivity {}", ts / tl);
+    }
+
+    #[test]
+    fn counters_in_range() {
+        let m = EventModel::default();
+        for k in [compute_kernel(), memory_kernel()] {
+            let r = m.simulate(cfg(32, 1000, 1375), &k, 0);
+            let s = &r.counters;
+            for pct in [
+                s.valu_busy_pct,
+                s.valu_utilization_pct,
+                s.mem_unit_busy_pct,
+                s.mem_unit_stalled_pct,
+                s.write_unit_stalled_pct,
+            ] {
+                assert!((0.0..=100.0).contains(&pct));
+            }
+            assert!((0.0..=1.0).contains(&s.ic_activity));
+        }
+    }
+
+    #[test]
+    fn memory_kernel_shows_stalls_at_saturation() {
+        let m = EventModel::default();
+        let r = m.simulate(cfg(32, 1000, 475), &memory_kernel(), 0);
+        assert!(r.counters.mem_unit_stalled_pct > 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wave cap")]
+    fn zero_wave_cap_panics() {
+        let _ = EventModel::default().with_max_waves(0);
+    }
+}

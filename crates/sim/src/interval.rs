@@ -1,0 +1,466 @@
+//! Analytic *interval* timing model.
+//!
+//! Each wavefront alternates compute blocks and memory waits. With `W` waves
+//! resident per SIMD, a SIMD completes `W` blocks per steady-state period
+//!
+//! ```text
+//! period = max(W · c, c + L)
+//! ```
+//!
+//! where `c` is the compute-block time and `L` the average memory wait —
+//! the classical interval analysis of GPU latency hiding. Execution time is
+//! the maximum of this latency/compute path, the DRAM bandwidth bound, and
+//! the L2 service bound. The model therefore reproduces the first-order
+//! behaviours the paper builds Harmonia on:
+//!
+//! * **roofline knees** (Figure 3) from the compute/bandwidth max,
+//! * **occupancy-limited latency hiding** (Figure 7) through `W`,
+//! * **divergence serialization** (Figure 8) through executed-instruction
+//!   counts and `VALUUtilization`,
+//! * **clock-domain coupling** (Figure 9) because the L2→MC crossing caps
+//!   DRAM bandwidth at `f_compute × crossing-width`,
+//! * **CU-count-dependent L2 thrashing** (Section 7.1) via
+//!   [`KernelProfile::l2_hit_rate_at`].
+
+use crate::counters::CounterSample;
+use crate::device::GpuDescriptor;
+use crate::model::{SimResult, TimingModel};
+use crate::occupancy::Occupancy;
+use crate::profile::KernelProfile;
+use harmonia_types::config::MEM_FREQ_MAX;
+use harmonia_types::{HwConfig, Seconds};
+
+/// Average L2 hit latency in compute cycles.
+const L2_HIT_LATENCY_CYCLES: f64 = 150.0;
+/// Average L1 hit latency in compute cycles.
+const L1_HIT_LATENCY_CYCLES: f64 = 20.0;
+
+/// The fast analytic timing model.
+#[derive(Debug, Clone)]
+pub struct IntervalModel {
+    gpu: GpuDescriptor,
+}
+
+impl IntervalModel {
+    /// Creates an interval model of `gpu`.
+    pub fn new(gpu: GpuDescriptor) -> Self {
+        Self { gpu }
+    }
+}
+
+impl Default for IntervalModel {
+    fn default() -> Self {
+        Self::new(GpuDescriptor::hd7970())
+    }
+}
+
+/// Intermediate quantities shared by the timing computation and the counter
+/// synthesis (kept internal; exposed only through [`CounterSample`]).
+struct Intermediates {
+    t_total: f64,
+    t_compute_busy: f64,
+    t_mem_busy: f64,
+    dram_bytes: f64,
+    write_bytes: f64,
+    l2_hit: f64,
+    peak_bw_theoretical: f64,
+    valu_insts: f64,
+    vfetch_insts: f64,
+    vwrite_insts: f64,
+    occupancy: Occupancy,
+}
+
+impl IntervalModel {
+    fn evaluate(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> Intermediates {
+        let gpu = &self.gpu;
+        let scale = kernel.phase.scale_for(iteration);
+
+        let n_cu = cfg.compute.cu_count();
+        let f_cu = cfg.compute.freq().as_hz();
+        let f_mem = cfg.memory.bus_freq().as_hz();
+        let occupancy = Occupancy::compute(gpu, kernel, n_cu);
+        let waves_per_simd = f64::from(occupancy.waves_per_simd);
+        let waves = kernel.waves(gpu.wave_size) as f64;
+        let simds = f64::from(gpu.simds(n_cu));
+        let items = kernel.workitems as f64;
+
+        // --- Compute path -------------------------------------------------
+        // A 64-wide wave takes wave_size/lanes cycles per VALU instruction.
+        let cycles_per_inst = f64::from(gpu.wave_size) / f64::from(gpu.lanes_per_simd);
+        let valu_per_item = kernel.valu_insts_per_item * scale.compute;
+        let cycles_per_wave = cycles_per_inst * valu_per_item;
+        let t_compute_busy = waves * cycles_per_wave / (simds * f_cu);
+
+        // --- Memory traffic ----------------------------------------------
+        let fetch_bytes_item =
+            kernel.vfetch_insts_per_item * kernel.bytes_per_fetch * kernel.mem_divergence;
+        let write_bytes_item =
+            kernel.vwrite_insts_per_item * kernel.bytes_per_write * kernel.mem_divergence;
+        let l1_bytes = (fetch_bytes_item + write_bytes_item) * scale.memory * items;
+        let l2_bytes = l1_bytes * (1.0 - kernel.l1_hit_rate);
+        let l2_hit = kernel.l2_hit_rate_at(n_cu, gpu.max_cu);
+        let dram_bytes = l2_bytes * (1.0 - l2_hit);
+        let write_share = if fetch_bytes_item + write_bytes_item > 0.0 {
+            write_bytes_item / (fetch_bytes_item + write_bytes_item)
+        } else {
+            0.0
+        };
+        let write_bytes = dram_bytes * write_share;
+
+        // --- Bandwidth bounds ----------------------------------------------
+        let peak_bw_theoretical = cfg.memory.peak_bandwidth().as_bytes_per_sec();
+        let peak_bw = peak_bw_theoretical * gpu.dram_efficiency;
+        // Clock-domain crossing: L2→MC requests are delivered at the compute
+        // clock (Section 3.5 / Figure 9).
+        let crossing_bw = f_cu * gpu.crossing_bytes_per_cu_cycle;
+        // Little's law: resident waves bound the requests in flight and
+        // therefore the bandwidth extractable at a given DRAM latency — this
+        // is how low occupancy mutes bandwidth sensitivity (Figure 7).
+        let dram_latency_early = self.gpu.dram_latency_s(f_mem, MEM_FREQ_MAX.as_hz());
+        let resident_waves = (simds * waves_per_simd).min(waves.max(1.0));
+        let mlp_bw = resident_waves * gpu.outstanding_per_wave * f64::from(gpu.line_bytes)
+            / dram_latency_early;
+        let eff_bw = peak_bw.min(crossing_bw).min(mlp_bw);
+        let t_bw = dram_bytes / eff_bw;
+
+        // L2 service bound (compute-clock domain).
+        let l2_bw = f_cu * gpu.l2_bytes_per_cu_cycle;
+        let t_l2 = l2_bytes / l2_bw;
+
+        // --- Latency/interval path -----------------------------------------
+        // Average memory wait per block mixes L1/L2/DRAM latencies.
+        let dram_latency = dram_latency_early;
+        let l1 = kernel.l1_hit_rate;
+        let miss_l1 = 1.0 - l1;
+        let wait_s = l1 * (L1_HIT_LATENCY_CYCLES / f_cu)
+            + miss_l1 * l2_hit * (L2_HIT_LATENCY_CYCLES / f_cu)
+            + miss_l1 * (1.0 - l2_hit) * dram_latency;
+        // A wave only waits if it touches memory at all.
+        let blocks = f64::from(kernel.blocks_per_wave);
+        let has_mem = kernel.vfetch_insts_per_item + kernel.vwrite_insts_per_item > 0.0;
+        let c_block = (cycles_per_wave / blocks) / f_cu;
+        let l_block = if has_mem { wait_s } else { 0.0 };
+        let period = (waves_per_simd * c_block).max(c_block + l_block);
+        let rounds = waves / (simds * waves_per_simd);
+        let t_interval = blocks * rounds * period;
+
+        // --- Combine ---------------------------------------------------------
+        let overhead = kernel.launch_overhead_us * 1.0e-6;
+        let t_total = t_interval.max(t_bw).max(t_l2).max(t_compute_busy) + overhead;
+
+        // Memory-unit busy time: service plus exposed waits, per SIMD engine.
+        let total_wait = waves * blocks * l_block / (simds * waves_per_simd);
+        let t_mem_busy = (t_bw.max(t_l2) + 0.5 * total_wait).min(t_total);
+
+        Intermediates {
+            t_total,
+            t_compute_busy: t_compute_busy.min(t_total),
+            t_mem_busy,
+            dram_bytes,
+            write_bytes,
+
+            l2_hit,
+            peak_bw_theoretical,
+            valu_insts: valu_per_item * items / 1.0,
+            vfetch_insts: kernel.vfetch_insts_per_item * scale.memory * items,
+            vwrite_insts: kernel.vwrite_insts_per_item * scale.memory * items,
+            occupancy,
+        }
+    }
+}
+
+impl TimingModel for IntervalModel {
+    fn simulate(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> SimResult {
+        let m = self.evaluate(cfg, kernel, iteration);
+        let t = m.t_total;
+
+        let achieved_bw = m.dram_bytes / t;
+        let ic_activity = (achieved_bw / m.peak_bw_theoretical).clamp(0.0, 1.0);
+        let valu_busy_pct = (100.0 * m.t_compute_busy / t).clamp(0.0, 100.0);
+        let mem_unit_busy_pct = (100.0 * m.t_mem_busy / t).clamp(0.0, 100.0);
+        // Stalls concentrate as the DRAM bus saturates.
+        let saturation = (achieved_bw / (m.peak_bw_theoretical * self.gpu.dram_efficiency))
+            .clamp(0.0, 1.0);
+        let mem_unit_stalled_pct = mem_unit_busy_pct * saturation.powi(2) * 0.85;
+        let write_share = if m.dram_bytes > 0.0 {
+            m.write_bytes / m.dram_bytes
+        } else {
+            0.0
+        };
+        let write_unit_stalled_pct = mem_unit_stalled_pct * write_share;
+
+        let counters = CounterSample {
+            duration: Seconds(t),
+            valu_busy_pct,
+            valu_utilization_pct: kernel.valu_utilization_pct(),
+            mem_unit_busy_pct,
+            mem_unit_stalled_pct,
+            write_unit_stalled_pct,
+            norm_vgpr: f64::from(kernel.vgprs_per_item) / f64::from(self.gpu.vgprs_per_simd),
+            norm_sgpr: f64::from(kernel.sgprs_per_wave) / f64::from(self.gpu.max_sgprs_per_wave),
+            ic_activity,
+            valu_insts: m.valu_insts as u64,
+            vfetch_insts: m.vfetch_insts as u64,
+            vwrite_insts: m.vwrite_insts as u64,
+            dram_bytes: m.dram_bytes,
+            achieved_bw_gbps: achieved_bw / 1.0e9,
+            occupancy_fraction: m.occupancy.fraction,
+            l2_hit_rate: m.l2_hit,
+        };
+
+        SimResult {
+            time: Seconds(t),
+            counters,
+        }
+    }
+
+    fn gpu(&self) -> &GpuDescriptor {
+        &self.gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_types::{ComputeConfig, MegaHertz, MemoryConfig};
+
+    fn cfg(cu: u32, f: u32, m: u32) -> HwConfig {
+        HwConfig::new(
+            ComputeConfig::new(cu, MegaHertz(f)).unwrap(),
+            MemoryConfig::new(MegaHertz(m)).unwrap(),
+        )
+    }
+
+    fn model() -> IntervalModel {
+        IntervalModel::default()
+    }
+
+    fn compute_kernel() -> KernelProfile {
+        KernelProfile::builder("maxflops")
+            .workitems(1 << 20)
+            .valu_insts_per_item(4096.0)
+            .vfetch_insts_per_item(1.0)
+            .bytes_per_fetch(4.0)
+            .l1_hit_rate(0.9)
+            .l2_hit_rate(0.9)
+            .build()
+    }
+
+    fn memory_kernel() -> KernelProfile {
+        KernelProfile::builder("devicememory")
+            .workitems(1 << 22)
+            .valu_insts_per_item(4.0)
+            .vfetch_insts_per_item(8.0)
+            .bytes_per_fetch(32.0)
+            .l1_hit_rate(0.05)
+            .l2_hit_rate(0.05)
+            .build()
+    }
+
+    #[test]
+    fn compute_kernel_scales_with_compute_config() {
+        let m = model();
+        let k = compute_kernel();
+        let slow = m.simulate(cfg(8, 500, 1375), &k, 0).time.value();
+        let fast = m.simulate(cfg(32, 1000, 1375), &k, 0).time.value();
+        // 8× the raw compute throughput → close to 8× faster.
+        let speedup = slow / fast;
+        assert!(speedup > 6.0, "speedup {speedup} too small for compute-bound kernel");
+    }
+
+    #[test]
+    fn compute_kernel_insensitive_to_memory_config() {
+        let m = model();
+        let k = compute_kernel();
+        let hi = m.simulate(cfg(32, 1000, 1375), &k, 0).time.value();
+        let lo = m.simulate(cfg(32, 1000, 475), &k, 0).time.value();
+        assert!((lo / hi - 1.0).abs() < 0.05, "MaxFlops must not care about memory clock");
+    }
+
+    #[test]
+    fn memory_kernel_saturates_with_compute_config() {
+        // Figure 3b: beyond the balance point more compute gives ~nothing.
+        let m = model();
+        let k = memory_kernel();
+        let half = m.simulate(cfg(16, 1000, 1375), &k, 0).time.value();
+        let full = m.simulate(cfg(32, 1000, 1375), &k, 0).time.value();
+        assert!(half / full < 1.1, "memory-bound kernel should saturate");
+    }
+
+    #[test]
+    fn memory_kernel_scales_with_bandwidth() {
+        let m = model();
+        let k = memory_kernel();
+        let lo = m.simulate(cfg(32, 1000, 475), &k, 0).time.value();
+        let hi = m.simulate(cfg(32, 1000, 1375), &k, 0).time.value();
+        let speedup = lo / hi;
+        assert!(speedup > 2.0, "bandwidth speedup {speedup} too small (expect ~2.9)");
+    }
+
+    #[test]
+    fn clock_domain_crossing_hurts_memory_kernel_at_low_compute_clock() {
+        // Figure 9: poor-L2 memory-bound kernels lose bandwidth when the
+        // compute clock drops because the L2→MC crossing slows down.
+        let m = model();
+        let k = memory_kernel();
+        let full_clock = m.simulate(cfg(32, 1000, 1375), &k, 0).time.value();
+        let low_clock = m.simulate(cfg(32, 300, 1375), &k, 0).time.value();
+        assert!(
+            low_clock / full_clock > 1.5,
+            "crossing should throttle DRAM bandwidth at 300 MHz"
+        );
+    }
+
+    #[test]
+    fn low_occupancy_reduces_bandwidth_sensitivity() {
+        // Figure 7: a VGPR-limited kernel (3 waves/SIMD) hides less latency
+        // and extracts less bandwidth, so it reacts less to bus frequency
+        // than the same kernel at full occupancy.
+        let m = model();
+        let base = KernelProfile::builder("scan")
+            .workitems(1 << 21)
+            .valu_insts_per_item(24.0)
+            .vfetch_insts_per_item(6.0)
+            .bytes_per_fetch(16.0)
+            .l1_hit_rate(0.1)
+            .l2_hit_rate(0.2)
+            .blocks_per_wave(24)
+            .build();
+        let full_occ = KernelProfile {
+            vgprs_per_item: 24,
+            ..base.clone()
+        };
+        let low_occ = KernelProfile {
+            vgprs_per_item: 120, // 2 waves/SIMD
+            ..base
+        };
+        let sens = |k: &KernelProfile| {
+            let hi = m.simulate(cfg(32, 1000, 1375), k, 0).time.value();
+            let lo = m.simulate(cfg(32, 1000, 475), k, 0).time.value();
+            lo / hi - 1.0
+        };
+        let s_full = sens(&full_occ);
+        let s_low = sens(&low_occ);
+        assert!(
+            s_full > s_low + 0.05,
+            "full-occupancy sensitivity {s_full} should exceed low-occupancy {s_low}"
+        );
+    }
+
+    #[test]
+    fn tiny_kernel_dominated_by_launch_overhead() {
+        // Figure 8: SRAD.Prepare has 8 ALU instructions — compute frequency
+        // barely matters.
+        let m = model();
+        let k = KernelProfile::builder("srad_prepare")
+            .workitems(1 << 14)
+            .valu_insts_per_item(8.0)
+            .vfetch_insts_per_item(1.0)
+            .launch_overhead_us(10.0)
+            .build();
+        let slow = m.simulate(cfg(32, 300, 1375), &k, 0).time.value();
+        let fast = m.simulate(cfg(32, 1000, 1375), &k, 0).time.value();
+        assert!(slow / fast < 1.3, "tiny kernel should be overhead-dominated");
+    }
+
+    #[test]
+    fn l2_thrashing_makes_fewer_cus_faster() {
+        // Section 7.1: BPT gains performance when CUs are power gated.
+        let m = model();
+        let k = KernelProfile::builder("bpt_findk")
+            .workitems(1 << 21)
+            .valu_insts_per_item(12.0)
+            .vfetch_insts_per_item(10.0)
+            .bytes_per_fetch(16.0)
+            .mem_divergence(3.0)
+            .l1_hit_rate(0.05)
+            .l2_hit_rate(0.75)
+            .l2_thrash_slope(0.55)
+            .build();
+        let full = m.simulate(cfg(32, 1000, 1375), &k, 0).time.value();
+        let gated = m.simulate(cfg(12, 1000, 1375), &k, 0).time.value();
+        assert!(
+            gated < full,
+            "thrash-prone kernel should speed up with fewer CUs ({gated} !< {full})"
+        );
+    }
+
+    #[test]
+    fn counters_are_within_ranges() {
+        let m = model();
+        for k in [compute_kernel(), memory_kernel()] {
+            for c in [cfg(4, 300, 475), cfg(32, 1000, 1375), cfg(16, 600, 925)] {
+                let r = m.simulate(c, &k, 0);
+                let s = &r.counters;
+                assert!(r.time.value() > 0.0);
+                for pct in [
+                    s.valu_busy_pct,
+                    s.valu_utilization_pct,
+                    s.mem_unit_busy_pct,
+                    s.mem_unit_stalled_pct,
+                    s.write_unit_stalled_pct,
+                ] {
+                    assert!((0.0..=100.0).contains(&pct), "counter {pct} out of range");
+                }
+                assert!((0.0..=1.0).contains(&s.ic_activity));
+                assert!((0.0..=1.0).contains(&s.occupancy_fraction));
+                assert!(s.dram_bytes >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_kernel_counters_look_memory_bound() {
+        let m = model();
+        let r = m.simulate(cfg(32, 1000, 1375), &memory_kernel(), 0);
+        assert!(r.counters.mem_unit_busy_pct > 60.0);
+        assert!(r.counters.ic_activity > 0.5);
+        assert!(r.counters.valu_busy_pct < 50.0);
+    }
+
+    #[test]
+    fn compute_kernel_counters_look_compute_bound() {
+        let m = model();
+        let r = m.simulate(cfg(32, 1000, 1375), &compute_kernel(), 0);
+        assert!(r.counters.valu_busy_pct > 80.0);
+        assert!(r.counters.ic_activity < 0.2);
+    }
+
+    #[test]
+    fn phase_modulation_changes_time() {
+        use crate::profile::{PhaseModulation, PhaseScale};
+        let m = model();
+        let k = KernelProfile::builder("bfs")
+            .workitems(1 << 20)
+            .phase(PhaseModulation::Cycle(vec![
+                PhaseScale { compute: 1.0, memory: 1.0 },
+                PhaseScale { compute: 4.0, memory: 4.0 },
+            ]))
+            .build();
+        let t0 = m.simulate(cfg(32, 1000, 1375), &k, 0).time.value();
+        let t1 = m.simulate(cfg(32, 1000, 1375), &k, 1).time.value();
+        assert!(t1 > 2.0 * t0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = model();
+        let k = memory_kernel();
+        let a = m.simulate(cfg(16, 700, 925), &k, 3);
+        let b = m.simulate(cfg(16, 700, 925), &k, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_resources_never_slow_down_well_behaved_kernels() {
+        // For thrash-free kernels, time is non-increasing in every tunable.
+        let m = model();
+        for k in [compute_kernel(), memory_kernel()] {
+            let base = m.simulate(cfg(16, 600, 925), &k, 0).time.value();
+            for c in [cfg(20, 600, 925), cfg(16, 700, 925), cfg(16, 600, 1075)] {
+                let t = m.simulate(c, &k, 0).time.value();
+                assert!(t <= base * 1.0001, "{} slower at bigger config", k.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The timing-model abstraction.
+
+use crate::counters::CounterSample;
+use crate::device::GpuDescriptor;
+use crate::profile::KernelProfile;
+use harmonia_types::{HwConfig, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Result of simulating one kernel invocation at one hardware configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Kernel execution time.
+    pub time: Seconds,
+    /// Performance counters collected over the execution.
+    pub counters: CounterSample,
+}
+
+/// A timing model: maps (configuration, kernel, iteration) to execution time
+/// and counters.
+///
+/// Two implementations exist: the fast analytic [`IntervalModel`] used for
+/// design-space sweeps and the oracle, and the discrete-event [`EventModel`]
+/// used for cross-validation. Both are deterministic.
+///
+/// [`IntervalModel`]: crate::interval::IntervalModel
+/// [`EventModel`]: crate::event::EventModel
+pub trait TimingModel: Send + Sync {
+    /// Simulates invocation `iteration` of `kernel` at `cfg`.
+    fn simulate(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> SimResult;
+
+    /// The device being simulated.
+    fn gpu(&self) -> &GpuDescriptor;
+}
+
+impl<T: TimingModel + ?Sized> TimingModel for &T {
+    fn simulate(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> SimResult {
+        (**self).simulate(cfg, kernel, iteration)
+    }
+
+    fn gpu(&self) -> &GpuDescriptor {
+        (**self).gpu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::IntervalModel;
+
+    #[test]
+    fn trait_object_usable_through_reference() {
+        let model = IntervalModel::new(GpuDescriptor::hd7970());
+        let k = KernelProfile::builder("k").build();
+        let by_ref: &dyn TimingModel = &model;
+        let r = by_ref.simulate(HwConfig::max_hd7970(), &k, 0);
+        assert!(r.time.value() > 0.0);
+        assert_eq!(by_ref.gpu().max_cu, 32);
+    }
+}

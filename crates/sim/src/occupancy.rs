@@ -1,0 +1,234 @@
+//! GCN occupancy calculation.
+//!
+//! "Kernel occupancy is a measure of concurrent execution and the
+//! utilization of the hardware resources (e.g., LDS, SGPRs and VGPRs)"
+//! (Section 3.5). Occupancy bounds memory-level parallelism and therefore
+//! the bandwidth a kernel can extract: the paper's `Sort.BottomScan` uses 66
+//! of 256 VGPRs, capping it at 3 of 10 waves per SIMD (30% occupancy) and
+//! making it *insensitive* to memory bandwidth (Figure 7).
+
+use crate::device::GpuDescriptor;
+use crate::profile::KernelProfile;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which hardware resource capped the occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccupancyLimiter {
+    /// The 10-wave-per-SIMD slot limit (the kernel is not resource bound).
+    WaveSlots,
+    /// Vector register file.
+    Vgpr,
+    /// Scalar register file.
+    Sgpr,
+    /// Local data share capacity.
+    Lds,
+    /// The grid is too small to fill the machine.
+    GridSize,
+}
+
+impl fmt::Display for OccupancyLimiter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OccupancyLimiter::WaveSlots => "wave slots",
+            OccupancyLimiter::Vgpr => "VGPR",
+            OccupancyLimiter::Sgpr => "SGPR",
+            OccupancyLimiter::Lds => "LDS",
+            OccupancyLimiter::GridSize => "grid size",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of the occupancy calculation for one kernel on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Concurrent waves per SIMD actually achievable (≥ 1 when the grid is
+    /// non-empty).
+    pub waves_per_simd: u32,
+    /// `waves_per_simd` over the hardware maximum (0..1] — the "kernel
+    /// occupancy" percentage the paper quotes.
+    pub fraction: f64,
+    /// The binding resource.
+    pub limiter: OccupancyLimiter,
+}
+
+impl Occupancy {
+    /// Computes occupancy of `kernel` on `gpu` with `active_cus` enabled.
+    ///
+    /// Follows the GCN rules: the VGPR file allows
+    /// `⌊vgprs_per_simd / vgprs_per_item⌋` waves, the SGPR file
+    /// `⌊sgprs_per_simd / sgprs_per_wave⌋`, LDS limits whole workgroups per
+    /// CU, and the wave-slot count caps everything. The grid itself may be
+    /// too small to reach the resource limit.
+    pub fn compute(gpu: &GpuDescriptor, kernel: &KernelProfile, active_cus: u32) -> Occupancy {
+        let max_slots = gpu.max_waves_per_simd;
+
+        let vgpr_limit = gpu
+            .vgprs_per_simd
+            .checked_div(kernel.vgprs_per_item)
+            .map_or(max_slots, |w| w.max(1));
+        let sgpr_limit = gpu
+            .sgprs_per_simd
+            .checked_div(kernel.sgprs_per_wave)
+            .map_or(max_slots, |w| w.max(1));
+
+        let lds_limit = gpu
+            .lds_per_cu_bytes
+            .checked_div(kernel.lds_per_group_bytes)
+            .map_or(max_slots, |groups_per_cu| {
+                let groups_per_cu = groups_per_cu.max(1);
+                let waves_per_group = kernel.workgroup_size.div_ceil(gpu.wave_size).max(1);
+                // Waves those groups contribute, spread over the CU's SIMDs.
+                ((groups_per_cu * waves_per_group) / gpu.simds_per_cu).max(1)
+            });
+
+        // The grid may simply not have enough waves to fill the machine.
+        let total_waves = kernel.waves(gpu.wave_size);
+        let simds = u64::from(gpu.simds(active_cus));
+        let grid_limit = total_waves.div_ceil(simds).min(u64::from(max_slots)).max(1) as u32;
+
+        let mut waves = max_slots;
+        let mut limiter = OccupancyLimiter::WaveSlots;
+        for (limit, cause) in [
+            (vgpr_limit, OccupancyLimiter::Vgpr),
+            (sgpr_limit, OccupancyLimiter::Sgpr),
+            (lds_limit, OccupancyLimiter::Lds),
+            (grid_limit, OccupancyLimiter::GridSize),
+        ] {
+            if limit < waves {
+                waves = limit;
+                limiter = cause;
+            }
+        }
+
+        Occupancy {
+            waves_per_simd: waves,
+            fraction: f64::from(waves) / f64::from(max_slots),
+            limiter,
+        }
+    }
+}
+
+impl fmt::Display for Occupancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0}% ({} waves/SIMD, limited by {})",
+            self.fraction * 100.0,
+            self.waves_per_simd,
+            self.limiter
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> GpuDescriptor {
+        GpuDescriptor::hd7970()
+    }
+
+    #[test]
+    fn unconstrained_kernel_hits_full_occupancy() {
+        let k = KernelProfile::builder("comd_advance_velocity")
+            .workitems(1 << 22)
+            .vgprs(20)
+            .sgprs(24)
+            .build();
+        let occ = Occupancy::compute(&gpu(), &k, 32);
+        assert_eq!(occ.waves_per_simd, 10);
+        assert_eq!(occ.limiter, OccupancyLimiter::WaveSlots);
+        assert!((occ.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_vgpr_example_sort_bottom_scan() {
+        // 66 VGPRs of 256 → 3 waves/SIMD → 30% occupancy (Section 3.5).
+        let k = KernelProfile::builder("sort_bottom_scan")
+            .workitems(1 << 22)
+            .vgprs(66)
+            .build();
+        let occ = Occupancy::compute(&gpu(), &k, 32);
+        assert_eq!(occ.waves_per_simd, 3);
+        assert_eq!(occ.limiter, OccupancyLimiter::Vgpr);
+        assert!((occ.fraction - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sgpr_can_be_the_limiter() {
+        let k = KernelProfile::builder("k")
+            .workitems(1 << 22)
+            .vgprs(8)
+            .sgprs(102)
+            .build();
+        let occ = Occupancy::compute(&gpu(), &k, 32);
+        assert_eq!(occ.waves_per_simd, 5); // 512 / 102
+        assert_eq!(occ.limiter, OccupancyLimiter::Sgpr);
+    }
+
+    #[test]
+    fn lds_can_be_the_limiter() {
+        // 32 KiB per group: 2 groups per CU; 256-item groups = 4 waves each;
+        // 8 waves across 4 SIMDs = 2 waves/SIMD.
+        let k = KernelProfile::builder("k")
+            .workitems(1 << 22)
+            .workgroup_size(256)
+            .vgprs(8)
+            .lds_bytes(32 * 1024)
+            .build();
+        let occ = Occupancy::compute(&gpu(), &k, 32);
+        assert_eq!(occ.waves_per_simd, 2);
+        assert_eq!(occ.limiter, OccupancyLimiter::Lds);
+    }
+
+    #[test]
+    fn tiny_grid_is_grid_limited() {
+        let k = KernelProfile::builder("k").workitems(64 * 16).build();
+        // 16 waves over 128 SIMDs → 1 wave/SIMD, grid-limited.
+        let occ = Occupancy::compute(&gpu(), &k, 32);
+        assert_eq!(occ.waves_per_simd, 1);
+        assert_eq!(occ.limiter, OccupancyLimiter::GridSize);
+    }
+
+    #[test]
+    fn fewer_cus_raise_grid_limited_occupancy() {
+        let k = KernelProfile::builder("k").workitems(64 * 64).build();
+        let at_32 = Occupancy::compute(&gpu(), &k, 32);
+        let at_4 = Occupancy::compute(&gpu(), &k, 4);
+        assert!(at_4.waves_per_simd >= at_32.waves_per_simd);
+    }
+
+    #[test]
+    fn zero_resource_usage_is_not_limiting() {
+        let k = KernelProfile::builder("k")
+            .workitems(1 << 22)
+            .vgprs(0)
+            .sgprs(0)
+            .lds_bytes(0)
+            .build();
+        let occ = Occupancy::compute(&gpu(), &k, 32);
+        assert_eq!(occ.waves_per_simd, 10);
+    }
+
+    #[test]
+    fn occupancy_always_at_least_one_wave() {
+        let k = KernelProfile::builder("greedy")
+            .workitems(1 << 22)
+            .vgprs(256)
+            .sgprs(512)
+            .lds_bytes(64 * 1024)
+            .build();
+        let occ = Occupancy::compute(&gpu(), &k, 32);
+        assert!(occ.waves_per_simd >= 1);
+    }
+
+    #[test]
+    fn display_mentions_limiter() {
+        let k = KernelProfile::builder("k").workitems(1 << 22).vgprs(66).build();
+        let occ = Occupancy::compute(&gpu(), &k, 32);
+        let s = occ.to_string();
+        assert!(s.contains("VGPR") && s.contains("30%"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Shared queueing-server machinery for the event-driven timing models.
+//!
+//! Both the [`EventModel`](crate::event::EventModel) (uniform blocks) and
+//! the [`TraceModel`](crate::trace::TraceModel) (jittered operations) route
+//! DRAM-bound requests through the same machine path: the L2→memory-
+//! controller clock-domain crossing (a single server running at the compute
+//! clock) followed by one of the round-robin memory channels, plus the DRAM
+//! access latency. [`MemoryPath`] owns that pipeline and its busy/wait
+//! accounting.
+
+use crate::device::GpuDescriptor;
+use harmonia_types::config::MEM_FREQ_MAX;
+use harmonia_types::HwConfig;
+
+/// Picoseconds per second — integer event time keeps heap ordering exact.
+pub const PS: f64 = 1.0e12;
+
+/// The L2→MC crossing plus memory-channel service pipeline.
+#[derive(Debug, Clone)]
+pub struct MemoryPath {
+    channel_free: Vec<u64>,
+    channel_busy: Vec<u64>,
+    crossing_free: u64,
+    next_channel: usize,
+    channel_bw: f64,
+    crossing_bw: f64,
+    dram_latency_ps: u64,
+}
+
+impl MemoryPath {
+    /// Builds the memory path for `gpu` at operating point `cfg`.
+    pub fn new(gpu: &GpuDescriptor, cfg: HwConfig) -> Self {
+        let peak_bw = cfg.memory.peak_bandwidth().as_bytes_per_sec() * gpu.dram_efficiency;
+        let f_cu = cfg.compute.freq().as_hz();
+        let f_mem = cfg.memory.bus_freq().as_hz();
+        Self {
+            channel_free: vec![0; gpu.mem_channels as usize],
+            channel_busy: vec![0; gpu.mem_channels as usize],
+            crossing_free: 0,
+            next_channel: 0,
+            channel_bw: peak_bw / f64::from(gpu.mem_channels),
+            crossing_bw: f_cu * gpu.crossing_bytes_per_cu_cycle,
+            dram_latency_ps: (gpu.dram_latency_s(f_mem, MEM_FREQ_MAX.as_hz()) * PS) as u64,
+        }
+    }
+
+    /// Routes one DRAM batch of `dram_bytes` arriving at `arrival` (ps)
+    /// through the crossing and a round-robin channel. Returns
+    /// `(completion time, queueing wait)`.
+    pub fn service(&mut self, arrival: u64, dram_bytes: f64) -> (u64, u64) {
+        let crossing_service = ((dram_bytes / self.crossing_bw) * PS) as u64;
+        let crossing_start = self.crossing_free.max(arrival);
+        let crossing_done = crossing_start + crossing_service;
+        self.crossing_free = crossing_done;
+
+        let ch = self.next_channel;
+        self.next_channel = (self.next_channel + 1) % self.channel_free.len();
+        let service = ((dram_bytes / self.channel_bw) * PS) as u64;
+        let start = self.channel_free[ch].max(crossing_done);
+        let done = start + service + self.dram_latency_ps;
+        self.channel_free[ch] = start + service;
+        self.channel_busy[ch] += service;
+
+        let wait = (crossing_start - arrival) + (start - crossing_done);
+        (done, wait)
+    }
+
+    /// Total busy picoseconds accumulated across all channels.
+    pub fn channel_busy_total(&self) -> u64 {
+        self.channel_busy.iter().sum()
+    }
+}
+
+/// A bank of serially issuing SIMD servers with busy accounting.
+#[derive(Debug, Clone)]
+pub struct SimdBank {
+    free: Vec<u64>,
+    busy: Vec<u64>,
+}
+
+impl SimdBank {
+    /// Creates `n` idle SIMD servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a GPU needs at least one SIMD");
+        Self {
+            free: vec![0; n],
+            busy: vec![0; n],
+        }
+    }
+
+    /// Queues `duration_ps` of issue work on SIMD `simd` arriving at `now`;
+    /// returns the completion time.
+    pub fn issue(&mut self, simd: usize, now: u64, duration_ps: u64) -> u64 {
+        let start = self.free[simd].max(now);
+        let done = start + duration_ps;
+        self.free[simd] = done;
+        self.busy[simd] += duration_ps;
+        done
+    }
+
+    /// Total busy picoseconds across the bank.
+    pub fn busy_total(&self) -> u64 {
+        self.busy.iter().sum()
+    }
+
+    /// Number of SIMDs in the bank.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Always false (construction requires n > 0); provided for API
+    /// completeness alongside [`len`](SimdBank::len).
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_types::HwConfig;
+
+    fn path() -> MemoryPath {
+        MemoryPath::new(&GpuDescriptor::hd7970(), HwConfig::max_hd7970())
+    }
+
+    #[test]
+    fn single_request_completes_after_service_plus_latency() {
+        let mut p = path();
+        let (done, wait) = p.service(0, 64.0);
+        assert!(wait == 0, "empty system must not queue");
+        // 64 bytes at ~37 GB/s per channel ≈ 1.7 ns plus 190 ns latency.
+        assert!(done > 190_000 && done < 200_000, "completion {done} ps");
+    }
+
+    #[test]
+    fn concurrent_batches_queue_behind_the_pipeline() {
+        let mut p = path();
+        let bytes = 1.0e6; // large batch → long service
+        let (done1, wait1) = p.service(0, bytes);
+        assert_eq!(wait1, 0, "empty pipeline must not queue");
+        // Subsequent concurrent batches wait at the crossing (and, once all
+        // six channels are loaded, at the channels too) — waits grow.
+        let mut last_wait = 0;
+        for _ in 0..7 {
+            let (_, wait) = p.service(0, bytes);
+            assert!(wait >= last_wait, "waits must be monotone under load");
+            last_wait = wait;
+        }
+        assert!(last_wait > 0);
+        assert!(done1 > 0);
+    }
+
+    #[test]
+    fn crossing_serializes_at_low_compute_clock() {
+        use harmonia_types::{ComputeConfig, MegaHertz, MemoryConfig};
+        let slow = HwConfig::new(
+            ComputeConfig::new(32, MegaHertz(300)).unwrap(),
+            MemoryConfig::max_hd7970(),
+        );
+        let mut p = MemoryPath::new(&GpuDescriptor::hd7970(), slow);
+        let bytes = 1.0e6;
+        let (_, w1) = p.service(0, bytes);
+        let (_, w2) = p.service(0, bytes);
+        assert_eq!(w1, 0);
+        assert!(w2 > 0, "crossing at 300 MHz must serialize concurrent batches");
+    }
+
+    #[test]
+    fn busy_accounting_accumulates() {
+        let mut p = path();
+        p.service(0, 1.0e6);
+        p.service(0, 1.0e6);
+        assert!(p.channel_busy_total() > 0);
+    }
+
+    #[test]
+    fn simd_bank_serializes_per_simd() {
+        let mut bank = SimdBank::new(2);
+        let a = bank.issue(0, 0, 100);
+        let b = bank.issue(0, 0, 100);
+        assert_eq!(a, 100);
+        assert_eq!(b, 200, "same SIMD serializes");
+        let c = bank.issue(1, 0, 100);
+        assert_eq!(c, 100, "other SIMD is independent");
+        assert_eq!(bank.busy_total(), 300);
+        assert_eq!(bank.len(), 2);
+        assert!(!bank.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SIMD")]
+    fn empty_bank_rejected() {
+        let _ = SimdBank::new(0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Pearson correlation.
+//!
+//! Section 4.3 of the paper performs "a correlation analysis between measured
+//! sensitivities and performance counters across all kernels" and keeps
+//! counters whose coefficients exceed ±0.5. [`pearson`] implements the
+//! textbook sample correlation used for that screen.
+
+/// Sample Pearson correlation coefficient between two equal-length series.
+///
+/// Returns `None` when the series lengths differ, are shorter than two
+/// points, or either series has zero variance (correlation undefined).
+///
+/// # Examples
+///
+/// ```
+/// use harmonia_stats::pearson;
+///
+/// let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mean_x = x.iter().sum::<f64>() / n;
+    let mean_y = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mean_x;
+        let dy = b - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+/// Classification of a correlation per the paper's screening rule
+/// ("coefficient values greater than 0.5 or less than −0.5 are considered a
+/// strong positive or negative correlation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrelationStrength {
+    /// r > 0.5
+    StrongPositive,
+    /// r < −0.5
+    StrongNegative,
+    /// |r| ≤ 0.5
+    Weak,
+}
+
+/// Classifies a correlation coefficient per the paper's ±0.5 screening rule.
+pub fn classify(r: f64) -> CorrelationStrength {
+    if r > 0.5 {
+        CorrelationStrength::StrongPositive
+    } else if r < -0.5 {
+        CorrelationStrength::StrongNegative
+    } else {
+        CorrelationStrength::Weak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let r = pearson(&[0.0, 1.0, 2.0, 3.0], &[1.0, 3.0, 5.0, 7.0]).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let r = pearson(&[0.0, 1.0, 2.0], &[4.0, 2.0, 0.0]).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        // Symmetric pattern: y identical for low/high x.
+        let r = pearson(&[-1.0, 0.0, 1.0], &[1.0, 0.0, 1.0]).unwrap();
+        assert!(r.abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(pearson(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let r = pearson(&[1.0, 2.0, 3.0, 4.0], &[1.2, 1.9, 3.4, 3.8]).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+        assert!(r > 0.9);
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        assert_eq!(classify(0.91), CorrelationStrength::StrongPositive);
+        assert_eq!(classify(-0.731), CorrelationStrength::StrongNegative);
+        assert_eq!(classify(0.5), CorrelationStrength::Weak);
+        assert_eq!(classify(-0.5), CorrelationStrength::Weak);
+        assert_eq!(classify(0.003), CorrelationStrength::Weak);
+    }
+}

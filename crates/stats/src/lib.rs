@@ -1,0 +1,42 @@
+//! Statistics toolkit for the Harmonia reproduction.
+//!
+//! The paper (Section 4) derives its sensitivity predictors by running a
+//! linear-regression correlation analysis over ~2000 counter vectors. This
+//! crate supplies exactly the numerical machinery that analysis needs — and
+//! nothing more — so the workspace stays free of heavyweight linear-algebra
+//! dependencies:
+//!
+//! * [`matrix`] — a minimal dense matrix with Gaussian elimination
+//!   (partial pivoting) used to solve the normal equations.
+//! * [`regression`] — ordinary least squares with intercept,
+//!   multiple-correlation coefficient, and residual diagnostics.
+//! * [`correlation`] — Pearson correlation between two series.
+//! * [`summary`] — geometric means, min–max normalization and other summary
+//!   helpers used when reporting results the way the paper does
+//!   ("all averages represent the geometric mean across the applications").
+//!
+//! # Examples
+//!
+//! ```
+//! use harmonia_stats::regression::{Ols, RegressionError};
+//!
+//! # fn main() -> Result<(), RegressionError> {
+//! // y = 1 + 2·x fitted from three points.
+//! let rows = vec![vec![0.0], vec![1.0], vec![2.0]];
+//! let y = vec![1.0, 3.0, 5.0];
+//! let fit = Ols::fit(&rows, &y)?;
+//! assert!((fit.intercept() - 1.0).abs() < 1e-9);
+//! assert!((fit.coefficients()[0] - 2.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod correlation;
+pub mod matrix;
+pub mod regression;
+pub mod summary;
+
+pub use correlation::pearson;
+pub use matrix::Matrix;
+pub use regression::{Ols, RegressionError};
+pub use summary::{geometric_mean, mean, normalize_max, std_dev};

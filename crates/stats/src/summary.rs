@@ -1,0 +1,121 @@
+//! Summary statistics used throughout the evaluation.
+//!
+//! The paper reports improvements as geometric means across applications
+//! (Section 7) and normalizes counters "to a percentage of its maximum
+//! possible value" before training (Section 4.2). This module provides those
+//! small helpers.
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator). Returns 0.0 for fewer than
+/// two values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Geometric mean of strictly positive values, computed in log space for
+/// numerical robustness.
+///
+/// Returns `None` if the slice is empty or any value is non-positive (the
+/// geometric mean is undefined there).
+///
+/// # Examples
+///
+/// ```
+/// use harmonia_stats::geometric_mean;
+///
+/// let g = geometric_mean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Normalizes each value to a fraction of the slice maximum (the paper's
+/// "percentage of its maximum possible value" with an explicit maximum).
+///
+/// Returns an all-zero vector when `max <= 0`.
+pub fn normalize_max(values: &[f64], max: f64) -> Vec<f64> {
+    if max <= 0.0 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| v / max).collect()
+}
+
+/// Index of the minimum value by a key function. Returns `None` on empty
+/// input or if the key produces NaN for every element.
+pub fn argmin_by<T, F: Fn(&T) -> f64>(items: &[T], key: F) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, item) in items.iter().enumerate() {
+        let k = key(item);
+        if k.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if k >= b => {}
+            _ => best = Some((i, k)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[5.0]).unwrap() - 5.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[1.0, 0.0]).is_none());
+        assert!(geometric_mean(&[1.0, -1.0]).is_none());
+    }
+
+    #[test]
+    fn geomean_is_scale_equivariant() {
+        let a = geometric_mean(&[1.0, 2.0, 3.0]).unwrap();
+        let b = geometric_mean(&[10.0, 20.0, 30.0]).unwrap();
+        assert!((b / a - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_max_basics() {
+        assert_eq!(normalize_max(&[50.0, 100.0], 100.0), vec![0.5, 1.0]);
+        assert_eq!(normalize_max(&[1.0], 0.0), vec![0.0]);
+        assert_eq!(normalize_max(&[], 100.0), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn argmin_by_basics() {
+        let items = [3.0, 1.0, 2.0];
+        assert_eq!(argmin_by(&items, |v| *v), Some(1));
+        assert_eq!(argmin_by::<f64, _>(&[], |v| *v), None);
+        // NaNs are skipped, not selected.
+        let with_nan = [f64::NAN, 2.0, 1.0];
+        assert_eq!(argmin_by(&with_nan, |v| *v), Some(2));
+    }
+}

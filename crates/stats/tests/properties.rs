@@ -1,0 +1,121 @@
+//! Property tests for the statistics toolkit.
+
+use harmonia_stats::regression::Ols;
+use harmonia_stats::{geometric_mean, mean, pearson, std_dev, Matrix};
+use proptest::prelude::*;
+
+proptest! {
+    /// OLS recovers an arbitrary linear model exactly from noiseless data.
+    #[test]
+    fn ols_recovers_random_linear_models(
+        intercept in -10.0f64..10.0,
+        c0 in -5.0f64..5.0,
+        c1 in -5.0f64..5.0,
+        c2 in -5.0f64..5.0,
+    ) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        // A 3D lattice of observations guarantees a full-rank design.
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    let row = vec![f64::from(a), f64::from(b), f64::from(c)];
+                    y.push(intercept + c0 * row[0] + c1 * row[1] + c2 * row[2]);
+                    x.push(row);
+                }
+            }
+        }
+        let fit = Ols::fit(&x, &y).expect("full-rank design");
+        prop_assert!((fit.intercept() - intercept).abs() < 1e-7);
+        prop_assert!((fit.coefficients()[0] - c0).abs() < 1e-7);
+        prop_assert!((fit.coefficients()[1] - c1).abs() < 1e-7);
+        prop_assert!((fit.coefficients()[2] - c2).abs() < 1e-7);
+        prop_assert!(fit.r_squared() > 1.0 - 1e-9);
+    }
+
+    /// OLS residuals are orthogonal to every predictor (the normal
+    /// equations' defining property).
+    #[test]
+    fn ols_residuals_are_orthogonal_to_predictors(seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..24)
+            .map(|_| vec![rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 1.0 + r[0] - 0.5 * r[1] + rng.gen_range(-0.3..0.3))
+            .collect();
+        let fit = Ols::fit(&x, &y).expect("generic position");
+        let residuals: Vec<f64> = x
+            .iter()
+            .zip(&y)
+            .map(|(row, target)| target - fit.predict(row))
+            .collect();
+        for j in 0..2 {
+            let dot: f64 = x.iter().zip(&residuals).map(|(row, r)| row[j] * r).sum();
+            prop_assert!(dot.abs() < 1e-6, "residuals not orthogonal: {dot}");
+        }
+        let sum: f64 = residuals.iter().sum();
+        prop_assert!(sum.abs() < 1e-6, "residuals not centred: {sum}");
+    }
+
+    /// Pearson correlation is symmetric, bounded, and invariant under
+    /// positive affine transforms.
+    #[test]
+    fn pearson_properties(seed in 0u64..1000, scale in 0.1f64..10.0, shift in -5.0f64..5.0) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..16).map(|_| rng.gen_range(-4.0..4.0)).collect();
+        let y: Vec<f64> = (0..16).map(|_| rng.gen_range(-4.0..4.0)).collect();
+        if let (Some(rxy), Some(ryx)) = (pearson(&x, &y), pearson(&y, &x)) {
+            prop_assert!((rxy - ryx).abs() < 1e-12);
+            prop_assert!((-1.0..=1.0).contains(&rxy));
+            let y2: Vec<f64> = y.iter().map(|v| v * scale + shift).collect();
+            let r2 = pearson(&x, &y2).expect("still varying");
+            prop_assert!((rxy - r2).abs() < 1e-9, "not affine invariant: {rxy} vs {r2}");
+        }
+    }
+
+    /// Geometric mean lies between min and max and respects the AM–GM
+    /// inequality.
+    #[test]
+    fn geomean_bounds(values in prop::collection::vec(0.01f64..100.0, 1..20)) {
+        let g = geometric_mean(&values).expect("positive inputs");
+        let lo = values.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(g >= lo - 1e-9 && g <= hi + 1e-9);
+        prop_assert!(g <= mean(&values) + 1e-9, "AM-GM violated");
+    }
+
+    /// Matrix solve actually solves: `A·x = b` round-trips.
+    #[test]
+    fn solve_round_trips(seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 4;
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = rng.gen_range(-2.0..2.0);
+            }
+            m[(i, i)] += 4.0; // diagonally dominant → well conditioned
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let x = m.solve(&b).expect("well conditioned");
+        let back = m.mul_vec(&x);
+        for (lhs, rhs) in back.iter().zip(&b) {
+            prop_assert!((lhs - rhs).abs() < 1e-8);
+        }
+    }
+
+    /// Standard deviation is translation invariant and scales linearly.
+    #[test]
+    fn std_dev_affine(values in prop::collection::vec(-50.0f64..50.0, 2..16),
+                      scale in 0.1f64..10.0, shift in -20.0f64..20.0) {
+        let s = std_dev(&values);
+        let transformed: Vec<f64> = values.iter().map(|v| v * scale + shift).collect();
+        let s2 = std_dev(&transformed);
+        prop_assert!((s2 - s * scale).abs() < 1e-6 * (1.0 + s2.abs()));
+    }
+}

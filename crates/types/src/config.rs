@@ -1,0 +1,675 @@
+//! Hardware configuration space of the managed platform.
+//!
+//! The paper (Section 3.1) manages three tunables on an AMD Radeon HD7970:
+//!
+//! * **active compute-unit count** — 4 to 32 in steps of 4,
+//! * **compute-unit frequency** — 300 MHz to 1 GHz in steps of 100 MHz,
+//! * **memory bus frequency** — 475 MHz to 1375 MHz in steps of 150 MHz
+//!   (equivalently 90 GB/s to 264 GB/s of bandwidth in steps of ~30 GB/s).
+//!
+//! A ([`ComputeConfig`], [`MemoryConfig`]) pair is an [`HwConfig`]; the full
+//! cross product is [`ConfigSpace`] with 8 × 8 × 7 = 448 points — the
+//! "approximately 450" combinations the paper sweeps.
+
+use crate::units::{GigabytesPerSec, MegaHertz};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Minimum number of active compute units.
+pub const CU_MIN: u32 = 4;
+/// Maximum number of compute units on the HD7970.
+pub const CU_MAX: u32 = 32;
+/// Granularity of compute-unit power gating.
+pub const CU_STEP: u32 = 4;
+
+/// Minimum compute (shader) clock.
+pub const CU_FREQ_MIN: MegaHertz = MegaHertz(300);
+/// Maximum compute clock (the 1 GHz boost state).
+pub const CU_FREQ_MAX: MegaHertz = MegaHertz(1000);
+/// Compute clock granularity.
+pub const CU_FREQ_STEP: u32 = 100;
+
+/// Minimum memory bus clock (90 GB/s of bandwidth).
+pub const MEM_FREQ_MIN: MegaHertz = MegaHertz(475);
+/// Maximum memory bus clock (264 GB/s of bandwidth).
+pub const MEM_FREQ_MAX: MegaHertz = MegaHertz(1375);
+/// Memory bus clock granularity (~30 GB/s of bandwidth).
+pub const MEM_FREQ_STEP: u32 = 150;
+
+/// GDDR5 moves four data words per bus clock.
+pub const GDDR5_TRANSFER_RATE: f64 = 4.0;
+/// Six 64-bit dual-channel controllers form a 384-bit interface.
+pub const MEM_BUS_WIDTH_BITS: u32 = 384;
+/// Number of memory channels (each controller drives one 64-bit channel pair).
+pub const MEM_CHANNELS: u32 = 6;
+
+/// Error returned when constructing a configuration outside the platform's
+/// supported range or off its step grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    what: &'static str,
+    got: u32,
+}
+
+impl ConfigError {
+    fn new(what: &'static str, got: u32) -> Self {
+        Self { what, got }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}: {}", self.what, self.got)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// One of the three hardware tunables Harmonia manages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Tunable {
+    /// Number of active compute units (inactive ones are power gated).
+    CuCount,
+    /// Compute-unit (shader) clock frequency.
+    CuFreq,
+    /// Memory bus clock frequency (sets memory bandwidth).
+    MemFreq,
+}
+
+impl Tunable {
+    /// All tunables, in the order the paper lists them.
+    pub const ALL: [Tunable; 3] = [Tunable::CuCount, Tunable::CuFreq, Tunable::MemFreq];
+}
+
+impl fmt::Display for Tunable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tunable::CuCount => write!(f, "#CUs"),
+            Tunable::CuFreq => write!(f, "CU freq"),
+            Tunable::MemFreq => write!(f, "Mem freq"),
+        }
+    }
+}
+
+/// A discrete level of one tunable: its index on the step grid and the value
+/// normalized to `[0, 1]` across the grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunableLevel {
+    /// 0-based index on the tunable's step grid.
+    pub index: usize,
+    /// Number of levels on the grid.
+    pub count: usize,
+    /// `index / (count - 1)`, i.e. 0.0 at minimum and 1.0 at maximum.
+    pub fraction: f64,
+}
+
+/// Compute-side configuration: active CU count and CU frequency.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ComputeConfig {
+    cu_count: u32,
+    freq: MegaHertz,
+}
+
+impl ComputeConfig {
+    /// Creates a compute configuration, validating range and step grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `cu_count` is outside 4..=32 or not a
+    /// multiple of 4, or if `freq` is outside 300..=1000 MHz or not a
+    /// multiple of 100 MHz.
+    pub fn new(cu_count: u32, freq: MegaHertz) -> Result<Self, ConfigError> {
+        if !(CU_MIN..=CU_MAX).contains(&cu_count) || !cu_count.is_multiple_of(CU_STEP) {
+            return Err(ConfigError::new("CU count", cu_count));
+        }
+        if freq < CU_FREQ_MIN || freq > CU_FREQ_MAX || !freq.value().is_multiple_of(CU_FREQ_STEP) {
+            return Err(ConfigError::new("CU frequency (MHz)", freq.value()));
+        }
+        Ok(Self { cu_count, freq })
+    }
+
+    /// Minimum compute configuration of the HD7970 (4 CUs at 300 MHz) — the
+    /// normalization point of the paper's Figures 3–5.
+    pub fn min_hd7970() -> Self {
+        Self {
+            cu_count: CU_MIN,
+            freq: CU_FREQ_MIN,
+        }
+    }
+
+    /// Maximum compute configuration (32 CUs at the 1 GHz boost clock).
+    pub fn max_hd7970() -> Self {
+        Self {
+            cu_count: CU_MAX,
+            freq: CU_FREQ_MAX,
+        }
+    }
+
+    /// Number of active compute units.
+    #[inline]
+    pub fn cu_count(self) -> u32 {
+        self.cu_count
+    }
+
+    /// Compute clock frequency.
+    #[inline]
+    pub fn freq(self) -> MegaHertz {
+        self.freq
+    }
+
+    /// Peak single-precision throughput in GFLOP/s, counting fused
+    /// multiply-accumulate as two operations: `CUs × 4 SIMDs × 16 lanes × 2`.
+    ///
+    /// At 32 CUs and 1 GHz this is the paper's headline 4096 GFLOPS.
+    pub fn peak_gflops(self) -> f64 {
+        f64::from(self.cu_count) * 4.0 * 16.0 * 2.0 * self.freq.as_ghz()
+    }
+
+    /// All valid CU counts, ascending.
+    pub fn cu_levels() -> Vec<u32> {
+        (CU_MIN..=CU_MAX).step_by(CU_STEP as usize).collect()
+    }
+
+    /// All valid compute frequencies, ascending.
+    pub fn freq_levels() -> Vec<MegaHertz> {
+        (CU_FREQ_MIN.value()..=CU_FREQ_MAX.value())
+            .step_by(CU_FREQ_STEP as usize)
+            .map(MegaHertz)
+            .collect()
+    }
+}
+
+impl Default for ComputeConfig {
+    /// Defaults to the maximum (boost) configuration, matching the paper's
+    /// observation that the stock power manager always runs at boost.
+    fn default() -> Self {
+        Self::max_hd7970()
+    }
+}
+
+impl fmt::Display for ComputeConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} CUs @ {}", self.cu_count, self.freq)
+    }
+}
+
+/// Memory-side configuration: the memory bus frequency.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct MemoryConfig {
+    bus_freq: MegaHertz,
+}
+
+impl MemoryConfig {
+    /// Creates a memory configuration, validating range and step grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `bus_freq` is outside 475..=1375 MHz or not
+    /// on the 150 MHz grid.
+    pub fn new(bus_freq: MegaHertz) -> Result<Self, ConfigError> {
+        let v = bus_freq.value();
+        if bus_freq < MEM_FREQ_MIN
+            || bus_freq > MEM_FREQ_MAX
+            || !(v - MEM_FREQ_MIN.value()).is_multiple_of(MEM_FREQ_STEP)
+        {
+            return Err(ConfigError::new("memory bus frequency (MHz)", v));
+        }
+        Ok(Self { bus_freq })
+    }
+
+    /// Minimum memory configuration (475 MHz bus, ~90 GB/s).
+    pub fn min_hd7970() -> Self {
+        Self {
+            bus_freq: MEM_FREQ_MIN,
+        }
+    }
+
+    /// Maximum memory configuration (1375 MHz bus, 264 GB/s).
+    pub fn max_hd7970() -> Self {
+        Self {
+            bus_freq: MEM_FREQ_MAX,
+        }
+    }
+
+    /// Memory bus clock frequency.
+    #[inline]
+    pub fn bus_freq(self) -> MegaHertz {
+        self.bus_freq
+    }
+
+    /// Peak DRAM bandwidth delivered at this bus frequency (Equation 2 of the
+    /// paper): `freq × bus-width × transfer-rate`.
+    ///
+    /// At 1375 MHz: `1375e6 × 48 B × 4 = 264 GB/s`.
+    pub fn peak_bandwidth(self) -> GigabytesPerSec {
+        let bytes_per_clock = f64::from(MEM_BUS_WIDTH_BITS / 8) * GDDR5_TRANSFER_RATE;
+        GigabytesPerSec::from_bytes_per_sec(self.bus_freq.as_hz() * bytes_per_clock)
+    }
+
+    /// All valid memory bus frequencies, ascending.
+    pub fn freq_levels() -> Vec<MegaHertz> {
+        (MEM_FREQ_MIN.value()..=MEM_FREQ_MAX.value())
+            .step_by(MEM_FREQ_STEP as usize)
+            .map(MegaHertz)
+            .collect()
+    }
+}
+
+impl Default for MemoryConfig {
+    /// Defaults to the maximum memory frequency (the stock baseline).
+    fn default() -> Self {
+        Self::max_hd7970()
+    }
+}
+
+impl fmt::Display for MemoryConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mem {} ({:.0} GB/s)", self.bus_freq, self.peak_bandwidth().value())
+    }
+}
+
+/// A full hardware operating point: compute plus memory configuration.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct HwConfig {
+    /// Compute-side settings.
+    pub compute: ComputeConfig,
+    /// Memory-side settings.
+    pub memory: MemoryConfig,
+}
+
+impl HwConfig {
+    /// Pairs a compute and a memory configuration.
+    pub fn new(compute: ComputeConfig, memory: MemoryConfig) -> Self {
+        Self { compute, memory }
+    }
+
+    /// The minimum hardware configuration (4 CUs, 300 MHz, 90 GB/s): the
+    /// normalization baseline of Figures 3–5.
+    pub fn min_hd7970() -> Self {
+        Self::new(ComputeConfig::min_hd7970(), MemoryConfig::min_hd7970())
+    }
+
+    /// The maximum hardware configuration (32 CUs, 1 GHz, 264 GB/s): the
+    /// stock PowerTune baseline under thermal headroom.
+    pub fn max_hd7970() -> Self {
+        Self::new(ComputeConfig::max_hd7970(), MemoryConfig::max_hd7970())
+    }
+
+    /// The ops/byte the *hardware* can deliver at this operating point:
+    /// peak compute throughput over peak memory bandwidth. The paper plots
+    /// performance against this quantity in Figure 3.
+    pub fn hw_ops_per_byte(self) -> f64 {
+        self.compute.peak_gflops() / self.memory.peak_bandwidth().value()
+    }
+
+    /// Hardware ops/byte normalized to the minimum configuration (the
+    /// X axis of Figure 3).
+    pub fn hw_ops_per_byte_normalized(self) -> f64 {
+        self.hw_ops_per_byte() / Self::min_hd7970().hw_ops_per_byte()
+    }
+
+    /// The level (grid index and normalized fraction) of one tunable.
+    pub fn level(self, tunable: Tunable) -> TunableLevel {
+        let (index, count) = match tunable {
+            Tunable::CuCount => (
+                ((self.compute.cu_count - CU_MIN) / CU_STEP) as usize,
+                ((CU_MAX - CU_MIN) / CU_STEP + 1) as usize,
+            ),
+            Tunable::CuFreq => (
+                ((self.compute.freq.value() - CU_FREQ_MIN.value()) / CU_FREQ_STEP) as usize,
+                ((CU_FREQ_MAX.value() - CU_FREQ_MIN.value()) / CU_FREQ_STEP + 1) as usize,
+            ),
+            Tunable::MemFreq => (
+                ((self.memory.bus_freq.value() - MEM_FREQ_MIN.value()) / MEM_FREQ_STEP) as usize,
+                ((MEM_FREQ_MAX.value() - MEM_FREQ_MIN.value()) / MEM_FREQ_STEP + 1) as usize,
+            ),
+        };
+        TunableLevel {
+            index,
+            count,
+            fraction: index as f64 / (count - 1) as f64,
+        }
+    }
+
+    /// Steps one tunable up by one grid step. Returns `None` at the maximum.
+    ///
+    /// This is the "increment state" operation of the fine-grain tuning loop
+    /// (Algorithm 1): core step = 100 MHz, memory step = 150 MHz (~30 GB/s),
+    /// CU step = 4.
+    pub fn step_up(self, tunable: Tunable) -> Option<Self> {
+        let mut next = self;
+        match tunable {
+            Tunable::CuCount => {
+                if self.compute.cu_count >= CU_MAX {
+                    return None;
+                }
+                next.compute.cu_count += CU_STEP;
+            }
+            Tunable::CuFreq => {
+                if self.compute.freq >= CU_FREQ_MAX {
+                    return None;
+                }
+                next.compute.freq = MegaHertz(self.compute.freq.value() + CU_FREQ_STEP);
+            }
+            Tunable::MemFreq => {
+                if self.memory.bus_freq >= MEM_FREQ_MAX {
+                    return None;
+                }
+                next.memory.bus_freq = MegaHertz(self.memory.bus_freq.value() + MEM_FREQ_STEP);
+            }
+        }
+        Some(next)
+    }
+
+    /// Steps one tunable down by one grid step. Returns `None` at the minimum.
+    ///
+    /// This is the "decrement state" operation of the fine-grain tuning loop.
+    pub fn step_down(self, tunable: Tunable) -> Option<Self> {
+        let mut next = self;
+        match tunable {
+            Tunable::CuCount => {
+                if self.compute.cu_count <= CU_MIN {
+                    return None;
+                }
+                next.compute.cu_count -= CU_STEP;
+            }
+            Tunable::CuFreq => {
+                if self.compute.freq <= CU_FREQ_MIN {
+                    return None;
+                }
+                next.compute.freq = MegaHertz(self.compute.freq.value() - CU_FREQ_STEP);
+            }
+            Tunable::MemFreq => {
+                if self.memory.bus_freq <= MEM_FREQ_MIN {
+                    return None;
+                }
+                next.memory.bus_freq = MegaHertz(self.memory.bus_freq.value() - MEM_FREQ_STEP);
+            }
+        }
+        Some(next)
+    }
+
+    /// Sets one tunable to the grid level nearest `fraction` (0.0 = minimum,
+    /// 1.0 = maximum). Used by coarse-grain tuning to translate a sensitivity
+    /// bin into a proportional tunable value.
+    pub fn with_fraction(self, tunable: Tunable, fraction: f64) -> Self {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let mut next = self;
+        match tunable {
+            Tunable::CuCount => {
+                let levels = ComputeConfig::cu_levels();
+                let i = (fraction * (levels.len() - 1) as f64).round() as usize;
+                next.compute.cu_count = levels[i];
+            }
+            Tunable::CuFreq => {
+                let levels = ComputeConfig::freq_levels();
+                let i = (fraction * (levels.len() - 1) as f64).round() as usize;
+                next.compute.freq = levels[i];
+            }
+            Tunable::MemFreq => {
+                let levels = MemoryConfig::freq_levels();
+                let i = (fraction * (levels.len() - 1) as f64).round() as usize;
+                next.memory.bus_freq = levels[i];
+            }
+        }
+        next
+    }
+
+    /// The value of one tunable as a raw number (CU count, or MHz).
+    pub fn raw_value(self, tunable: Tunable) -> u32 {
+        match tunable {
+            Tunable::CuCount => self.compute.cu_count,
+            Tunable::CuFreq => self.compute.freq.value(),
+            Tunable::MemFreq => self.memory.bus_freq.value(),
+        }
+    }
+}
+
+impl fmt::Display for HwConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}, {}", self.compute, self.memory)
+    }
+}
+
+/// The full design space of hardware operating points (Section 3.1):
+/// 8 CU counts × 8 compute frequencies × 7 memory frequencies = 448 points.
+#[derive(Debug, Clone)]
+pub struct ConfigSpace {
+    cu_levels: Vec<u32>,
+    cu_freqs: Vec<MegaHertz>,
+    mem_freqs: Vec<MegaHertz>,
+}
+
+impl ConfigSpace {
+    /// The HD7970 design space the paper sweeps.
+    pub fn hd7970() -> Self {
+        Self {
+            cu_levels: ComputeConfig::cu_levels(),
+            cu_freqs: ComputeConfig::freq_levels(),
+            mem_freqs: MemoryConfig::freq_levels(),
+        }
+    }
+
+    /// Number of operating points in the space.
+    pub fn len(&self) -> usize {
+        self.cu_levels.len() * self.cu_freqs.len() * self.mem_freqs.len()
+    }
+
+    /// Whether the space is empty (never true for the HD7970 space).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `cfg` lies in this space.
+    pub fn contains(&self, cfg: HwConfig) -> bool {
+        self.cu_levels.contains(&cfg.compute.cu_count())
+            && self.cu_freqs.contains(&cfg.compute.freq())
+            && self.mem_freqs.contains(&cfg.memory.bus_freq())
+    }
+
+    /// Iterates over every operating point, memory-major then CU count then
+    /// frequency (the order is stable and documented so experiment output is
+    /// reproducible).
+    pub fn iter(&self) -> impl Iterator<Item = HwConfig> + '_ {
+        self.mem_freqs.iter().flat_map(move |&m| {
+            self.cu_levels.iter().flat_map(move |&c| {
+                self.cu_freqs.iter().map(move |&f| {
+                    HwConfig::new(
+                        ComputeConfig::new(c, f).expect("grid values are valid"),
+                        MemoryConfig::new(m).expect("grid values are valid"),
+                    )
+                })
+            })
+        })
+    }
+
+    /// All valid CU counts.
+    pub fn cu_levels(&self) -> &[u32] {
+        &self.cu_levels
+    }
+
+    /// All valid compute frequencies.
+    pub fn cu_freqs(&self) -> &[MegaHertz] {
+        &self.cu_freqs
+    }
+
+    /// All valid memory bus frequencies.
+    pub fn mem_freqs(&self) -> &[MegaHertz] {
+        &self.mem_freqs
+    }
+}
+
+impl Default for ConfigSpace {
+    fn default() -> Self {
+        Self::hd7970()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_has_448_points() {
+        let space = ConfigSpace::hd7970();
+        assert_eq!(space.len(), 448);
+        assert_eq!(space.iter().count(), 448);
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn compute_config_validation() {
+        assert!(ComputeConfig::new(4, MegaHertz(300)).is_ok());
+        assert!(ComputeConfig::new(32, MegaHertz(1000)).is_ok());
+        assert!(ComputeConfig::new(0, MegaHertz(300)).is_err());
+        assert!(ComputeConfig::new(5, MegaHertz(300)).is_err());
+        assert!(ComputeConfig::new(36, MegaHertz(300)).is_err());
+        assert!(ComputeConfig::new(4, MegaHertz(250)).is_err());
+        assert!(ComputeConfig::new(4, MegaHertz(1100)).is_err());
+    }
+
+    #[test]
+    fn memory_config_validation() {
+        assert!(MemoryConfig::new(MegaHertz(475)).is_ok());
+        assert!(MemoryConfig::new(MegaHertz(1375)).is_ok());
+        assert!(MemoryConfig::new(MegaHertz(500)).is_err());
+        assert!(MemoryConfig::new(MegaHertz(400)).is_err());
+        assert!(MemoryConfig::new(MegaHertz(1500)).is_err());
+    }
+
+    #[test]
+    fn config_error_displays() {
+        let err = ComputeConfig::new(5, MegaHertz(300)).unwrap_err();
+        assert!(err.to_string().contains("CU count"));
+    }
+
+    #[test]
+    fn peak_gflops_matches_paper() {
+        // 32 CUs × 4 SIMD × 16 lanes × 2 ops (FMAC) × 1 GHz = 4096 GFLOPS.
+        assert!((ComputeConfig::max_hd7970().peak_gflops() - 4096.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_bandwidth_matches_paper() {
+        let max = MemoryConfig::max_hd7970().peak_bandwidth();
+        assert!((max.value() - 264.0).abs() < 0.1);
+        let min = MemoryConfig::min_hd7970().peak_bandwidth();
+        assert!((min.value() - 91.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn bandwidth_steps_are_about_30gbs() {
+        let levels = MemoryConfig::freq_levels();
+        assert_eq!(levels.len(), 7);
+        for w in levels.windows(2) {
+            let lo = MemoryConfig::new(w[0]).unwrap().peak_bandwidth().value();
+            let hi = MemoryConfig::new(w[1]).unwrap().peak_bandwidth().value();
+            assert!((hi - lo - 28.8).abs() < 0.1); // "steps of 30GB/s" (≈28.8)
+        }
+    }
+
+    #[test]
+    fn hw_ops_per_byte_at_extremes() {
+        let max = HwConfig::max_hd7970();
+        // 4096 GFLOPS / 264 GB/s ≈ 15.5 ops/byte.
+        assert!((max.hw_ops_per_byte() - 15.51).abs() < 0.05);
+        let min = HwConfig::min_hd7970();
+        // 4 CUs × 128 ops × 0.3 GHz = 153.6 GFLOPS / 91.2 GB/s ≈ 1.68.
+        assert!((min.hw_ops_per_byte() - 1.684).abs() < 0.01);
+        assert!((min.hw_ops_per_byte_normalized() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stepping_up_and_down_is_inverse() {
+        let cfg = HwConfig::new(
+            ComputeConfig::new(16, MegaHertz(600)).unwrap(),
+            MemoryConfig::new(MegaHertz(925)).unwrap(),
+        );
+        for t in Tunable::ALL {
+            let up = cfg.step_up(t).unwrap();
+            assert_eq!(up.step_down(t).unwrap(), cfg);
+        }
+    }
+
+    #[test]
+    fn stepping_saturates_at_bounds() {
+        let max = HwConfig::max_hd7970();
+        let min = HwConfig::min_hd7970();
+        for t in Tunable::ALL {
+            assert!(max.step_up(t).is_none());
+            assert!(min.step_down(t).is_none());
+            assert!(max.step_down(t).is_some());
+            assert!(min.step_up(t).is_some());
+        }
+    }
+
+    #[test]
+    fn levels_and_fractions() {
+        let min = HwConfig::min_hd7970();
+        let max = HwConfig::max_hd7970();
+        for t in Tunable::ALL {
+            assert_eq!(min.level(t).index, 0);
+            assert_eq!(min.level(t).fraction, 0.0);
+            assert_eq!(max.level(t).fraction, 1.0);
+            assert_eq!(max.level(t).index, max.level(t).count - 1);
+        }
+        assert_eq!(max.level(Tunable::CuCount).count, 8);
+        assert_eq!(max.level(Tunable::CuFreq).count, 8);
+        assert_eq!(max.level(Tunable::MemFreq).count, 7);
+    }
+
+    #[test]
+    fn with_fraction_hits_grid_extremes() {
+        let cfg = HwConfig::min_hd7970();
+        let high = cfg
+            .with_fraction(Tunable::CuCount, 1.0)
+            .with_fraction(Tunable::CuFreq, 1.0)
+            .with_fraction(Tunable::MemFreq, 1.0);
+        assert_eq!(high, HwConfig::max_hd7970());
+        let low = HwConfig::max_hd7970()
+            .with_fraction(Tunable::CuCount, 0.0)
+            .with_fraction(Tunable::CuFreq, 0.0)
+            .with_fraction(Tunable::MemFreq, 0.0);
+        assert_eq!(low, HwConfig::min_hd7970());
+    }
+
+    #[test]
+    fn with_fraction_rounds_to_nearest_level() {
+        let cfg = HwConfig::min_hd7970().with_fraction(Tunable::CuCount, 0.5);
+        // Levels are 4..=32; 0.5 of 7 steps rounds to index 4 → 20 CUs.
+        assert_eq!(cfg.compute.cu_count(), 20);
+    }
+
+    #[test]
+    fn raw_values() {
+        let max = HwConfig::max_hd7970();
+        assert_eq!(max.raw_value(Tunable::CuCount), 32);
+        assert_eq!(max.raw_value(Tunable::CuFreq), 1000);
+        assert_eq!(max.raw_value(Tunable::MemFreq), 1375);
+    }
+
+    #[test]
+    fn space_contains_every_iterated_point() {
+        let space = ConfigSpace::hd7970();
+        for cfg in space.iter() {
+            assert!(space.contains(cfg));
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let max = HwConfig::max_hd7970();
+        let text = max.to_string();
+        assert!(text.contains("32 CUs"));
+        assert!(text.contains("1000 MHz"));
+        assert!(text.contains("264 GB/s"));
+        assert_eq!(Tunable::CuCount.to_string(), "#CUs");
+    }
+}

@@ -1,0 +1,41 @@
+//! Shared foundation types for the Harmonia (ISCA 2015) reproduction.
+//!
+//! This crate defines the vocabulary every other crate in the workspace
+//! speaks:
+//!
+//! * [`units`] — zero-cost newtypes for physical quantities ([`MegaHertz`],
+//!   [`Volts`], [`Watts`], [`Joules`], [`Seconds`], [`GigabytesPerSec`]).
+//!   Using distinct types for frequencies, voltages, and energies prevents
+//!   the classic "passed the memory clock where the core clock was expected"
+//!   bug that a plain `f64` API invites.
+//! * [`config`] — the hardware tunables of the AMD Radeon HD7970 platform the
+//!   paper manages: number of active compute units, compute-unit frequency,
+//!   and memory bus frequency, together with [`ConfigSpace`], the ~450-point
+//!   design space the paper sweeps (Section 3.1).
+//! * [`dvfs`] — the DPM voltage/frequency table of Table 1 (plus the 1 GHz
+//!   boost state) and voltage interpolation for intermediate frequencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use harmonia_types::{ComputeConfig, MemoryConfig, HwConfig, ConfigSpace};
+//!
+//! let space = ConfigSpace::hd7970();
+//! assert_eq!(space.len(), 448); // "approximately 450" in the paper
+//!
+//! let max = HwConfig::new(ComputeConfig::max_hd7970(), MemoryConfig::max_hd7970());
+//! assert!(space.contains(max));
+//! // Hardware ops/byte delivered by the platform at this configuration:
+//! let ops_per_byte = max.hw_ops_per_byte();
+//! assert!(ops_per_byte > 0.0);
+//! ```
+
+pub mod config;
+pub mod dvfs;
+pub mod units;
+
+pub use config::{
+    ComputeConfig, ConfigError, ConfigSpace, HwConfig, MemoryConfig, Tunable, TunableLevel,
+};
+pub use dvfs::{DpmState, DvfsTable};
+pub use units::{GigabytesPerSec, Joules, MegaHertz, Seconds, Volts, Watts};

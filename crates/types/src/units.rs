@@ -1,0 +1,380 @@
+//! Physical-quantity newtypes.
+//!
+//! All wrappers are `#[repr(transparent)]`-style single-field tuples with the
+//! inner value accessible through `value()`/`From` conversions. Arithmetic is
+//! implemented only where it is dimensionally meaningful (e.g. `Watts *
+//! Seconds = Joules`), so unit errors surface at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Zero of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw numeric value in the canonical unit.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns `true` if the inner value is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.4} {}", self.0, $unit)
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(v: f64) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(v: $name) -> f64 {
+                v.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electrical power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// Wall-clock time in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// Supply voltage in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Data transfer bandwidth in (decimal) gigabytes per second.
+    GigabytesPerSec,
+    "GB/s"
+);
+
+/// Clock frequency in megahertz.
+///
+/// Stored as an integer because every frequency on the HD7970 platform is a
+/// whole number of megahertz, which also makes `MegaHertz` usable as a map
+/// key when tracking power-state residency (Figures 15 and 16).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MegaHertz(pub u32);
+
+impl MegaHertz {
+    /// Zero frequency.
+    pub const ZERO: Self = Self(0);
+
+    /// Returns the raw frequency value in MHz.
+    #[inline]
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Frequency in hertz as a float, for rate computations.
+    #[inline]
+    pub fn as_hz(self) -> f64 {
+        f64::from(self.0) * 1.0e6
+    }
+
+    /// Frequency in gigahertz as a float.
+    #[inline]
+    pub fn as_ghz(self) -> f64 {
+        f64::from(self.0) * 1.0e-3
+    }
+
+    /// Saturating subtraction of a step in MHz.
+    #[inline]
+    pub fn saturating_sub(self, step: u32) -> Self {
+        Self(self.0.saturating_sub(step))
+    }
+}
+
+impl fmt::Display for MegaHertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MHz", self.0)
+    }
+}
+
+impl From<u32> for MegaHertz {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+impl From<MegaHertz> for u32 {
+    fn from(v: MegaHertz) -> u32 {
+        v.0
+    }
+}
+
+impl Add for MegaHertz {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl Sub for MegaHertz {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Seconds> for GigabytesPerSec {
+    /// Bandwidth × time = bytes transferred (returned as a plain count).
+    type Output = f64;
+    fn mul(self, rhs: Seconds) -> f64 {
+        self.0 * 1.0e9 * rhs.0
+    }
+}
+
+impl GigabytesPerSec {
+    /// Constructs a bandwidth from a raw bytes-per-second rate.
+    pub fn from_bytes_per_sec(bps: f64) -> Self {
+        Self(bps / 1.0e9)
+    }
+
+    /// The bandwidth expressed in bytes per second.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0 * 1.0e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watts_times_seconds_is_joules() {
+        let e = Watts(250.0) * Seconds(2.0);
+        assert_eq!(e, Joules(500.0));
+        let e2 = Seconds(2.0) * Watts(250.0);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn joules_over_seconds_is_watts() {
+        let p = Joules(500.0) / Seconds(2.0);
+        assert_eq!(p, Watts(250.0));
+    }
+
+    #[test]
+    fn joules_over_watts_is_seconds() {
+        let t = Joules(500.0) / Watts(250.0);
+        assert_eq!(t, Seconds(2.0));
+    }
+
+    #[test]
+    fn like_ratio_is_dimensionless() {
+        let ratio = Watts(100.0) / Watts(50.0);
+        assert_eq!(ratio, 2.0);
+    }
+
+    #[test]
+    fn megahertz_conversions() {
+        let f = MegaHertz(925);
+        assert_eq!(f.as_hz(), 925.0e6);
+        assert!((f.as_ghz() - 0.925).abs() < 1e-12);
+        assert_eq!(f.value(), 925);
+    }
+
+    #[test]
+    fn megahertz_is_ordered_and_hashable() {
+        use std::collections::HashMap;
+        let mut residency: HashMap<MegaHertz, f64> = HashMap::new();
+        residency.insert(MegaHertz(475), 0.08);
+        residency.insert(MegaHertz(1375), 0.25);
+        assert!(MegaHertz(475) < MegaHertz(1375));
+        assert_eq!(residency[&MegaHertz(475)], 0.08);
+    }
+
+    #[test]
+    fn bandwidth_times_time_is_bytes() {
+        let bytes = GigabytesPerSec(264.0) * Seconds(0.5);
+        assert_eq!(bytes, 132.0e9);
+    }
+
+    #[test]
+    fn bandwidth_byte_rate_round_trip() {
+        let bw = GigabytesPerSec::from_bytes_per_sec(91.2e9);
+        assert!((bw.value() - 91.2).abs() < 1e-9);
+        assert!((bw.as_bytes_per_sec() - 91.2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Watts = [Watts(1.0), Watts(2.0), Watts(3.5)].into_iter().sum();
+        assert_eq!(total, Watts(6.5));
+    }
+
+    #[test]
+    fn display_includes_units() {
+        assert_eq!(format!("{}", MegaHertz(300)), "300 MHz");
+        assert!(format!("{}", Watts(12.5)).ends_with(" W"));
+        assert!(format!("{}", Joules(1.0)).ends_with(" J"));
+        assert!(format!("{}", Seconds(1.0)).ends_with(" s"));
+        assert!(format!("{}", Volts(0.85)).ends_with(" V"));
+        assert!(format!("{}", GigabytesPerSec(264.0)).ends_with(" GB/s"));
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        assert_eq!(Watts(3.0).max(Watts(5.0)), Watts(5.0));
+        assert_eq!(Seconds(3.0).min(Seconds(5.0)), Seconds(3.0));
+    }
+
+    #[test]
+    fn arithmetic_assignment() {
+        let mut e = Joules(1.0);
+        e += Joules(2.0);
+        assert_eq!(e, Joules(3.0));
+        e -= Joules(0.5);
+        assert_eq!(e, Joules(2.5));
+        assert_eq!(-e, Joules(-2.5));
+    }
+
+    #[test]
+    fn scalar_scaling() {
+        assert_eq!(Watts(10.0) * 2.0, Watts(20.0));
+        assert_eq!(2.0 * Watts(10.0), Watts(20.0));
+        assert_eq!(Watts(10.0) / 2.0, Watts(5.0));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the configuration space and DVFS tables.
+
+use harmonia_types::{
+    ComputeConfig, ConfigSpace, DvfsTable, HwConfig, MegaHertz, MemoryConfig, Tunable,
+};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = HwConfig> {
+    (0u32..8, 0u32..8, 0u32..7).prop_map(|(cu, f, m)| {
+        HwConfig::new(
+            ComputeConfig::new(4 + cu * 4, MegaHertz(300 + f * 100)).expect("grid"),
+            MemoryConfig::new(MegaHertz(475 + m * 150)).expect("grid"),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn stepping_stays_on_grid_and_inverts(cfg in arb_config()) {
+        let space = ConfigSpace::hd7970();
+        for t in Tunable::ALL {
+            if let Some(up) = cfg.step_up(t) {
+                prop_assert!(space.contains(up));
+                prop_assert_eq!(up.step_down(t).expect("inverse"), cfg);
+            }
+            if let Some(down) = cfg.step_down(t) {
+                prop_assert!(space.contains(down));
+                prop_assert_eq!(down.step_up(t).expect("inverse"), cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn with_fraction_is_idempotent_and_on_grid(cfg in arb_config(), frac in 0.0f64..1.0) {
+        let space = ConfigSpace::hd7970();
+        for t in Tunable::ALL {
+            let once = cfg.with_fraction(t, frac);
+            prop_assert!(space.contains(once));
+            prop_assert_eq!(once.with_fraction(t, frac), once);
+        }
+    }
+
+    #[test]
+    fn with_fraction_is_monotone(cfg in arb_config(), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for t in Tunable::ALL {
+            let l = cfg.with_fraction(t, lo);
+            let h = cfg.with_fraction(t, hi);
+            prop_assert!(l.level(t).index <= h.level(t).index);
+        }
+    }
+
+    #[test]
+    fn level_fraction_round_trips(cfg in arb_config()) {
+        for t in Tunable::ALL {
+            let level = cfg.level(t);
+            prop_assert!((0.0..=1.0).contains(&level.fraction));
+            let rebuilt = cfg.with_fraction(t, level.fraction);
+            prop_assert_eq!(rebuilt.raw_value(t), cfg.raw_value(t));
+        }
+    }
+
+    #[test]
+    fn hw_ops_per_byte_is_monotone_in_compute_and_antitone_in_memory(cfg in arb_config()) {
+        let base = cfg.hw_ops_per_byte();
+        if let Some(up) = cfg.step_up(Tunable::CuFreq) {
+            prop_assert!(up.hw_ops_per_byte() > base);
+        }
+        if let Some(up) = cfg.step_up(Tunable::CuCount) {
+            prop_assert!(up.hw_ops_per_byte() > base);
+        }
+        if let Some(up) = cfg.step_up(Tunable::MemFreq) {
+            prop_assert!(up.hw_ops_per_byte() < base);
+        }
+    }
+
+    #[test]
+    fn dvfs_voltage_monotone_and_bounded(f in 300u32..=1000) {
+        let table = DvfsTable::hd7970();
+        let v = table.voltage_for(MegaHertz(f));
+        prop_assert!((0.85..=1.19).contains(&v.value()));
+        let v_next = table.voltage_for(MegaHertz(f + 50));
+        prop_assert!(v_next >= v);
+    }
+
+    #[test]
+    fn serde_round_trip_config(cfg in arb_config()) {
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: HwConfig = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, cfg);
+    }
+}
+
+#[test]
+fn space_iteration_is_stable_and_unique() {
+    let space = ConfigSpace::hd7970();
+    let a: Vec<HwConfig> = space.iter().collect();
+    let b: Vec<HwConfig> = space.iter().collect();
+    assert_eq!(a, b, "iteration order must be deterministic");
+    let mut set = std::collections::HashSet::new();
+    for cfg in a {
+        assert!(set.insert(cfg), "duplicate config {cfg}");
+    }
+    assert_eq!(set.len(), 448);
+}

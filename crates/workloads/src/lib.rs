@@ -1,0 +1,38 @@
+//! The HPC/scientific workload suite of the Harmonia paper, modelled as
+//! [`KernelProfile`]s.
+//!
+//! Section 6 selects "14 applications with many kernels": the exascale proxy
+//! apps CoMD, XSBench and miniFE; Graph500; B+Tree (BPT); CFD, LUD, SRAD and
+//! Streamcluster from Rodinia; and Stencil, Sort, SPMV, MaxFlops and
+//! DeviceMemory from SHOC — 27 kernels in total here (the paper trains on
+//! 25 kernels).
+//!
+//! Each kernel's parameters encode the characterization the paper reports
+//! for it (occupancy limiter, divergence, instruction counts, cache
+//! behaviour, phase variation); the profiles then *reproduce* those
+//! behaviours through the timing models rather than asserting them.
+//!
+//! * [`app`] — the [`Application`] type (a named sequence of kernels run for
+//!   a number of outer iterations, as HPC convergence loops do).
+//! * [`suite`] — constructors for all 14 applications and the full suite.
+//! * [`generator`] — randomized profile generation for property tests and
+//!   robustness studies.
+//!
+//! # Examples
+//!
+//! ```
+//! use harmonia_workloads::suite;
+//!
+//! let apps = suite::all();
+//! assert_eq!(apps.len(), 14);
+//! let kernels: usize = apps.iter().map(|a| a.kernels.len()).sum();
+//! assert!(kernels >= 25);
+//! ```
+
+pub mod app;
+pub mod generator;
+pub mod probes;
+pub mod suite;
+
+pub use app::Application;
+pub use harmonia_sim::{KernelProfile, PhaseModulation, PhaseScale};

@@ -1,0 +1,76 @@
+//! Bring your own workload: define a kernel from its characterization,
+//! check what limits it, and see what each governor does with it.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use harmonia::governor::{BaselineGovernor, HarmoniaGovernor, OracleGovernor};
+use harmonia::dataset::TrainingSet;
+use harmonia::metrics::improvement;
+use harmonia::predictor::SensitivityPredictor;
+use harmonia::runtime::Runtime;
+use harmonia::sensitivity::Sensitivity;
+use harmonia_power::PowerModel;
+use harmonia_sim::{GpuDescriptor, IntervalModel, KernelProfile, Occupancy};
+use harmonia_workloads::Application;
+
+fn main() {
+    // A hypothetical FFT-like kernel: register hungry, LDS heavy, cache
+    // friendly, moderately divergent.
+    let fft = KernelProfile::builder("Custom.FFT1D")
+        .workitems(1 << 20)
+        .workgroup_size(256)
+        .vgprs(84) // register hungry: occupancy limited
+        .sgprs(40)
+        .lds_bytes(16 * 1024)
+        .valu_insts_per_item(300.0)
+        .vfetch_insts_per_item(4.0)
+        .bytes_per_fetch(16.0)
+        .branch_divergence(0.12)
+        .l1_hit_rate(0.45)
+        .l2_hit_rate(0.55)
+        .build();
+
+    let gpu = GpuDescriptor::hd7970();
+    let occ = Occupancy::compute(&gpu, &fft, 32);
+    println!("kernel {}:", fft.name);
+    println!("  occupancy: {occ}");
+    println!("  demand ops/byte (pre-cache): {:.2}", fft.demand_ops_per_byte());
+
+    let model = IntervalModel::default();
+    let s = Sensitivity::measure(&model, &fft);
+    println!(
+        "  measured sensitivity: CU {:+.2}, freq {:+.2}, bandwidth {:+.2}\n",
+        s.cu, s.freq, s.bandwidth
+    );
+
+    // Governors are trained on the standard suite, then applied to the new
+    // application — exactly how a deployed Harmonia would meet new code.
+    let power = PowerModel::hd7970();
+    let runtime = Runtime::new(&model, &power);
+    let data = TrainingSet::collect(&model);
+    let predictor = SensitivityPredictor::fit(&data).expect("fit");
+
+    let app = Application::new("CustomFFT", vec![fft], 12);
+    let baseline = runtime.run(&app, &mut BaselineGovernor::new());
+    let mut hm = HarmoniaGovernor::new(predictor);
+    let harmonia = runtime.run(&app, &mut hm);
+    let mut orc = OracleGovernor::new(&model, &power);
+    let oracle = runtime.run(&app, &mut orc);
+
+    println!("{:<10} {:>10} {:>10} {:>12} {:>10}", "governor", "time ms", "energy J", "ED² gain", "perf");
+    for report in [&baseline, &harmonia, &oracle] {
+        println!(
+            "{:<10} {:>10.3} {:>10.2} {:>12} {:>10}",
+            report.governor,
+            report.total_time.value() * 1e3,
+            report.card_energy.value(),
+            format!("{:+.1}%", improvement(baseline.ed2(), report.ed2()) * 100.0),
+            format!(
+                "{:+.1}%",
+                improvement(baseline.total_time.value(), report.total_time.value()) * 100.0
+            ),
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: run one application under the stock baseline and under
+//! Harmonia, and compare energy-delay².
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use harmonia::governor::{BaselineGovernor, HarmoniaGovernor};
+use harmonia::dataset::TrainingSet;
+use harmonia::metrics::improvement;
+use harmonia::predictor::SensitivityPredictor;
+use harmonia::runtime::Runtime;
+use harmonia_power::PowerModel;
+use harmonia_sim::IntervalModel;
+use harmonia_workloads::suite;
+
+fn main() {
+    // The simulated platform: an HD7970-class GPU plus its power model.
+    let model = IntervalModel::default();
+    let power = PowerModel::hd7970();
+    let runtime = Runtime::new(&model, &power);
+
+    // Train the sensitivity predictors on the workload suite (Section 4).
+    println!("training sensitivity predictors on the 14-application suite...");
+    let data = TrainingSet::collect(&model);
+    let predictor = SensitivityPredictor::fit(&data).expect("well-conditioned training set");
+    println!(
+        "  bandwidth model R = {:.2}, CU model R = {:.2}, freq model R = {:.2}\n",
+        predictor.bandwidth.multiple_r, predictor.cu.multiple_r, predictor.freq.multiple_r
+    );
+
+    // Evaluate one application end to end.
+    let app = suite::bpt();
+    println!("running {app} ...");
+    let baseline = runtime.run(&app, &mut BaselineGovernor::new());
+    let mut governor = HarmoniaGovernor::new(predictor);
+    let harmonia = runtime.run(&app, &mut governor);
+
+    println!(
+        "  baseline : {:>8.3} ms, {:>7.2} J, avg {:>6.1} W",
+        baseline.total_time.value() * 1e3,
+        baseline.card_energy.value(),
+        baseline.avg_power().value()
+    );
+    println!(
+        "  harmonia : {:>8.3} ms, {:>7.2} J, avg {:>6.1} W",
+        harmonia.total_time.value() * 1e3,
+        harmonia.card_energy.value(),
+        harmonia.avg_power().value()
+    );
+    println!(
+        "\n  ED² improvement: {:+.1}%   energy: {:+.1}%   performance: {:+.1}%",
+        improvement(baseline.ed2(), harmonia.ed2()) * 100.0,
+        improvement(baseline.card_energy.value(), harmonia.card_energy.value()) * 100.0,
+        improvement(baseline.total_time.value(), harmonia.total_time.value()) * 100.0,
+    );
+    println!(
+        "  (the paper reports up to 36% ED² improvement on BPT, its best case)"
+    );
+}

@@ -1,0 +1,14 @@
+//! Workspace root crate for the Harmonia (ISCA 2015) reproduction.
+//!
+//! This crate exists to host the runnable [examples](https://doc.rust-lang.org/cargo/guide/project-layout.html)
+//! in `examples/` and the cross-crate integration tests in `tests/`. It
+//! re-exports the member crates so examples can `use harmonia_repro::...`
+//! or the individual crates directly.
+
+pub use harmonia;
+pub use harmonia_experiments as experiments;
+pub use harmonia_power as power;
+pub use harmonia_sim as sim;
+pub use harmonia_stats as stats;
+pub use harmonia_types as types;
+pub use harmonia_workloads as workloads;

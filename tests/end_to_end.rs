@@ -1,0 +1,189 @@
+//! End-to-end integration tests across all workspace crates: the full
+//! train → predict → govern → account pipeline on the 14-application suite.
+
+use harmonia::dataset::TrainingSet;
+use harmonia::governor::{BaselineGovernor, HarmoniaConfig, HarmoniaGovernor, OracleGovernor};
+use harmonia::metrics::improvement;
+use harmonia::predictor::SensitivityPredictor;
+use harmonia::runtime::Runtime;
+use harmonia_power::PowerModel;
+use harmonia_sim::IntervalModel;
+use harmonia_stats::geometric_mean;
+use harmonia_types::{HwConfig, Tunable};
+use harmonia_workloads::suite;
+use std::sync::OnceLock;
+
+struct Harness {
+    model: IntervalModel,
+    power: PowerModel,
+    predictor: SensitivityPredictor,
+}
+
+fn harness() -> &'static Harness {
+    static CELL: OnceLock<Harness> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let data = TrainingSet::collect(&model);
+        let predictor = SensitivityPredictor::fit(&data).expect("training set is well formed");
+        Harness {
+            model,
+            power,
+            predictor,
+        }
+    })
+}
+
+#[test]
+fn suite_wide_ed2_ordering_baseline_vs_harmonia_vs_oracle() {
+    let h = harness();
+    let rt = Runtime::new(&h.model, &h.power).without_trace();
+    let mut ratios_hm = Vec::new();
+    for app in suite::all() {
+        let base = rt.run(&app, &mut BaselineGovernor::new());
+        let mut hm = HarmoniaGovernor::new(h.predictor.clone());
+        let harmonia = rt.run(&app, &mut hm);
+        let mut orc = OracleGovernor::new(&h.model, &h.power);
+        let oracle = rt.run(&app, &mut orc);
+
+        // The oracle never loses to the always-boost baseline.
+        assert!(
+            oracle.ed2() <= base.ed2() * 1.0001,
+            "{}: oracle ED² above baseline",
+            app.name
+        );
+        // The oracle lower-bounds every online policy.
+        assert!(
+            oracle.ed2() <= harmonia.ed2() * 1.0001,
+            "{}: oracle ED² above Harmonia's",
+            app.name
+        );
+        ratios_hm.push(harmonia.ed2() / base.ed2());
+    }
+    // Headline shape: Harmonia improves ED² by ~12% on geometric mean
+    // (paper) — accept anything clearly positive.
+    let g = geometric_mean(&ratios_hm).expect("positive ratios");
+    assert!(
+        g < 0.95,
+        "suite geomean ED² ratio {g} — Harmonia should improve by >5%"
+    );
+}
+
+#[test]
+fn harmonia_performance_loss_is_bounded() {
+    let h = harness();
+    let rt = Runtime::new(&h.model, &h.power).without_trace();
+    for app in suite::all() {
+        let base = rt.run(&app, &mut BaselineGovernor::new());
+        let mut hm = HarmoniaGovernor::new(h.predictor.clone());
+        let harmonia = rt.run(&app, &mut hm);
+        let loss = 1.0 - base.total_time.value() / harmonia.total_time.value();
+        assert!(
+            loss < 0.12,
+            "{}: Harmonia perf loss {:.1}% exceeds 12%",
+            app.name,
+            loss * 100.0
+        );
+    }
+}
+
+#[test]
+fn thrash_prone_apps_gain_performance() {
+    // Section 7.1: BPT, CFD and XSBench run *faster* under Harmonia because
+    // gating CUs reduces L2 interference.
+    let h = harness();
+    let rt = Runtime::new(&h.model, &h.power).without_trace();
+    for name in ["BPT", "XSBench", "CFD"] {
+        let app = suite::by_name(name).expect("suite app");
+        let base = rt.run(&app, &mut BaselineGovernor::new());
+        let mut hm = HarmoniaGovernor::new(h.predictor.clone());
+        let harmonia = rt.run(&app, &mut hm);
+        let perf = improvement(base.total_time.value(), harmonia.total_time.value());
+        assert!(
+            perf > 0.0,
+            "{name}: expected a performance *gain*, got {:.1}%",
+            perf * 100.0
+        );
+    }
+}
+
+#[test]
+fn run_reports_are_internally_consistent() {
+    let h = harness();
+    let rt = Runtime::new(&h.model, &h.power);
+    let app = suite::sort();
+    let mut hm = HarmoniaGovernor::new(h.predictor.clone());
+    let report = rt.run(&app, &mut hm);
+
+    // Per-kernel times sum to the total.
+    let kernel_sum: f64 = report.per_kernel.iter().map(|k| k.total_time.value()).sum();
+    assert!((kernel_sum - report.total_time.value()).abs() < 1e-9);
+
+    // Trace covers every invocation and its durations also sum up.
+    assert_eq!(report.trace.len() as u64, app.total_invocations());
+    let trace_sum: f64 = report.trace.iter().map(|r| r.time.value()).sum();
+    assert!((trace_sum - report.total_time.value()).abs() < 1e-9);
+
+    // Residency distributions are probability distributions.
+    for t in Tunable::ALL {
+        let total: f64 = report.residency.distribution(t).iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{t} residency sums to {total}");
+    }
+
+    // Energy decomposition: GPU + memory < card (board overhead exists).
+    assert!(report.gpu_energy.value() + report.mem_energy.value() < report.card_energy.value());
+}
+
+#[test]
+fn freq_only_ablation_touches_only_the_compute_clock() {
+    let h = harness();
+    let rt = Runtime::new(&h.model, &h.power);
+    let app = suite::stencil();
+    let mut fo =
+        HarmoniaGovernor::with_config(h.predictor.clone(), HarmoniaConfig::freq_only());
+    let report = rt.run(&app, &mut fo);
+    for rec in &report.trace {
+        assert_eq!(rec.cfg.compute.cu_count(), 32, "CU count must stay at 32");
+        assert_eq!(
+            rec.cfg.memory.bus_freq().value(),
+            1375,
+            "memory clock must stay at max"
+        );
+    }
+}
+
+#[test]
+fn freq_only_gains_less_than_full_harmonia() {
+    // Key insight 2 of Section 7.3: scaling CU count + memory bandwidth
+    // beats compute-frequency scaling alone.
+    let h = harness();
+    let rt = Runtime::new(&h.model, &h.power).without_trace();
+    let mut full_ratios = Vec::new();
+    let mut fo_ratios = Vec::new();
+    for app in suite::all() {
+        let base = rt.run(&app, &mut BaselineGovernor::new());
+        let mut hm = HarmoniaGovernor::new(h.predictor.clone());
+        let full = rt.run(&app, &mut hm);
+        let mut fo =
+            HarmoniaGovernor::with_config(h.predictor.clone(), HarmoniaConfig::freq_only());
+        let fo = rt.run(&app, &mut fo);
+        full_ratios.push(full.ed2() / base.ed2());
+        fo_ratios.push(fo.ed2() / base.ed2());
+    }
+    let g_full = geometric_mean(&full_ratios).expect("positive");
+    let g_fo = geometric_mean(&fo_ratios).expect("positive");
+    assert!(
+        g_full < g_fo,
+        "full Harmonia (ratio {g_full}) must beat freq-only (ratio {g_fo})"
+    );
+}
+
+#[test]
+fn baseline_is_always_boost() {
+    let h = harness();
+    let rt = Runtime::new(&h.model, &h.power);
+    let report = rt.run(&suite::maxflops(), &mut BaselineGovernor::new());
+    for rec in &report.trace {
+        assert_eq!(rec.cfg, HwConfig::max_hd7970());
+    }
+}

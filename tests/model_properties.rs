@@ -1,0 +1,156 @@
+//! Property-based integration tests: randomized-but-valid kernels must
+//! never break the timing models, the power model, or the governors, and
+//! the documented monotonicity/consistency properties must hold.
+
+use harmonia::governor::{Governor, HarmoniaGovernor};
+use harmonia::predictor::SensitivityPredictor;
+use harmonia_power::{Activity, PowerModel};
+use harmonia_sim::{EventModel, IntervalModel, TimingModel};
+use harmonia_types::{ComputeConfig, HwConfig, MegaHertz, MemoryConfig, Tunable};
+use harmonia_workloads::generator::random_profile;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_config() -> impl Strategy<Value = HwConfig> {
+    (0u32..8, 0u32..8, 0u32..7).prop_map(|(cu, f, m)| {
+        HwConfig::new(
+            ComputeConfig::new(4 + cu * 4, MegaHertz(300 + f * 100)).expect("grid"),
+            MemoryConfig::new(MegaHertz(475 + m * 150)).expect("grid"),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interval_model_is_total_and_sane(seed in 0u64..500, cfg in arb_config(), iter in 0u64..6) {
+        let kernel = random_profile(&mut StdRng::seed_from_u64(seed), "prop");
+        let model = IntervalModel::default();
+        let r = model.simulate(cfg, &kernel, iter);
+        prop_assert!(r.time.value().is_finite() && r.time.value() > 0.0);
+        let c = &r.counters;
+        for pct in [c.valu_busy_pct, c.valu_utilization_pct, c.mem_unit_busy_pct,
+                    c.mem_unit_stalled_pct, c.write_unit_stalled_pct] {
+            prop_assert!((0.0..=100.0).contains(&pct), "counter {pct} out of range");
+        }
+        prop_assert!((0.0..=1.0).contains(&c.ic_activity));
+        prop_assert!((0.0..=1.0).contains(&c.occupancy_fraction));
+        prop_assert!(c.dram_bytes >= 0.0);
+        prop_assert!(c.mem_unit_stalled_pct <= c.mem_unit_busy_pct + 1e-9);
+    }
+
+    #[test]
+    fn interval_and_event_models_agree_in_order_of_magnitude(
+        seed in 0u64..100, cfg in arb_config()
+    ) {
+        let kernel = random_profile(&mut StdRng::seed_from_u64(seed), "prop");
+        let iv = IntervalModel::default().simulate(cfg, &kernel, 0).time.value();
+        let ev = EventModel::default().simulate(cfg, &kernel, 0).time.value();
+        let ratio = ev / iv;
+        // The models diverge most where the interval model's Little's-law
+        // bandwidth cap binds — few resident waves (small configs or low
+        // occupancy) against the event model's batched pipelining (see
+        // DESIGN.md); the band reflects it.
+        let occupancy = harmonia_sim::Occupancy::compute(
+            IntervalModel::default().gpu(),
+            &kernel,
+            cfg.compute.cu_count(),
+        );
+        let comfortable = cfg.compute.cu_count() >= 16
+            && cfg.compute.freq().value() >= 500
+            && occupancy.waves_per_simd >= 4;
+        let band = if comfortable { 0.2..5.0 } else { 0.05..8.0 };
+        prop_assert!(band.contains(&ratio), "ratio {ratio} out of band at {cfg}");
+    }
+
+    #[test]
+    fn thrash_free_kernels_never_slow_down_with_more_resources(
+        seed in 0u64..200, cfg in arb_config()
+    ) {
+        let mut kernel = random_profile(&mut StdRng::seed_from_u64(seed), "prop");
+        kernel.l2_thrash_slope = 0.0; // monotone only without cache thrash
+        let model = IntervalModel::default();
+        let base = model.simulate(cfg, &kernel, 0).time.value();
+        for t in Tunable::ALL {
+            if let Some(up) = cfg.step_up(t) {
+                let faster = model.simulate(up, &kernel, 0).time.value();
+                prop_assert!(
+                    faster <= base * 1.0001,
+                    "stepping {t} up slowed {} -> {}", base, faster
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_is_positive_and_monotone_in_activity(cfg in arb_config(), a in 0.0f64..1.0) {
+        let power = PowerModel::hd7970();
+        let idle = power.card_pwr(cfg, &Activity::idle()).value();
+        let some = power.card_pwr(cfg, &Activity::streaming(a, a)).value();
+        let full = power.card_pwr(cfg, &Activity::streaming(1.0, 1.0)).value();
+        prop_assert!(idle > 0.0);
+        prop_assert!(idle <= some + 1e-9);
+        prop_assert!(some <= full + 1e-9);
+    }
+
+    #[test]
+    fn governor_decisions_stay_on_the_grid(seed in 0u64..100) {
+        let kernel = random_profile(&mut StdRng::seed_from_u64(seed), "prop");
+        let model = IntervalModel::default();
+        let space = harmonia_types::ConfigSpace::hd7970();
+        let mut g = HarmoniaGovernor::new(SensitivityPredictor::paper_table3());
+        for i in 0..12 {
+            let cfg = g.decide(&kernel, i);
+            prop_assert!(space.contains(cfg), "off-grid config {cfg}");
+            let r = model.simulate(cfg, &kernel, i);
+            g.observe(&kernel, i, cfg, &r.counters);
+        }
+    }
+
+    #[test]
+    fn predictor_outputs_are_finite_for_any_counters(seed in 0u64..200, cfg in arb_config()) {
+        let kernel = random_profile(&mut StdRng::seed_from_u64(seed), "prop");
+        let counters = IntervalModel::default().simulate(cfg, &kernel, 0).counters;
+        let s = SensitivityPredictor::paper_table3().predict(&counters);
+        prop_assert!(s.cu.is_finite() && s.freq.is_finite() && s.bandwidth.is_finite());
+    }
+}
+
+#[test]
+fn models_are_deterministic_across_calls() {
+    let kernel = random_profile(&mut StdRng::seed_from_u64(42), "det");
+    let cfg = HwConfig::max_hd7970();
+    let iv = IntervalModel::default();
+    let ev = EventModel::default();
+    let tr = harmonia_sim::TraceModel::default();
+    assert_eq!(iv.simulate(cfg, &kernel, 3), iv.simulate(cfg, &kernel, 3));
+    assert_eq!(ev.simulate(cfg, &kernel, 3), ev.simulate(cfg, &kernel, 3));
+    assert_eq!(tr.simulate(cfg, &kernel, 3), tr.simulate(cfg, &kernel, 3));
+}
+
+#[test]
+fn fidelity_ladder_agrees_on_the_suite() {
+    // All three timing models must tell the same qualitative story for
+    // every suite kernel at the boost configuration.
+    let iv = IntervalModel::default();
+    let ev = EventModel::default();
+    let tr = harmonia_sim::TraceModel::default();
+    let cfg = HwConfig::max_hd7970();
+    for (_, k) in harmonia_workloads::suite::training_kernels() {
+        let ti = iv.simulate(cfg, &k, 0).time.value();
+        let te = ev.simulate(cfg, &k, 0).time.value();
+        let tt = tr.simulate(cfg, &k, 0).time.value();
+        for (name, t) in [("event", te), ("trace", tt)] {
+            let ratio = t / ti;
+            assert!(
+                (0.25..4.0).contains(&ratio),
+                "{}: {name} {} vs interval {} (ratio {ratio})",
+                k.name,
+                t,
+                ti
+            );
+        }
+    }
+}
