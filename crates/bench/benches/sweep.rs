@@ -1,0 +1,190 @@
+//! Sweep-engine benchmarks: the serial reference loop vs the shared engine
+//! with a cold memoization cache vs a fully warm cache, plus the cost of
+//! oracle decisions before and after their exhaustive sweep is memoized.
+//!
+//! The sweep comparison uses the event-driven timing model (wave cap lowered
+//! to keep wall-clock sane): it is phase-determined, so the engine
+//! deduplicates the `iterations` axis down to one simulation per distinct
+//! configuration — the same algorithmic win the training and oracle
+//! pipelines see. The oracle comparison uses the interval model, which is
+//! what those pipelines run by default.
+//!
+//! Running this bench also regenerates `BENCH_sweep.json` at the repository
+//! root with median wall-clock numbers and the derived speedups quoted in
+//! `README.md`.
+
+use criterion::{BatchSize, Criterion};
+use harmonia::governor::{Governor, OracleGovernor};
+use harmonia_power::PowerModel;
+use harmonia_sim::{sweep, EventModel, IntervalModel, KernelProfile, SimCache, TimingModel};
+use harmonia_types::{ConfigSpace, HwConfig};
+use harmonia_workloads::suite;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Iterations swept per configuration — the oracle's workload shape when an
+/// application re-runs its kernels (`app.iterations`).
+const ITERATIONS: u64 = 8;
+
+/// Wave cap for the event model under benchmark; the default 8192 puts one
+/// 448-config sweep at multiple seconds, which measures the same dedup
+/// ratio while making every reader of this bench wait.
+const BENCH_WAVE_CAP: u64 = 256;
+
+fn bench_kernel() -> KernelProfile {
+    // A phase-less suite kernel: the representative case for the cache's
+    // cross-iteration dedup.
+    suite::stencil().kernels[0].clone()
+}
+
+/// The pre-engine pipeline: simulate every (configuration, iteration) point
+/// directly, no pool, no memoization. Inputs are laundered through
+/// `black_box` so the compiler cannot hoist the (phase-less, hence
+/// iteration-invariant) simulation out of the iteration loop — that would
+/// hand the baseline the very dedup the engine is being measured against.
+fn serial_sweep<M: TimingModel>(model: &M, configs: &[HwConfig], k: &KernelProfile) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..ITERATIONS {
+        for &cfg in configs {
+            acc += model
+                .simulate(black_box(cfg), black_box(k), black_box(i))
+                .time
+                .value();
+        }
+    }
+    acc
+}
+
+/// The same job set on the shared engine: pooled workers through `cache`.
+fn engine_sweep<M: TimingModel>(
+    model: &M,
+    cache: &SimCache,
+    configs: &[HwConfig],
+    k: &KernelProfile,
+) -> f64 {
+    let jobs = configs.len() * ITERATIONS as usize;
+    sweep::run_indexed(jobs, |j| {
+        cache
+            .simulate(
+                model,
+                configs[j % configs.len()],
+                k,
+                (j / configs.len()) as u64,
+            )
+            .time
+            .value()
+    })
+    .iter()
+    .sum()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let model = EventModel::default().with_max_waves(BENCH_WAVE_CAP);
+    let interval = IntervalModel::default();
+    let power = PowerModel::hd7970();
+    let configs: Vec<HwConfig> = ConfigSpace::hd7970().iter().collect();
+    let k = bench_kernel();
+
+    c.bench_function("sweep/serial_448cfg_x8iter", |b| {
+        b.iter(|| serial_sweep(&model, &configs, &k));
+    });
+    c.bench_function("sweep/engine_cold_cache", |b| {
+        b.iter_batched(
+            SimCache::new,
+            |cache| engine_sweep(&model, &cache, &configs, &k),
+            BatchSize::LargeInput,
+        );
+    });
+    let warm = SimCache::new();
+    engine_sweep(&model, &warm, &configs, &k);
+    c.bench_function("sweep/engine_warm_cache", |b| {
+        b.iter(|| engine_sweep(&model, &warm, &configs, &k));
+    });
+
+    c.bench_function("oracle/cold_first_decision", |b| {
+        b.iter_batched(
+            || OracleGovernor::new(&interval, &power),
+            |mut oracle| oracle.decide(&k, 0),
+            BatchSize::LargeInput,
+        );
+    });
+    let mut oracle = OracleGovernor::new(&interval, &power);
+    oracle.decide(&k, 0);
+    c.bench_function("oracle/warm_redecision", |b| {
+        b.iter(|| oracle.decide(black_box(&k), 1));
+    });
+}
+
+/// Median of `reps` wall-clock measurements of `f`, in seconds.
+fn median_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+/// Measures the headline comparisons once more outside criterion and writes
+/// `BENCH_sweep.json` at the repository root.
+fn write_artifact() {
+    const REPS: usize = 3;
+    let model = EventModel::default().with_max_waves(BENCH_WAVE_CAP);
+    let interval = IntervalModel::default();
+    let power = PowerModel::hd7970();
+    let configs: Vec<HwConfig> = ConfigSpace::hd7970().iter().collect();
+    let k = bench_kernel();
+
+    let serial_s = median_secs(REPS, || serial_sweep(&model, &configs, &k));
+    let cold_s = median_secs(REPS, || {
+        let cache = SimCache::new();
+        engine_sweep(&model, &cache, &configs, &k)
+    });
+    let warm_cache = SimCache::new();
+    engine_sweep(&model, &warm_cache, &configs, &k);
+    let warm_s = median_secs(REPS, || engine_sweep(&model, &warm_cache, &configs, &k));
+
+    let oracle_cold_s = median_secs(REPS, || {
+        let mut oracle = OracleGovernor::new(&interval, &power);
+        oracle.decide(&k, 0)
+    });
+    let mut oracle = OracleGovernor::new(&interval, &power);
+    oracle.decide(&k, 0);
+    // A warm re-decision is a memo lookup; time a batch for resolution.
+    const WARM_CALLS: u64 = 10_000;
+    let oracle_warm_s = median_secs(REPS, || {
+        for i in 0..WARM_CALLS {
+            black_box(oracle.decide(black_box(&k), i));
+        }
+    }) / WARM_CALLS as f64;
+
+    let threads = sweep::pool_size(configs.len() * ITERATIONS as usize);
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"kernel\": {:?},\n  \"sweep_model\": \"event (max_waves={})\",\n  \"oracle_model\": \"interval\",\n  \"configs\": {},\n  \"iterations\": {},\n  \"pool_threads\": {},\n  \"serial_sweep_ms\": {:.3},\n  \"engine_cold_sweep_ms\": {:.3},\n  \"engine_warm_sweep_ms\": {:.3},\n  \"speedup_engine_cold_vs_serial\": {:.2},\n  \"speedup_engine_warm_vs_serial\": {:.2},\n  \"oracle_cold_decision_ms\": {:.3},\n  \"oracle_warm_redecision_us\": {:.3},\n  \"speedup_oracle_warm_redecision\": {:.1}\n}}\n",
+        k.name,
+        BENCH_WAVE_CAP,
+        configs.len(),
+        ITERATIONS,
+        threads,
+        serial_s * 1e3,
+        cold_s * 1e3,
+        warm_s * 1e3,
+        serial_s / cold_s,
+        serial_s / warm_s,
+        oracle_cold_s * 1e3,
+        oracle_warm_s * 1e6,
+        oracle_cold_s / oracle_warm_s,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, json).expect("write BENCH_sweep.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let mut criterion = Criterion::default().sample_size(10);
+    bench_sweep(&mut criterion);
+    write_artifact();
+}

@@ -9,12 +9,23 @@
 //!    generally only small variations around the nominal values"),
 //! 3. labels the averaged counter vector with the kernel's *measured*
 //!    compute and bandwidth sensitivities.
+//!
+//! Collection runs on the shared sweep engine ([`harmonia_sim::sweep`]):
+//! the `kernel × configuration` grid is evaluated on the bounded worker
+//! pool through a sharded memoization cache, and the sensitivity probes are
+//! then served from the same cache (their probe points are all grid
+//! points). Results are assembled in index order, so the parallel path is
+//! byte-identical to the serial reference ([`TrainingSet::collect_serial`]).
 
 use crate::sensitivity::Sensitivity;
-use harmonia_sim::{CounterSample, KernelProfile, TimingModel};
+use harmonia_sim::{sweep, CachedModel, CounterSample, KernelProfile, SimCache, TimingModel};
 use harmonia_types::ConfigSpace;
 use harmonia_workloads::suite;
 use serde::{Deserialize, Serialize};
+
+/// Invocations averaged per configuration during collection, so
+/// phase-modulated kernels contribute their nominal behaviour.
+pub const AVERAGED_ITERATIONS: u64 = 4;
 
 /// One training observation: a kernel's averaged counters and its measured
 /// sensitivities.
@@ -41,8 +52,56 @@ impl TrainingSet {
         Self::collect_for(model, &suite::training_kernels())
     }
 
-    /// Collects a training set for arbitrary kernels.
+    /// Collects a training set for arbitrary kernels on the shared sweep
+    /// engine: one pool job per `(kernel, configuration)` point, each
+    /// simulating the averaged invocations through the memoization cache.
+    /// Row order, counter-sample order, and therefore every float sum match
+    /// [`TrainingSet::collect_serial`] exactly.
     pub fn collect_for<M: TimingModel>(
+        model: &M,
+        kernels: &[(String, KernelProfile)],
+    ) -> TrainingSet {
+        let configs: Vec<_> = ConfigSpace::hd7970().iter().collect();
+        let cache = SimCache::new();
+        let cached = CachedModel::new(model, &cache);
+        // Kernel-major, configuration-minor job order; each job yields the
+        // samples of one configuration in iteration order, so flattening a
+        // kernel's chunk reproduces the serial sample sequence.
+        let samples: Vec<Vec<CounterSample>> =
+            sweep::run_indexed(kernels.len() * configs.len(), |j| {
+                let kernel = &kernels[j / configs.len()].1;
+                let cfg = configs[j % configs.len()];
+                (0..AVERAGED_ITERATIONS)
+                    .map(|i| cached.simulate(cfg, kernel, i).counters)
+                    .collect()
+            });
+        let rows = kernels
+            .iter()
+            .enumerate()
+            .map(|(k, (_, kernel))| {
+                let flat: Vec<CounterSample> = samples[k * configs.len()..(k + 1) * configs.len()]
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .collect();
+                let counters =
+                    CounterSample::average(&flat).expect("config space is non-empty");
+                TrainingRow {
+                    kernel: kernel.name.clone(),
+                    counters,
+                    // Every probe point is a grid point already swept above,
+                    // so the measurement is pure cache hits.
+                    measured: Sensitivity::measure_cached(model, &cache, kernel),
+                }
+            })
+            .collect();
+        TrainingSet { rows }
+    }
+
+    /// The serial reference implementation of [`TrainingSet::collect_for`]:
+    /// a plain nested loop with no pool and no cache, kept as the ground
+    /// truth the parallel path is tested against.
+    pub fn collect_serial<M: TimingModel>(
         model: &M,
         kernels: &[(String, KernelProfile)],
     ) -> TrainingSet {
@@ -55,9 +114,7 @@ impl TrainingSet {
                 // nominal behaviour.
                 let samples: Vec<CounterSample> = space
                     .iter()
-                    .flat_map(|cfg| {
-                        (0..4).map(move |i| (cfg, i))
-                    })
+                    .flat_map(|cfg| (0..AVERAGED_ITERATIONS).map(move |i| (cfg, i)))
                     .map(|(cfg, i)| model.simulate(cfg, kernel, i).counters)
                     .collect();
                 let counters =
@@ -72,10 +129,16 @@ impl TrainingSet {
         TrainingSet { rows }
     }
 
-    /// Number of (kernel × configuration) simulations behind this set —
-    /// the paper's "11250 vectors" (25 × 450) becomes ~27 × 448 here.
+    /// Number of model invocations the serial reference pipeline issues for
+    /// this set: per kernel, the full configuration space times the
+    /// averaged invocations, plus the sensitivity probes. The paper's
+    /// "11250 vectors" (25 kernels × 450 configs) becomes ~27 kernels ×
+    /// (448 configs × 4 iterations + 24 probe simulations) here — the
+    /// memoizing parallel path answers most of these from cache.
     pub fn simulated_points(&self) -> usize {
-        self.rows.len() * ConfigSpace::hd7970().len()
+        let per_kernel = ConfigSpace::hd7970().len() * AVERAGED_ITERATIONS as usize
+            + Sensitivity::SIMULATIONS_PER_MEASURE;
+        self.rows.len() * per_kernel
     }
 
     /// Splits into (train, test) by taking every `k`-th row as test — used
@@ -109,12 +172,25 @@ mod tests {
         let model = IntervalModel::default();
         let data = TrainingSet::collect(&model);
         assert!(data.rows.len() >= 25);
-        assert_eq!(data.simulated_points(), data.rows.len() * 448);
+        assert_eq!(
+            data.simulated_points(),
+            data.rows.len() * (448 * 4 + 24),
+            "simulated_points must count the averaged iterations and probes"
+        );
         for row in &data.rows {
             assert!(row.counters.duration.value() > 0.0);
             assert!(row.measured.compute().is_finite());
             assert!(row.measured.bandwidth.is_finite());
         }
+    }
+
+    #[test]
+    fn parallel_collection_matches_serial_reference() {
+        let model = IntervalModel::default();
+        let kernels: Vec<_> = suite::training_kernels().into_iter().take(3).collect();
+        let parallel = TrainingSet::collect_for(&model, &kernels);
+        let serial = TrainingSet::collect_serial(&model, &kernels);
+        assert_eq!(parallel, serial);
     }
 
     #[test]

@@ -6,21 +6,36 @@
 //! basis for evaluation, it is impractical to implement."
 //!
 //! Here the exhaustive profiling runs against the timing and power models:
-//! for each (kernel, iteration) the oracle sweeps the full [`ConfigSpace`]
-//! and picks the configuration minimizing per-invocation `E·D²`.
+//! for each (kernel, phase scale) the oracle bulk-sweeps the full
+//! [`ConfigSpace`] on the shared sweep pool — through a memoizing
+//! [`SimCache`] — and picks the configuration minimizing per-invocation
+//! `E·D²`. Because simulation depends on the iteration number only through
+//! the kernel's phase scale, a phase-less kernel is swept **exactly once**
+//! no matter how many iterations the application runs; later decisions are
+//! answered from a per-kernel memo keyed by the scale in effect.
 
 use crate::governor::Governor;
 use harmonia_power::{Activity, PowerModel};
-use harmonia_sim::{CounterSample, KernelProfile, TimingModel};
+use harmonia_sim::{sweep, CounterSample, KernelProfile, SimCache, TimingModel};
 use harmonia_types::{ConfigSpace, HwConfig};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The part of a decision key that varies with the iteration number: the
+/// phase-scale bit patterns plus — for models that are not
+/// [`phase_determined`](TimingModel::phase_determined) — the raw iteration.
+type ScaleKey = (u64, u64, u64);
 
 /// The exhaustive per-kernel ED² oracle.
 pub struct OracleGovernor<'a> {
     model: &'a dyn TimingModel,
     power: &'a PowerModel,
     space: ConfigSpace,
-    cache: HashMap<(String, u64), HwConfig>,
+    sim_cache: SimCache,
+    /// Decisions per interned kernel name, keyed by the phase scale the
+    /// decision was made for. Interning lets lookups borrow the kernel's
+    /// name instead of cloning a `String` per invocation.
+    decisions: HashMap<Arc<str>, HashMap<ScaleKey, HwConfig>>,
 }
 
 impl<'a> OracleGovernor<'a> {
@@ -30,21 +45,37 @@ impl<'a> OracleGovernor<'a> {
             model,
             power,
             space: ConfigSpace::hd7970(),
-            cache: HashMap::new(),
+            sim_cache: SimCache::new(),
+            decisions: HashMap::new(),
         }
     }
 
-    /// The ED²-optimal configuration for one invocation, computed by
-    /// exhaustive sweep (and memoized).
+    /// The ED²-optimal configuration for one invocation, computed by an
+    /// exhaustive bulk sweep on the shared pool and memoized per
+    /// (kernel, phase scale).
     pub fn best_config(&mut self, kernel: &KernelProfile, iteration: u64) -> HwConfig {
-        let key = (kernel.name.clone(), iteration);
-        if let Some(&cfg) = self.cache.get(&key) {
+        let scale = kernel.phase.scale_for(iteration);
+        let scale_key: ScaleKey = (
+            scale.compute.to_bits(),
+            scale.memory.to_bits(),
+            if self.model.phase_determined() { 0 } else { iteration },
+        );
+        if let Some(&cfg) = self
+            .decisions
+            .get(kernel.name.as_str())
+            .and_then(|per_scale| per_scale.get(&scale_key))
+        {
             return cfg;
         }
+        let configs: Vec<HwConfig> = self.space.iter().collect();
+        let model = self.model;
+        let cache = &self.sim_cache;
+        let results = sweep::run_indexed(configs.len(), |i| {
+            cache.simulate(model, configs[i], kernel, iteration)
+        });
         let mut best = HwConfig::max_hd7970();
         let mut best_ed2 = f64::INFINITY;
-        for cfg in self.space.iter() {
-            let r = self.model.simulate(cfg, kernel, iteration);
+        for (&cfg, r) in configs.iter().zip(&results) {
             let t = r.time.value();
             let activity = Activity {
                 valu_activity: r.counters.valu_activity(),
@@ -58,8 +89,16 @@ impl<'a> OracleGovernor<'a> {
                 best = cfg;
             }
         }
-        self.cache.insert(key, best);
+        self.decisions
+            .entry(Arc::from(kernel.name.as_str()))
+            .or_default()
+            .insert(scale_key, best);
         best
+    }
+
+    /// Distinct simulation points evaluated so far (cache size).
+    pub fn simulations(&self) -> usize {
+        self.sim_cache.len()
     }
 }
 
@@ -85,7 +124,7 @@ impl Governor for OracleGovernor<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use harmonia_sim::IntervalModel;
+    use harmonia_sim::{IntervalModel, PhaseModulation, PhaseScale};
     use harmonia_workloads::suite;
 
     #[test]
@@ -127,7 +166,53 @@ mod tests {
         let a = oracle.decide(&app.kernels[0], 0);
         let b = oracle.decide(&app.kernels[0], 0);
         assert_eq!(a, b);
-        assert_eq!(oracle.cache.len(), 1);
+        assert_eq!(oracle.decisions.len(), 1);
+    }
+
+    #[test]
+    fn phase_less_kernel_is_swept_exactly_once() {
+        let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let mut oracle = OracleGovernor::new(&model, &power);
+        let app = suite::stencil();
+        let k = &app.kernels[0];
+        assert_eq!(k.phase, PhaseModulation::Constant);
+        let first = oracle.decide(k, 0);
+        for i in 1..32 {
+            assert_eq!(oracle.decide(k, i), first);
+        }
+        assert_eq!(
+            oracle.simulations(),
+            ConfigSpace::hd7970().len(),
+            "constant phase must cost one 448-config sweep regardless of iterations"
+        );
+    }
+
+    #[test]
+    fn cyclic_phase_sweeps_once_per_distinct_scale() {
+        let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let mut oracle = OracleGovernor::new(&model, &power);
+        let k = KernelProfile::builder("cycler")
+            .phase(PhaseModulation::Cycle(vec![
+                PhaseScale {
+                    compute: 1.0,
+                    memory: 1.0,
+                },
+                PhaseScale {
+                    compute: 0.25,
+                    memory: 2.0,
+                },
+            ]))
+            .build();
+        for i in 0..12 {
+            oracle.decide(&k, i);
+        }
+        assert_eq!(
+            oracle.simulations(),
+            2 * ConfigSpace::hd7970().len(),
+            "a period-2 cycle costs exactly two sweeps"
+        );
     }
 
     #[test]

@@ -8,12 +8,14 @@
 use harmonia_types::{HwConfig, Joules, Seconds, Tunable, Watts};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One kernel invocation as executed by the runtime.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InvocationRecord {
-    /// Kernel name.
-    pub kernel: String,
+    /// Kernel name, interned: every record of the same kernel shares one
+    /// allocation with its [`KernelReport`].
+    pub kernel: Arc<str>,
     /// Outer application iteration.
     pub iteration: u64,
     /// Hardware configuration the invocation ran at.
@@ -33,8 +35,8 @@ pub struct InvocationRecord {
 /// Aggregate statistics for one kernel across a run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelReport {
-    /// Kernel name.
-    pub kernel: String,
+    /// Kernel name (interned; see [`InvocationRecord::kernel`]).
+    pub kernel: Arc<str>,
     /// Number of invocations.
     pub invocations: u64,
     /// Total execution time.
@@ -149,7 +151,7 @@ impl RunReport {
 
     /// Per-kernel report lookup.
     pub fn kernel_report(&self, name: &str) -> Option<&KernelReport> {
-        self.per_kernel.iter().find(|k| k.kernel == name)
+        self.per_kernel.iter().find(|k| &*k.kernel == name)
     }
 
     /// Peak card power over the run (from the invocation trace). Returns

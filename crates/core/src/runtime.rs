@@ -13,6 +13,7 @@ use harmonia_sim::TimingModel;
 use harmonia_types::{Joules, Seconds};
 use harmonia_workloads::Application;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Executes applications on a timing model and power model under a governor.
 pub struct Runtime<'a> {
@@ -55,10 +56,17 @@ impl<'a> Runtime<'a> {
         let mut mem_energy = Joules(0.0);
         let mut residency = Residency::new();
         let mut trace = Vec::new();
-        let mut per_kernel: BTreeMap<String, KernelReport> = BTreeMap::new();
+        let mut per_kernel: BTreeMap<Arc<str>, KernelReport> = BTreeMap::new();
+        // Intern each kernel name once; records and reports then share the
+        // allocation via refcount bumps instead of per-invocation clones.
+        let names: Vec<Arc<str>> = app
+            .kernels
+            .iter()
+            .map(|k| Arc::from(k.name.as_str()))
+            .collect();
 
         for iteration in 0..app.iterations {
-            for kernel in &app.kernels {
+            for (kernel, name) in app.kernels.iter().zip(&names) {
                 let cfg = governor.decide(kernel, iteration);
                 let result = self.model.simulate(cfg, kernel, iteration);
                 let counters = result.counters;
@@ -77,9 +85,9 @@ impl<'a> Runtime<'a> {
                 residency.record(cfg, dt);
 
                 let entry = per_kernel
-                    .entry(kernel.name.clone())
+                    .entry(name.clone())
                     .or_insert_with(|| KernelReport {
-                        kernel: kernel.name.clone(),
+                        kernel: name.clone(),
                         invocations: 0,
                         total_time: Seconds(0.0),
                         card_energy: Joules(0.0),
@@ -90,7 +98,7 @@ impl<'a> Runtime<'a> {
 
                 if self.keep_trace {
                     trace.push(InvocationRecord {
-                        kernel: kernel.name.clone(),
+                        kernel: name.clone(),
                         iteration,
                         cfg,
                         time: dt,

@@ -6,7 +6,7 @@
 //! they are not the limiting factor. CU-count and CU-frequency sensitivities
 //! are aggregated into a single compute-throughput sensitivity.
 
-use harmonia_sim::{KernelProfile, TimingModel};
+use harmonia_sim::{sweep, CachedModel, KernelProfile, SimCache, TimingModel};
 use harmonia_types::{ComputeConfig, HwConfig, MegaHertz, MemoryConfig};
 use serde::{Deserialize, Serialize};
 
@@ -37,15 +37,47 @@ impl Sensitivity {
         0.5 * (self.cu + self.freq)
     }
 
+    /// Invocations averaged by [`Sensitivity::measure`].
+    pub const MEASURE_ITERATIONS: u64 = 4;
+
+    /// Simulations one [`Sensitivity::measure`] call issues when nothing is
+    /// memoized: per iteration, each of the three sensitivities probes a
+    /// high and a low point (the shared high point is re-simulated by each).
+    pub const SIMULATIONS_PER_MEASURE: usize = 6 * Self::MEASURE_ITERATIONS as usize;
+
     /// Measures all sensitivities of `kernel` on `model`, averaged over
     /// the first four invocations so data-dependent phases contribute (the
     /// paper executes "multiple times for multiple iterations" and averages;
     /// Section 4.1).
     pub fn measure<M: TimingModel>(model: &M, kernel: &KernelProfile) -> Sensitivity {
-        const ITERS: u64 = 4;
+        Self::measure_cached(model, &SimCache::new(), kernel)
+    }
+
+    /// [`Sensitivity::measure`] through a shared simulation cache: the four
+    /// probe configurations are pre-warmed on the sweep pool, then the
+    /// probe ratios are read back as pure cache hits. Callers that already
+    /// swept the configuration space (training collection) pass their cache
+    /// so every probe point is free.
+    pub fn measure_cached<M: TimingModel>(
+        model: &M,
+        cache: &SimCache,
+        kernel: &KernelProfile,
+    ) -> Sensitivity {
+        const ITERS: u64 = Sensitivity::MEASURE_ITERATIONS;
+        // The distinct (cu, freq, mem) probe points behind
+        // `measure_at`: the shared maximum plus one lowered point per
+        // tunable.
+        const PROBES: [(u32, u32, u32); 4] =
+            [(32, 1000, 1375), (16, 1000, 1375), (32, 500, 1375), (32, 1000, 475)];
+        let cached = CachedModel::new(model, cache);
+        sweep::run_indexed(PROBES.len() * ITERS as usize, |j| {
+            let (cu, freq, mem) = PROBES[j / ITERS as usize];
+            let iteration = (j % ITERS as usize) as u64;
+            time_at(&cached, kernel, iteration, cu, freq, mem);
+        });
         let mut acc = Sensitivity::default();
         for i in 0..ITERS {
-            let s = Self::measure_at(model, kernel, i);
+            let s = Self::measure_at(&cached, kernel, i);
             acc.cu += s.cu;
             acc.freq += s.freq;
             acc.bandwidth += s.bandwidth;

@@ -75,7 +75,7 @@ pub fn app_deep_dive(ctx: &Context, app_name: &str) -> Option<Report> {
     for k in &eval.harmonia.per_kernel {
         r.push_row(vec![
             "kernel budget".into(),
-            k.kernel.clone(),
+            k.kernel.to_string(),
             format!(
                 "{} invocations, {:.3} ms, {:.3} J",
                 k.invocations,
@@ -123,7 +123,7 @@ pub fn appendix_summary(ctx: &Context) -> Report {
             .expect("apps have kernels");
         r.push_row(vec![
             e.app.name.clone(),
-            dominant.kernel.clone(),
+            dominant.kernel.to_string(),
             format!(
                 "{:.0}%",
                 100.0 * dominant.total_time.value() / e.baseline.total_time.value()

@@ -9,7 +9,7 @@ use harmonia::metrics::RunReport;
 use harmonia::predictor::SensitivityPredictor;
 use harmonia::runtime::Runtime;
 use harmonia_power::PowerModel;
-use harmonia_sim::IntervalModel;
+use harmonia_sim::{sweep, IntervalModel};
 use harmonia_workloads::{suite, Application};
 use std::sync::OnceLock;
 
@@ -104,25 +104,14 @@ impl Context {
     }
 
     /// The full evaluation matrix over the 14-application suite (computed
-    /// once, in parallel across applications).
+    /// once, on the shared sweep pool — one job per application, results in
+    /// suite order regardless of worker scheduling).
     pub fn matrix(&self) -> &[AppEval] {
         self.matrix.get_or_init(|| {
             // Ensure the shared predictor exists before fanning out.
             let _ = self.predictor();
             let apps = suite::all();
-            let mut results: Vec<Option<AppEval>> = (0..apps.len()).map(|_| None).collect();
-            crossbeam::thread::scope(|scope| {
-                for (slot, app) in results.iter_mut().zip(&apps) {
-                    scope.spawn(move |_| {
-                        *slot = Some(self.evaluate_app(app));
-                    });
-                }
-            })
-            .expect("evaluation threads must not panic");
-            results
-                .into_iter()
-                .map(|r| r.expect("every slot filled"))
-                .collect()
+            sweep::run_indexed(apps.len(), |i| self.evaluate_app(&apps[i]))
         })
     }
 

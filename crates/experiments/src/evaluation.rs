@@ -245,7 +245,7 @@ pub fn fig18(ctx: &Context) -> Report {
         let mut last_cfg: std::collections::HashMap<&str, harmonia_types::HwConfig> =
             std::collections::HashMap::new();
         for rec in &e.harmonia.trace {
-            if let Some(prev) = last_cfg.insert(rec.kernel.as_str(), rec.cfg) {
+            if let Some(prev) = last_cfg.insert(&*rec.kernel, rec.cfg) {
                 if prev != rec.cfg {
                     last_change = last_change.max(rec.iteration);
                 }

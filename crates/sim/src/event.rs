@@ -250,6 +250,13 @@ impl TimingModel for EventModel {
     fn gpu(&self) -> &GpuDescriptor {
         &self.gpu
     }
+
+    /// Deterministic queueing with no per-iteration randomness: the
+    /// iteration number enters only via the phase scale, so sweeps may
+    /// memoize across iterations.
+    fn phase_determined(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

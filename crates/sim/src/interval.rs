@@ -217,6 +217,12 @@ impl TimingModel for IntervalModel {
     fn gpu(&self) -> &GpuDescriptor {
         &self.gpu
     }
+
+    /// Purely analytic: the iteration number enters only via the phase
+    /// scale, so sweeps may memoize across iterations.
+    fn phase_determined(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

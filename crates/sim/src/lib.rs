@@ -23,6 +23,9 @@
 //!   (SIMD issue arbitration, memory-channel servers, crossing server),
 //!   used to cross-validate the interval model.
 //! * [`model`] — the [`TimingModel`] trait unifying the two.
+//! * [`sweep`] — the shared sweep engine: a bounded worker pool with
+//!   deterministic index-ordered results plus the sharded [`SimCache`]
+//!   memoizing simulations across iterations, governors, and figures.
 //!
 //! # Examples
 //!
@@ -51,6 +54,7 @@ pub mod noise;
 pub mod occupancy;
 pub mod profile;
 pub mod servers;
+pub mod sweep;
 pub mod trace;
 
 pub use counters::CounterSample;
@@ -61,4 +65,5 @@ pub use model::{SimResult, TimingModel};
 pub use noise::NoisyModel;
 pub use occupancy::{Occupancy, OccupancyLimiter};
 pub use profile::{KernelProfile, KernelProfileBuilder, PhaseModulation, PhaseScale};
+pub use sweep::{CachedModel, SimCache};
 pub use trace::{TraceGenerator, TraceModel, TraceOp, WaveTrace};

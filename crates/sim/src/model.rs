@@ -30,6 +30,23 @@ pub trait TimingModel: Send + Sync {
 
     /// The device being simulated.
     fn gpu(&self) -> &GpuDescriptor;
+
+    /// Whether [`TimingModel::simulate`] depends on the iteration number
+    /// *only* through the kernel's phase scale
+    /// ([`PhaseModulation::scale_for`]).
+    ///
+    /// Phase-determined models let the sweep cache
+    /// ([`crate::sweep::SimCache`]) collapse all iterations with identical
+    /// phase scales into a single entry — the analytic interval and event
+    /// models qualify. Models that additionally seed per-iteration
+    /// randomness (the trace generator's burst jitter, measurement noise)
+    /// must keep the conservative default `false`; they are then memoized
+    /// per raw iteration instead.
+    ///
+    /// [`PhaseModulation::scale_for`]: crate::profile::PhaseModulation::scale_for
+    fn phase_determined(&self) -> bool {
+        false
+    }
 }
 
 impl<T: TimingModel + ?Sized> TimingModel for &T {
@@ -39,6 +56,10 @@ impl<T: TimingModel + ?Sized> TimingModel for &T {
 
     fn gpu(&self) -> &GpuDescriptor {
         (**self).gpu()
+    }
+
+    fn phase_determined(&self) -> bool {
+        (**self).phase_determined()
     }
 }
 

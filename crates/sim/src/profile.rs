@@ -166,6 +166,65 @@ impl KernelProfile {
         let frac = (f64::from(active_cus) - 4.0).max(0.0) / span;
         (self.l2_hit_rate - self.l2_thrash_slope * frac).clamp(0.0, 1.0)
     }
+
+    /// A cheap 64-bit fingerprint of every field that influences simulation
+    /// *except* [`KernelProfile::phase`].
+    ///
+    /// The timing models consume the phase modulation only through
+    /// [`PhaseModulation::scale_for`], so an invocation is fully identified
+    /// by `(cache_key, configuration, scale_for(iteration))` — the key used
+    /// by the sweep engine's memoization cache ([`crate::sweep::SimCache`]).
+    pub fn cache_key(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(self.name.as_bytes());
+        h.write_u64(self.workitems);
+        h.write_u64(u64::from(self.workgroup_size));
+        h.write_u64(u64::from(self.vgprs_per_item));
+        h.write_u64(u64::from(self.sgprs_per_wave));
+        h.write_u64(u64::from(self.lds_per_group_bytes));
+        h.write_u64(self.valu_insts_per_item.to_bits());
+        h.write_u64(self.salu_insts_per_item.to_bits());
+        h.write_u64(self.vfetch_insts_per_item.to_bits());
+        h.write_u64(self.vwrite_insts_per_item.to_bits());
+        h.write_u64(self.bytes_per_fetch.to_bits());
+        h.write_u64(self.bytes_per_write.to_bits());
+        h.write_u64(self.branch_divergence.to_bits());
+        h.write_u64(self.mem_divergence.to_bits());
+        h.write_u64(self.l1_hit_rate.to_bits());
+        h.write_u64(self.l2_hit_rate.to_bits());
+        h.write_u64(self.l2_thrash_slope.to_bits());
+        h.write_u64(u64::from(self.blocks_per_wave));
+        h.write_u64(self.launch_overhead_us.to_bits());
+        h.finish()
+    }
+}
+
+/// 64-bit FNV-1a, enough for a process-local memoization fingerprint.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // One mixing round per word rather than per byte: the fingerprint is
+        // recomputed on every memoized simulation, so this is on the
+        // cache-hit fast path.
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// Builder for [`KernelProfile`]. All setters take and return `self` so
@@ -418,6 +477,27 @@ mod tests {
         assert_eq!(m.scale_for(0).compute, 1.0);
         assert_eq!(m.scale_for(1).compute, 0.5);
         assert_eq!(m.scale_for(10).compute, 0.2);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_profiles_but_not_phase() {
+        let a = KernelProfile::builder("k").build();
+        let b = KernelProfile::builder("k").build();
+        assert_eq!(a.cache_key(), b.cache_key());
+        let renamed = KernelProfile::builder("other").build();
+        assert_ne!(a.cache_key(), renamed.cache_key());
+        let tweaked = KernelProfile::builder("k").vgprs(64).build();
+        assert_ne!(a.cache_key(), tweaked.cache_key());
+        // The phase modulation is deliberately excluded: two kernels that
+        // agree on everything else hit the same cache lines whenever their
+        // per-iteration scales coincide.
+        let phased = KernelProfile::builder("k")
+            .phase(PhaseModulation::Decay {
+                ratio: 0.5,
+                floor: 0.1,
+            })
+            .build();
+        assert_eq!(a.cache_key(), phased.cache_key());
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! Shared sweep engine: a bounded worker pool plus a sharded simulation
+//! memoization cache.
+//!
+//! Every heavyweight pipeline in the workspace — training-set collection,
+//! sensitivity measurement, the exhaustive ED² oracle, and the per-figure
+//! configuration sweeps — reduces to evaluating a deterministic function
+//! over a batch of `(configuration, kernel, iteration)` points. This module
+//! centralizes that pattern:
+//!
+//! * [`run_indexed`] evaluates an indexed batch on a bounded pool of
+//!   `std::thread` workers that self-schedule through an atomic counter.
+//!   Results are returned **in index order** regardless of which worker
+//!   computed them, so parallel callers produce byte-identical output to a
+//!   serial loop.
+//! * [`SimCache`] memoizes [`TimingModel::simulate`] results behind sharded
+//!   `RwLock`s. For models that declare [`TimingModel::phase_determined`]
+//!   (the analytic interval and event models), the key exploits the fact
+//!   that simulation depends on the iteration number only through
+//!   [`PhaseModulation::scale_for`]: a kernel with
+//!   [`PhaseModulation::Constant`] is simulated **once per configuration**
+//!   no matter how many iterations sweep over it, and cyclic phases
+//!   collapse to one entry per distinct scale. Iteration-sensitive models
+//!   (trace jitter, injected noise) are keyed by the raw iteration instead.
+//! * [`CachedModel`] adapts a `(model, cache)` pair back into a
+//!   [`TimingModel`], so existing consumers (sensitivity measurement, the
+//!   runtime) get memoization without changing their call sites.
+//!
+//! The pool size defaults to [`std::thread::available_parallelism`] clamped
+//! to the batch size and can be pinned with the `HARMONIA_THREADS`
+//! environment variable; a one-element batch never spawns extra workers.
+//!
+//! [`PhaseModulation::scale_for`]: crate::profile::PhaseModulation::scale_for
+//! [`PhaseModulation::Constant`]: crate::profile::PhaseModulation::Constant
+
+use crate::device::GpuDescriptor;
+use crate::model::{SimResult, TimingModel};
+use crate::profile::KernelProfile;
+use harmonia_types::HwConfig;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
+
+/// Environment variable that pins the worker-pool size.
+pub const THREADS_ENV: &str = "HARMONIA_THREADS";
+
+/// Number of independently locked cache shards (power of two).
+const SHARDS: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// The number of worker threads a batch of `batch` items should use:
+/// the machine's available parallelism (or the `HARMONIA_THREADS` override)
+/// clamped to the batch size, and always at least 1.
+pub fn pool_size(batch: usize) -> usize {
+    let available = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    pool_size_with(batch, available, default_parallelism())
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Pure clamp logic behind [`pool_size`], separated for testing: an explicit
+/// `override_threads` wins over `available`, and the result never exceeds
+/// `batch` — a 1-item sweep must not spawn N workers.
+pub fn pool_size_with(batch: usize, override_threads: Option<usize>, available: usize) -> usize {
+    override_threads
+        .unwrap_or(available)
+        .max(1)
+        .min(batch.max(1))
+}
+
+/// Evaluates `f(0), f(1), …, f(n-1)` across a bounded worker pool and
+/// returns the results **in index order**.
+///
+/// Workers self-schedule by fetching indices from a shared atomic counter
+/// (cheap work stealing: a worker stuck on an expensive item does not block
+/// the others), and each worker tags its results with their index so the
+/// final vector is identical to what a serial `(0..n).map(f).collect()`
+/// would produce. With a pool of one (single-core machines, one-item
+/// batches, or `HARMONIA_THREADS=1`) the batch runs inline on the calling
+/// thread with no spawns at all.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`.
+pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_with(pool_size(n), n, f)
+}
+
+/// [`run_indexed`] with an explicit worker count (callers normally want the
+/// [`pool_size`] default).
+pub fn run_indexed_with<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let threads = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        produced.push((i, f(i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("sweep worker must not panic") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index scheduled exactly once"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Memoization cache
+// ---------------------------------------------------------------------------
+
+/// Key identifying one simulation: the kernel fingerprint, the hardware
+/// configuration, the bit patterns of the phase scale in effect, and — for
+/// models whose results also depend on the raw iteration number
+/// ([`TimingModel::phase_determined`] is `false`) — the iteration itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    kernel: u64,
+    cfg: HwConfig,
+    compute_bits: u64,
+    memory_bits: u64,
+    /// Raw iteration for iteration-sensitive models, 0 for phase-determined
+    /// ones (which is what lets their iterations share an entry).
+    iteration: u64,
+}
+
+impl CacheKey {
+    fn new(cfg: HwConfig, kernel: &KernelProfile, iteration: u64, phase_determined: bool) -> Self {
+        let scale = kernel.phase.scale_for(iteration);
+        CacheKey {
+            kernel: kernel.cache_key(),
+            cfg,
+            compute_bits: scale.compute.to_bits(),
+            memory_bits: scale.memory.to_bits(),
+            iteration: if phase_determined { 0 } else { iteration },
+        }
+    }
+
+    fn shard(&self) -> usize {
+        // The fingerprint is already well-mixed (FNV-1a); fold in the scale
+        // bits so phase variants of one kernel spread across shards.
+        ((self.kernel
+            ^ self.compute_bits.rotate_left(17)
+            ^ self.memory_bits.rotate_left(43)
+            ^ self.iteration.rotate_left(7)) as usize)
+            % SHARDS
+    }
+}
+
+/// A sharded, thread-safe memoization cache over [`TimingModel::simulate`].
+///
+/// `SHARDS` independent `RwLock<HashMap>` shards keep contention low when
+/// many pool workers read concurrently; reads take a shared lock, and only
+/// genuine misses take a shard's write lock. All timing models in this
+/// workspace are deterministic, so a duplicated race-window computation
+/// inserts the identical value — last write wins harmlessly.
+#[derive(Debug, Default)]
+pub struct SimCache {
+    shards: [RwLock<HashMap<CacheKey, SimResult>>; SHARDS],
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SimCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulates through the cache: returns the memoized result when the
+    /// `(kernel, cfg, phase-scale)` point has been evaluated before,
+    /// otherwise runs `model` and stores the result.
+    pub fn simulate<M: TimingModel + ?Sized>(
+        &self,
+        model: &M,
+        cfg: HwConfig,
+        kernel: &KernelProfile,
+        iteration: u64,
+    ) -> SimResult {
+        let key = CacheKey::new(cfg, kernel, iteration, model.phase_determined());
+        let shard = &self.shards[key.shard()];
+        if let Some(r) = shard.read().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *r;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let r = model.simulate(cfg, kernel, iteration);
+        shard
+            .write()
+            .expect("cache shard poisoned")
+            .insert(key, r);
+        r
+    }
+
+    /// Number of distinct simulation points stored.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from memory since construction.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run the underlying model.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`TimingModel`] adaptor that routes every simulation through a
+/// [`SimCache`], so cache-oblivious consumers (the sensitivity probes, the
+/// runtime) share memoized results with the bulk sweeps.
+#[derive(Debug)]
+pub struct CachedModel<'a, M: TimingModel + ?Sized> {
+    inner: &'a M,
+    cache: &'a SimCache,
+}
+
+impl<'a, M: TimingModel + ?Sized> CachedModel<'a, M> {
+    /// Wraps `model` with `cache`.
+    pub fn new(inner: &'a M, cache: &'a SimCache) -> Self {
+        Self { inner, cache }
+    }
+
+    /// The shared cache behind this adaptor.
+    pub fn cache(&self) -> &SimCache {
+        self.cache
+    }
+}
+
+impl<M: TimingModel + ?Sized> TimingModel for CachedModel<'_, M> {
+    fn simulate(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> SimResult {
+        self.cache.simulate(self.inner, cfg, kernel, iteration)
+    }
+
+    fn gpu(&self) -> &GpuDescriptor {
+        self.inner.gpu()
+    }
+
+    fn phase_determined(&self) -> bool {
+        self.inner.phase_determined()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::IntervalModel;
+    use crate::profile::{KernelProfile, PhaseModulation, PhaseScale};
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn pool_size_clamps_to_batch() {
+        assert_eq!(pool_size_with(1, None, 64), 1);
+        assert_eq!(pool_size_with(1, Some(8), 64), 1, "override is still clamped");
+        assert_eq!(pool_size_with(100, None, 8), 8);
+        assert_eq!(pool_size_with(100, Some(3), 8), 3);
+        assert_eq!(pool_size_with(5, None, 8), 5);
+        assert_eq!(pool_size_with(0, None, 8), 1, "degenerate batch still gets a worker");
+        assert_eq!(pool_size_with(100, None, 0), 1, "degenerate parallelism");
+    }
+
+    #[test]
+    fn one_item_sweep_stays_on_the_calling_thread() {
+        // A 1-item batch must not fan out: even with an 8-thread pool
+        // request, the item runs inline on the caller.
+        let seen = Mutex::new(HashSet::new());
+        let out = run_indexed_with(8, 1, |i| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            i * 2
+        });
+        assert_eq!(out, vec![0]);
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 1);
+        assert!(seen.contains(&std::thread::current().id()));
+    }
+
+    #[test]
+    fn run_indexed_preserves_order() {
+        let out = run_indexed_with(4, 100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_indexed_matches_serial_for_any_pool() {
+        let serial: Vec<usize> = (0..37).map(|i| i + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(run_indexed_with(threads, 37, |i| i + 1), serial);
+        }
+    }
+
+    #[test]
+    fn cache_returns_model_results_exactly() {
+        let model = IntervalModel::default();
+        let cache = SimCache::new();
+        let k = KernelProfile::builder("k").build();
+        let cfg = HwConfig::max_hd7970();
+        let direct = model.simulate(cfg, &k, 0);
+        let cold = cache.simulate(&model, cfg, &k, 0);
+        let warm = cache.simulate(&model, cfg, &k, 0);
+        assert_eq!(direct, cold);
+        assert_eq!(direct, warm);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn constant_phase_iterations_share_one_entry() {
+        let model = IntervalModel::default();
+        let cache = SimCache::new();
+        let k = KernelProfile::builder("k").build();
+        let cfg = HwConfig::max_hd7970();
+        for i in 0..16 {
+            cache.simulate(&model, cfg, &k, i);
+        }
+        assert_eq!(cache.len(), 1, "constant phase ⇒ one entry for all iterations");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 15);
+    }
+
+    #[test]
+    fn cyclic_phase_collapses_to_distinct_scales() {
+        let model = IntervalModel::default();
+        let cache = SimCache::new();
+        let k = KernelProfile::builder("k")
+            .phase(PhaseModulation::Cycle(vec![
+                PhaseScale {
+                    compute: 1.0,
+                    memory: 2.0,
+                },
+                PhaseScale {
+                    compute: 0.5,
+                    memory: 1.0,
+                },
+            ]))
+            .build();
+        let cfg = HwConfig::max_hd7970();
+        for i in 0..10 {
+            cache.simulate(&model, cfg, &k, i);
+        }
+        assert_eq!(cache.len(), 2, "cycle of period 2 ⇒ two distinct entries");
+    }
+
+    #[test]
+    fn iteration_sensitive_models_key_by_raw_iteration() {
+        // The trace model reseeds its burst jitter per iteration, so equal
+        // phase scales must NOT share cache entries for it.
+        let model = crate::trace::TraceModel::default();
+        assert!(!model.phase_determined());
+        let cache = SimCache::new();
+        let k = KernelProfile::builder("k").build();
+        let cfg = HwConfig::max_hd7970();
+        for i in 0..4 {
+            let direct = model.simulate(cfg, &k, i);
+            assert_eq!(direct, cache.simulate(&model, cfg, &k, i));
+        }
+        assert_eq!(cache.len(), 4, "one entry per iteration for jittered traces");
+    }
+
+    #[test]
+    fn cached_model_is_a_timing_model() {
+        let model = IntervalModel::default();
+        let cache = SimCache::new();
+        let cached = CachedModel::new(&model, &cache);
+        let k = KernelProfile::builder("k").build();
+        let r = cached.simulate(HwConfig::max_hd7970(), &k, 3);
+        assert_eq!(r, model.simulate(HwConfig::max_hd7970(), &k, 3));
+        assert_eq!(cached.gpu().max_cu, model.gpu().max_cu);
+        assert_eq!(cached.cache().len(), 1);
+    }
+
+    #[test]
+    fn distinct_kernels_do_not_collide() {
+        let model = IntervalModel::default();
+        let cache = SimCache::new();
+        let a = KernelProfile::builder("a").valu_insts_per_item(1.0).build();
+        let b = KernelProfile::builder("b").valu_insts_per_item(900.0).build();
+        let cfg = HwConfig::max_hd7970();
+        let ra = cache.simulate(&model, cfg, &a, 0);
+        let rb = cache.simulate(&model, cfg, &b, 0);
+        assert_eq!(cache.len(), 2);
+        assert_ne!(ra.time, rb.time);
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration tests for the shared sweep engine: the memoization cache
+//! must be invisible (warm results identical to cold for every timing
+//! model) and the parallel training pipeline must reproduce the serial
+//! reference byte for byte.
+
+use harmonia::dataset::TrainingSet;
+use harmonia::sensitivity::Sensitivity;
+use harmonia_sim::{
+    sweep, CachedModel, EventModel, IntervalModel, SimCache, TimingModel, TraceModel,
+};
+use harmonia_types::ConfigSpace;
+use harmonia_workloads::suite;
+
+/// Warm-cache sweeps must return exactly the results of cold-cache sweeps
+/// (and of the uncached model) for all three timing models.
+#[test]
+fn warm_cache_equals_cold_cache_for_all_models() {
+    let interval = IntervalModel::default();
+    let event = EventModel::default();
+    let trace = TraceModel::default();
+    let models: [&dyn TimingModel; 3] = [&interval, &event, &trace];
+    let kernels = [
+        suite::maxflops().kernels[0].clone(),
+        suite::graph500().kernels[0].clone(), // phase-modulated
+    ];
+    // A small but representative corner of the space keeps the event and
+    // trace models affordable.
+    let configs: Vec<_> = ConfigSpace::hd7970().iter().step_by(97).collect();
+    for model in models {
+        let cache = SimCache::new();
+        for kernel in &kernels {
+            for &cfg in &configs {
+                for iteration in 0..3 {
+                    let direct = model.simulate(cfg, kernel, iteration);
+                    let cold = cache.simulate(model, cfg, kernel, iteration);
+                    let warm = cache.simulate(model, cfg, kernel, iteration);
+                    assert_eq!(direct, cold, "cold miss must run the model verbatim");
+                    assert_eq!(cold, warm, "warm hit must replay the stored result");
+                }
+            }
+        }
+        assert!(cache.hits() > 0, "repeat lookups must hit");
+    }
+}
+
+/// The pooled, memoized collection path must be row-for-row equal to the
+/// serial reference — same counters, same measured sensitivities, same
+/// order.
+#[test]
+fn parallel_training_collection_equals_serial_reference() {
+    let model = IntervalModel::default();
+    let kernels: Vec<_> = suite::training_kernels().into_iter().take(4).collect();
+    let parallel = TrainingSet::collect_for(&model, &kernels);
+    let serial = TrainingSet::collect_serial(&model, &kernels);
+    assert_eq!(parallel.rows.len(), serial.rows.len());
+    for (p, s) in parallel.rows.iter().zip(&serial.rows) {
+        assert_eq!(p, s, "row for `{}` diverged from the serial reference", s.kernel);
+    }
+}
+
+/// Sensitivity measured through a shared cache equals the direct path.
+#[test]
+fn cached_sensitivity_matches_direct_measurement() {
+    let model = IntervalModel::default();
+    let cache = SimCache::new();
+    for (_, kernel) in suite::training_kernels().into_iter().take(5) {
+        let direct = Sensitivity::measure(&model, &kernel);
+        let cached = Sensitivity::measure_cached(&model, &cache, &kernel);
+        assert_eq!(direct, cached);
+        // Second measurement over the same cache is pure hits.
+        let misses_before = cache.misses();
+        let again = Sensitivity::measure_cached(&model, &cache, &kernel);
+        assert_eq!(direct, again);
+        assert_eq!(cache.misses(), misses_before, "warm re-measure must not simulate");
+    }
+}
+
+/// The pool produces index-ordered output for arbitrary worker counts, and
+/// a cached model shared across the pool stays consistent.
+#[test]
+fn pooled_sweep_is_deterministic_across_worker_counts() {
+    let model = IntervalModel::default();
+    let kernel = suite::maxflops().kernels[0].clone();
+    let configs: Vec<_> = ConfigSpace::hd7970().iter().collect();
+    let serial: Vec<_> = configs
+        .iter()
+        .map(|&cfg| model.simulate(cfg, &kernel, 0))
+        .collect();
+    for threads in [1, 2, 4, 8] {
+        let cache = SimCache::new();
+        let cached = CachedModel::new(&model, &cache);
+        let pooled = sweep::run_indexed_with(threads, configs.len(), |i| {
+            cached.simulate(configs[i], &kernel, 0)
+        });
+        assert_eq!(pooled, serial, "{threads}-worker sweep must match serial order");
+        assert_eq!(cache.len(), configs.len());
+    }
+}

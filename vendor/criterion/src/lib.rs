@@ -1,0 +1,240 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-harness surface the workspace uses —
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], and the `criterion_group!`/`criterion_main!`
+//! macros — with plain `std::time::Instant` wall-clock measurement and a
+//! one-line median/min/max report per benchmark. No plotting, no
+//! statistical regression.
+//!
+//! Command-line compatibility: positional arguments filter benchmarks by
+//! substring, `--sample-size N` overrides the configured sample count
+//! (useful for CI smoke runs), and unknown flags such as the `--bench`
+//! argument cargo appends are ignored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    cli_sample_size: Option<usize>,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filters = Vec::new();
+        let mut cli_sample_size = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--sample-size" {
+                cli_sample_size = args.next().and_then(|v| v.parse().ok());
+            } else if let Some(v) = arg.strip_prefix("--sample-size=") {
+                cli_sample_size = v.parse().ok();
+            } else if !arg.starts_with('-') {
+                filters.push(arg);
+            }
+            // Other flags (--bench, --noplot, ...) are accepted and ignored.
+        }
+        Self {
+            sample_size: 100,
+            cli_sample_size,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark (CLI `--sample-size` wins).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Effective sample count after CLI overrides.
+    fn effective_samples(&self) -> usize {
+        self.cli_sample_size.unwrap_or(self.sample_size).max(1)
+    }
+
+    /// Runs `f` under the benchmark named `id` unless filtered out.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.filters.is_empty() && !self.filters.iter().any(|p| id.contains(p.as_str())) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_count: self.effective_samples(),
+        };
+        f(&mut bencher);
+        report(id, &bencher.samples);
+        self
+    }
+
+    /// Starts a named group; benchmark ids become `"<group>/<id>"`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// Named benchmark group; mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for benchmarks in this group (CLI wins).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs `f` under `"<group>/<id>"` unless filtered out.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let filters = &self.criterion.filters;
+        if !filters.is_empty() && !filters.iter().any(|p| full.contains(p.as_str())) {
+            return self;
+        }
+        let samples = self
+            .criterion
+            .cli_sample_size
+            .or(self.sample_size)
+            .unwrap_or(self.criterion.sample_size)
+            .max(1);
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_count: samples,
+        };
+        f(&mut bencher);
+        report(&full, &bencher.samples);
+        self
+    }
+
+    /// Ends the group; accepted for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement context; mirrors `criterion::Bencher`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    ///
+    /// Fast routines are batched so each sample spans at least ~1 ms; the
+    /// recorded sample is the per-call average of its batch.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos())
+            .clamp(1, 10_000) as u32;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Batch sizing hint; accepted for API compatibility, ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    println!(
+        "{id:<40} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a benchmark group; both the struct-like and positional forms of
+/// the real macro are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

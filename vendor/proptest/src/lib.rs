@@ -1,0 +1,127 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest's surface the workspace uses: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`), range and
+//! tuple strategies, `prop_map`, `prop::collection::vec`, and the
+//! `prop_assert*` macros. Cases are sampled from a fixed-seed deterministic
+//! RNG — every run exercises the same inputs, which trades the real crate's
+//! shrinking and persistence for reproducible CI. Failures report the plain
+//! `assert!` panic of the failing case.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Re-export used by the macros; not part of the public API.
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Mirrors `proptest::prelude::prop`, giving access to the
+/// `prop::collection` module through the prelude glob.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! Everything a property-test file usually imports.
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the two forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn holds(x in 0u32..10, y in -1.0f64..1.0) { prop_assert!(x < 10); }
+/// }
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(cfg in arb_config()) { /* ... */ }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@run ($config:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                use $crate::__rand::SeedableRng as _;
+                let mut __rng = $crate::__rand::rngs::StdRng::seed_from_u64(
+                    0x5eed_0000_c0de_cafe ^ (__config.cases as u64)
+                );
+                for __case in 0..__config.cases {
+                    $(let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @run ($crate::test_runner::Config::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_sample_in_bounds(x in 1u32..5, f in -2.0f64..2.0) {
+            prop_assert!((1..5).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn tuples_and_map_compose(v in (0u32..4, 0u32..4).prop_map(|(a, b)| a + b)) {
+            prop_assert!(v <= 6);
+        }
+
+        #[test]
+        fn collection_vec_respects_len(xs in prop::collection::vec(0.5f64..1.5, 1..20)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|x| (0.5..1.5).contains(x)));
+        }
+    }
+}

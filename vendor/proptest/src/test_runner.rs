@@ -1,0 +1,24 @@
+//! Test-runner configuration.
+
+/// How many cases each property runs. Mirrors `proptest::test_runner::Config`
+/// (exposed in the prelude as `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Real proptest's default; properties that need fewer cases say so
+        // explicitly via `with_cases`.
+        Self { cases: 256 }
+    }
+}

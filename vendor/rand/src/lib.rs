@@ -1,0 +1,173 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Provides the trait surface the workspace uses — [`Rng::gen_range`] over
+//! (inclusive) ranges of the primitive numeric types, [`Rng::gen_bool`],
+//! and [`SeedableRng::seed_from_u64`] — backed by a deterministic
+//! xoshiro256++ generator seeded through SplitMix64. The streams differ
+//! from the real crate's (callers in this workspace only rely on
+//! determinism and range bounds, not on bit-exact sequences).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns 32 random bits (the high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`. Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A range that knows how to sample one value of `T`.
+///
+/// Like the real crate, the only impls are blanket impls over
+/// [`SampleUniform`] — this single-candidate structure is what lets type
+/// inference flow from the surrounding expression into untyped range
+/// literals (e.g. `rng.gen_range(14..23)` used as a shift amount).
+pub trait SampleRange<T> {
+    /// Draws a single uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// A primitive type that can be drawn uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_between<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_between(lo, hi, true, rng)
+    }
+}
+
+/// Maps 64 random bits onto `[0, 1)` with 53-bit precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! int_uniform_impl {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let lo_wide = lo as i128;
+                let hi_wide = hi as i128;
+                let span = (hi_wide - lo_wide) + i128::from(inclusive);
+                assert!(span > 0, "gen_range: empty range");
+                (lo_wide + (u128::from(rng.next_u64()) % span as u128) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform_impl!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_uniform_impl {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                assert!(
+                    if inclusive { lo <= hi } else { lo < hi },
+                    "gen_range: empty range"
+                );
+                let f = unit_f64(rng.next_u64()) as $t;
+                lo + f * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_uniform_impl!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: Vec<u64> = (0..16).map(|_| c.gen_range(0u64..u64::MAX)).collect();
+        let mut a2 = StdRng::seed_from_u64(7);
+        let other: Vec<u64> = (0..16).map(|_| a2.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(same, other, "different seeds must differ");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3.0f64..3.0);
+            assert!((-3.0..3.0).contains(&v));
+            let i = rng.gen_range(14..23);
+            assert!((14..23).contains(&i));
+            let u = rng.gen_range(12u32..=128);
+            assert!((12..=128).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0 - f64::EPSILON)));
+    }
+}

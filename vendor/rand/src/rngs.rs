@@ -1,0 +1,70 @@
+//! Concrete generators: xoshiro256++ behind the `SmallRng`/`StdRng` names.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ state, seeded via SplitMix64 so any u64 produces a
+/// well-mixed starting state (including zero).
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+macro_rules! rng_type {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone)]
+        pub struct $name(Xoshiro256);
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                self.0.next()
+            }
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(state: u64) -> Self {
+                Self(Xoshiro256::from_u64(state))
+            }
+        }
+    };
+}
+
+rng_type!(
+    /// Small, fast generator (stand-in for rand's `SmallRng`).
+    SmallRng
+);
+rng_type!(
+    /// Default generator (stand-in for rand's `StdRng`).
+    StdRng
+);

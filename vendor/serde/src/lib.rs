@@ -1,0 +1,58 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! subset of serde's surface the workspace actually uses, built around an
+//! owned JSON-like [`Value`] tree instead of serde's zero-copy visitor
+//! machinery:
+//!
+//! * [`Serialize`] — convert `&self` into a [`Value`];
+//! * [`Deserialize`] — rebuild `Self` from a [`&Value`](Value);
+//! * `#[derive(Serialize)]` / `#[derive(Deserialize)]` re-exported from the
+//!   vendored `serde_derive` proc-macro crate.
+//!
+//! The derives follow serde's default representations (named structs →
+//! objects, newtype structs → transparent, externally tagged enums), so JSON
+//! produced by the companion `serde_json` stand-in is interchangeable with
+//! what the real crates would emit for the types in this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+mod value;
+
+pub use value::Value;
+
+use std::fmt;
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error carrying `msg`.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

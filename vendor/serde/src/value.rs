@@ -1,0 +1,108 @@
+//! The JSON-like data model shared by `Serialize` and `Deserialize`.
+
+use crate::Error;
+
+/// An owned JSON-like value.
+///
+/// Objects preserve insertion order (`Vec` of pairs rather than a map) so
+/// serialized output is deterministic and matches field declaration order,
+/// like serde's derived serializers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// A number that is exactly representable as a signed 64-bit integer.
+    /// Kept separate from [`Value::Float`] so integers render without a
+    /// trailing `.0`.
+    Int(i64),
+    /// Any other finite number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short human-readable name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Looks up a field of an object, erroring if `self` is not an object
+    /// or the field is absent. Used by derived `Deserialize` impls.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+            other => Err(Error::custom(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Interprets `self` as an array of exactly `n` elements.
+    pub fn tuple(&self, n: usize) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(Error::custom(format!(
+                "expected array of length {n}, found length {}",
+                items.len()
+            ))),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Numeric view of `self`, accepting both integer and float storage.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(Error::custom(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Integer view of `self`, accepting floats with zero fraction.
+    pub fn as_i128(&self) -> Result<i128, Error> {
+        match self {
+            Value::Int(i) => Ok(i128::from(*i)),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Ok(*f as i128),
+            other => Err(Error::custom(format!(
+                "expected integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// String view of `self`.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}

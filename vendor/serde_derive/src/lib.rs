@@ -1,0 +1,463 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `serde_derive` (and its `syn`/`quote` dependency tree) cannot be used.
+//! This crate re-implements the two derives against the vendored `serde`
+//! data model (`serde::Value`): `#[derive(Serialize)]` generates a
+//! `to_value` impl and `#[derive(Deserialize)]` a `from_value` impl.
+//!
+//! The derive input is parsed directly from the `proc_macro::TokenStream`
+//! (no `syn`): attributes are skipped, field *names* and tuple arities are
+//! extracted, and field *types* are never inspected — serialization is
+//! dispatched through the `serde::Serialize`/`serde::Deserialize` traits,
+//! so only the shape of the type matters. Supported shapes cover
+//! everything this workspace derives:
+//!
+//! * structs with named fields → JSON objects;
+//! * newtype structs → transparent (the inner value);
+//! * tuple structs → arrays;
+//! * unit structs → `null`;
+//! * enums: unit variants → `"Name"`, newtype variants → `{"Name": v}`,
+//!   tuple variants → `{"Name": [..]}`, struct variants → `{"Name": {..}}`
+//!   (serde's default externally-tagged representation).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported;
+//! deriving on such a type produces a `compile_error!` naming this crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// The shape of a derive target, as far as codegen needs to know it.
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen(&shape)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error tokens"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips any number of `#[...]` attribute groups.
+fn skip_attrs(it: &mut Tokens) {
+    while let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        it.next();
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            _ => break,
+        }
+    }
+}
+
+/// Skips `pub` / `pub(...)` visibility qualifiers.
+fn skip_vis(it: &mut Tokens) {
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut it = input.into_iter().peekable();
+    skip_attrs(&mut it);
+    skip_vis(&mut it);
+    let keyword = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::TupleStruct {
+                    name,
+                    arity: tuple_arity(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+/// Extracts field names from a named-field list, skipping types.
+///
+/// Commas inside generic arguments (e.g. `BTreeMap<u32, f64>`) are not field
+/// separators; angle-bracket depth is tracked because `<`/`>` are plain
+/// punctuation in a token stream, unlike `()`/`[]`/`{}` groups.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        skip_vis(&mut it);
+        match it.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match it.peek() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    } else if c == ',' && angle_depth == 0 {
+                        it.next();
+                        break;
+                    }
+                    it.next();
+                }
+                Some(_) => {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut arity = 0usize;
+    let mut seen_any = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            let c = p.as_char();
+            if c == '<' {
+                angle_depth += 1;
+                continue;
+            }
+            if c == '>' {
+                angle_depth -= 1;
+                continue;
+            }
+            if c == ',' && angle_depth == 0 {
+                arity += 1;
+                seen_any = false;
+                continue;
+            }
+        }
+        seen_any = true;
+    }
+    if seen_any {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        let name = match it.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                it.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                it.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        match it.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => return Err(format!("expected `,` between variants, found {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Object(::std::vec![{entries}])"),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Shape::TupleStruct { name, arity } => {
+            let entries: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Array(::std::vec![{entries}])"),
+            )
+        }
+        Shape::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect();
+            impl_serialize(name, &format!("match self {{ {arms} }}"))
+        }
+    }
+}
+
+fn serialize_variant_arm(ty: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{ty}::{vname} => \
+             ::serde::Value::String(::std::string::String::from({vname:?})),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{ty}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\
+             ::std::string::String::from({vname:?}), \
+             ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantKind::Tuple(arity) => {
+            let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                .collect();
+            format!(
+                "{ty}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                 ::std::string::String::from({vname:?}), \
+                 ::serde::Value::Array(::std::vec![{items}]))]),",
+                binds.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value({f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "{ty}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![(\
+                 ::std::string::String::from({vname:?}), \
+                 ::serde::Value::Object(::std::vec![{entries}]))]),",
+                fields.join(", ")
+            )
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__v.field({f:?})?)?,"
+                    )
+                })
+                .collect();
+            impl_deserialize(
+                name,
+                &format!("::std::result::Result::Ok({name} {{ {inits} }})"),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => impl_deserialize(
+            name,
+            &format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?,"))
+                .collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "let __arr = __v.tuple({arity})?; \
+                     ::std::result::Result::Ok({name}({items}))"
+                ),
+            )
+        }
+        Shape::UnitStruct { name } => {
+            impl_deserialize(name, &format!("::std::result::Result::Ok({name})"))
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .map(|v| deserialize_variant_arm(name, v))
+                .collect();
+            let body = format!(
+                "match __v {{ \
+                 ::serde::Value::String(__s) => match __s.as_str() {{ \
+                     {unit_arms} \
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                 }}, \
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{ \
+                     let (__tag, __inner) = &__entries[0]; \
+                     match __tag.as_str() {{ \
+                         {data_arms} \
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                     }} \
+                 }}, \
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::concat!(\"invalid value for enum \", ::std::stringify!({name})))), \
+                 }}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn deserialize_variant_arm(ty: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => unreachable!("unit variants handled separately"),
+        VariantKind::Tuple(1) => format!(
+            "{vname:?} => ::std::result::Result::Ok(\
+             {ty}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+        ),
+        VariantKind::Tuple(arity) => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?,"))
+                .collect();
+            format!(
+                "{vname:?} => {{ let __arr = __inner.tuple({arity})?; \
+                 ::std::result::Result::Ok({ty}::{vname}({items})) }},"
+            )
+        }
+        VariantKind::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__inner.field({f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "{vname:?} => ::std::result::Result::Ok({ty}::{vname} {{ {inits} }}),"
+            )
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}

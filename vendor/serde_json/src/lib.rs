@@ -1,0 +1,99 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes the vendored `serde` [`Value`](serde::Value) data model to
+//! JSON text and parses JSON text back. Output conventions match the real
+//! crate where the workspace depends on them: compact form for
+//! [`to_string`], two-space indentation with `"key": value` spacing for
+//! [`to_string_pretty`], integers without a trailing `.0`, and floats
+//! printed with Rust's shortest round-trip representation so
+//! `to_string`/`from_str` round-trips are exact.
+
+mod parse;
+mod write;
+
+/// Errors from JSON serialization or parsing.
+///
+/// Alias of the vendored [`serde::Error`] so `Result<_, serde_json::Error>`
+/// signatures compose with derived `Deserialize` impls.
+pub type Error = serde::Error;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T>(value: &T) -> Result<String, Error>
+where
+    T: serde::Serialize + ?Sized,
+{
+    let mut out = String::new();
+    write::compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T>(value: &T) -> Result<String, Error>
+where
+    T: serde::Serialize + ?Sized,
+{
+    let mut out = String::new();
+    write::pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T>(s: &str) -> Result<T, Error>
+where
+    T: serde::Deserialize,
+{
+    let value = parse::parse(s)?;
+    T::from_value(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Value;
+
+    #[test]
+    fn compact_and_pretty_forms() {
+        let v = Value::Object(vec![
+            ("id".to_string(), Value::String("fig0".to_string())),
+            (
+                "rows".to_string(),
+                Value::Array(vec![Value::Int(1), Value::Float(2.5)]),
+            ),
+        ]);
+        let compact = super::to_string(&ValueWrap(v.clone())).unwrap();
+        assert_eq!(compact, r#"{"id":"fig0","rows":[1,2.5]}"#);
+        let pretty = super::to_string_pretty(&ValueWrap(v)).unwrap();
+        assert!(pretty.contains("\"id\": \"fig0\""), "pretty: {pretty}");
+    }
+
+    #[test]
+    fn parse_round_trips_floats_exactly() {
+        let x = 0.123_456_789_012_345_67_f64;
+        let text = format!("{x:?}");
+        let back: f64 = super::from_str(&text).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(super::from_str::<f64>("not json").is_err());
+        assert!(super::from_str::<f64>("1 trailing").is_err());
+        assert!(super::from_str::<Vec<f64>>("[1,").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\n\"quoted\"\t\\slash\u{1}".to_string();
+        let text = super::to_string(&s).unwrap();
+        let back: String = super::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    /// Test helper exposing a raw `Value` through `Serialize`.
+    struct ValueWrap(Value);
+
+    impl serde::Serialize for ValueWrap {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! JSON text emission.
+
+use serde::Value;
+
+pub fn compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => push_float(*f, out),
+        Value::String(s) => push_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_escaped(k, out);
+                out.push(':');
+                compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub fn pretty(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                push_escaped(k, out);
+                out.push_str(": ");
+                pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => compact(other, out),
+    }
+}
+
+fn push_indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+/// Floats use Rust's shortest round-trip formatting; JSON has no
+/// NaN/infinity, so non-finite values degrade to `null` like
+/// `JSON.stringify`.
+fn push_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        out.push_str(&format!("{f:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
