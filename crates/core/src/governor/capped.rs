@@ -9,6 +9,7 @@
 //! receives the real counters, so Harmonia-under-a-cap keeps learning.
 
 use crate::governor::Governor;
+use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_power::{Activity, PowerModel};
 use harmonia_sim::{CounterSample, KernelProfile};
 use harmonia_types::{HwConfig, Tunable, Watts};
@@ -22,6 +23,7 @@ pub struct CappedGovernor<'a, G> {
     name: String,
     /// Last observed activity per kernel, used to project power.
     activity: HashMap<String, Activity>,
+    trace: TraceHandle,
 }
 
 impl<'a, G: Governor> CappedGovernor<'a, G> {
@@ -34,6 +36,7 @@ impl<'a, G: Governor> CappedGovernor<'a, G> {
             cap,
             name,
             activity: HashMap::new(),
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -75,6 +78,11 @@ impl<G: Governor> Governor for CappedGovernor<'_, G> {
         &self.name
     }
 
+    fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace.clone();
+        self.inner.set_trace(trace);
+    }
+
     fn decide(&mut self, kernel: &KernelProfile, iteration: u64) -> HwConfig {
         let want = self.inner.decide(kernel, iteration);
         // Without an observation yet, assume a fully busy card — the
@@ -84,7 +92,16 @@ impl<G: Governor> Governor for CappedGovernor<'_, G> {
             .get(&kernel.name)
             .copied()
             .unwrap_or_else(|| Activity::streaming(1.0, 1.0));
-        self.clamp(want, &activity)
+        let granted = self.clamp(want, &activity);
+        if granted != want {
+            self.trace.emit(|| TraceEvent::CapClamp {
+                kernel: kernel.name.clone(),
+                iteration,
+                wanted: want.into(),
+                granted: granted.into(),
+            });
+        }
+        granted
     }
 
     fn observe(

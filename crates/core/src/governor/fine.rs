@@ -22,6 +22,7 @@
 //! the same signal (ALU progress per wall-clock second) made robust to
 //! work-size changes; the raw `VALUBusy` value is still recorded in traces.
 
+use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_types::{HwConfig, Tunable};
 use serde::{Deserialize, Serialize};
 
@@ -186,19 +187,45 @@ impl FineGrain {
         rate: f64,
         probe_down: F,
     ) -> HwConfig {
+        self.step_traced(state, cfg, rate, probe_down, &TraceHandle::disabled(), "", 0)
+    }
+
+    /// [`step`](Self::step) with decision-trace emission: every probe,
+    /// accept, revert (with the blamed tunables), convergence, and
+    /// known-bad skip is reported through `trace`. With a disabled handle
+    /// this is exactly `step` — the events are never constructed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_traced<F: Fn(Tunable) -> bool>(
+        &self,
+        state: &mut FgState,
+        cfg: HwConfig,
+        rate: f64,
+        probe_down: F,
+        trace: &TraceHandle,
+        kernel: &str,
+        iteration: u64,
+    ) -> HwConfig {
         if state.converged {
             return state.best_cfg.unwrap_or(cfg);
         }
         let Some(last) = state.last_rate else {
             state.last_rate = Some(rate);
             state.update_best(rate, cfg);
-            return self.step_downward(state, cfg, &probe_down);
+            let next = self.step_downward(state, cfg, &probe_down, trace, kernel, iteration);
+            emit_probe(trace, kernel, iteration, cfg, next, &state.last_moves);
+            return next;
         };
 
         state.last_rate = Some(rate);
         if rate >= last * (1.0 - DEGRADATION_TOLERANCE) {
             // Performance preserved or improved: keep shaving power.
             state.update_best(rate, cfg);
+            trace.emit(|| TraceEvent::FgAccept {
+                kernel: kernel.to_string(),
+                iteration,
+                cfg: cfg.into(),
+                rate,
+            });
             let was_climbing = state
                 .last_moves
                 .iter()
@@ -217,9 +244,12 @@ impl FineGrain {
                         state.last_moves.push((t, Direction::Up));
                     }
                 }
+                emit_probe(trace, kernel, iteration, cfg, next, &state.last_moves);
                 return next;
             }
-            self.step_downward(state, cfg, &probe_down)
+            let next = self.step_downward(state, cfg, &probe_down, trace, kernel, iteration);
+            emit_probe(trace, kernel, iteration, cfg, next, &state.last_moves);
+            next
         } else {
             // Performance degraded: remember the offending configuration,
             // increment state, count dithering.
@@ -229,9 +259,29 @@ impl FineGrain {
             state.dither += 1;
             if state.dither > self.max_dither {
                 state.converged = true;
-                return state.best_cfg.unwrap_or(cfg);
+                let best = state.best_cfg.unwrap_or(cfg);
+                trace.emit(|| TraceEvent::FgConverged {
+                    kernel: kernel.to_string(),
+                    iteration,
+                    cfg: best.into(),
+                });
+                return best;
             }
-            self.step_upward(state, cfg)
+            let blamed: Vec<Tunable> = state
+                .last_moves
+                .iter()
+                .filter(|(_, d)| *d == Direction::Down)
+                .map(|(t, _)| *t)
+                .collect();
+            let next = self.step_upward(state, cfg);
+            trace.emit(|| TraceEvent::FgRevert {
+                kernel: kernel.to_string(),
+                iteration,
+                from: cfg.into(),
+                to: next.into(),
+                blamed: blamed.clone(),
+            });
+            next
         }
     }
 
@@ -241,6 +291,9 @@ impl FineGrain {
         state: &mut FgState,
         cfg: HwConfig,
         probe_down: &F,
+        trace: &TraceHandle,
+        kernel: &str,
+        iteration: u64,
     ) -> HwConfig {
         state.last_moves.clear();
         let mut next = cfg;
@@ -259,7 +312,13 @@ impl FineGrain {
                 state.cursor += 1;
                 if let Some(down) = next.step_down(t) {
                     if state.bad.contains(&down) {
-                        continue; // already known to degrade performance
+                        // already known to degrade performance
+                        trace.emit(|| TraceEvent::KnownBadSkip {
+                            kernel: kernel.to_string(),
+                            iteration,
+                            cfg: down.into(),
+                        });
+                        continue;
                     }
                     next = down;
                     state.last_moves.push((t, Direction::Down));
@@ -279,6 +338,11 @@ impl FineGrain {
             if state.bad.contains(&next) {
                 // The concurrent probe lands on a known-bad point: retry
                 // one tunable at a time, skipping known-bad neighbours.
+                trace.emit(|| TraceEvent::KnownBadSkip {
+                    kernel: kernel.to_string(),
+                    iteration,
+                    cfg: next.into(),
+                });
                 state.last_moves.clear();
                 next = cfg;
                 for &t in &candidates {
@@ -329,6 +393,37 @@ impl Default for FineGrain {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Emits an [`TraceEvent::FgProbe`] for a move from `from` to `to` (no-op
+/// when the step produced no move or tracing is disabled).
+fn emit_probe(
+    trace: &TraceHandle,
+    kernel: &str,
+    iteration: u64,
+    from: HwConfig,
+    to: HwConfig,
+    moves: &[(Tunable, Direction)],
+) {
+    if from == to {
+        return;
+    }
+    trace.emit(|| TraceEvent::FgProbe {
+        kernel: kernel.to_string(),
+        iteration,
+        from: from.into(),
+        to: to.into(),
+        moved_down: moves
+            .iter()
+            .filter(|(_, d)| *d == Direction::Down)
+            .map(|(t, _)| *t)
+            .collect(),
+        moved_up: moves
+            .iter()
+            .filter(|(_, d)| *d == Direction::Up)
+            .map(|(t, _)| *t)
+            .collect(),
+    });
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ use crate::governor::coarse::{CoarseGrain, SensitivityBins};
 use crate::governor::fine::{FgState, FineGrain};
 use crate::governor::Governor;
 use crate::predictor::SensitivityPredictor;
+use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_sim::{CounterSample, KernelProfile};
 use harmonia_types::{HwConfig, Tunable};
 use std::collections::HashMap;
@@ -139,6 +140,7 @@ pub struct HarmoniaGovernor {
     config: HarmoniaConfig,
     name: String,
     kernels: HashMap<String, KernelState>,
+    trace: TraceHandle,
 }
 
 impl HarmoniaGovernor {
@@ -166,6 +168,7 @@ impl HarmoniaGovernor {
             config,
             name,
             kernels: HashMap::new(),
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -186,6 +189,10 @@ impl Governor for HarmoniaGovernor {
         &self.name
     }
 
+    fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
     fn decide(&mut self, kernel: &KernelProfile, _iteration: u64) -> HwConfig {
         self.state_mut(&kernel.name).cfg
     }
@@ -193,7 +200,7 @@ impl Governor for HarmoniaGovernor {
     fn observe(
         &mut self,
         kernel: &KernelProfile,
-        _iteration: u64,
+        iteration: u64,
         cfg: HwConfig,
         counters: &CounterSample,
     ) {
@@ -201,6 +208,7 @@ impl Governor for HarmoniaGovernor {
         let enable_fg = self.config.enable_fg;
         let cg = self.cg.clone();
         let fg = self.fg.clone();
+        let trace = self.trace.clone();
 
         let state = self.state_mut(&kernel.name);
         // Predict on the kernel's *nominal* counter values — a running
@@ -214,6 +222,16 @@ impl Governor for HarmoniaGovernor {
         state.nominal = Some(nominal);
         let sensitivity = cg.predict(&nominal);
         let bins = cg.bins(sensitivity);
+        trace.emit(|| TraceEvent::Prediction {
+            kernel: kernel.name.clone(),
+            iteration,
+            cu: sensitivity.cu,
+            freq: sensitivity.freq,
+            bandwidth: sensitivity.bandwidth,
+            cu_bin: bins.cu,
+            freq_bin: bins.freq,
+            bw_bin: bins.bandwidth,
+        });
 
         let rate_now = if counters.duration.value() > 0.0 {
             counters.valu_insts as f64 / counters.duration.value()
@@ -253,7 +271,14 @@ impl Governor for HarmoniaGovernor {
                 state.cfg_changed_last = false;
                 state.fg.note(rate_now, cfg);
                 state.fg.mark_bad_if_slow(rate_now, cfg);
-                state.cfg = state.prev_cfg;
+                let restored = state.prev_cfg;
+                trace.emit(|| TraceEvent::RevertGuard {
+                    kernel: kernel.name.clone(),
+                    iteration,
+                    from: cfg.into(),
+                    to: restored.into(),
+                });
+                state.cfg = restored;
                 return;
             }
             state.reverts = 0;
@@ -265,16 +290,32 @@ impl Governor for HarmoniaGovernor {
             state.fg.retune();
             state.cg_events += 1;
             cg_applied = true;
-            cg.apply(cfg, bins)
+            let jumped = cg.apply(cfg, bins);
+            trace.emit(|| TraceEvent::CgRetune {
+                kernel: kernel.name.clone(),
+                iteration,
+                from: cfg.into(),
+                to: jumped.into(),
+                cu_bin: bins.cu,
+                freq_bin: bins.freq,
+                bw_bin: bins.bandwidth,
+            });
+            jumped
         } else if enable_fg {
             // Stable sensitivities: fine-grain feedback step on the VALU
             // throughput proxy. HIGH-sensitivity tunables are not probed
             // downward.
             state.reverts = 0;
             let accepted = state.last_bins.unwrap_or(bins);
-            fg.step(&mut state.fg, cfg, rate_now, |t| {
-                accepted.bin_for(t) != SensitivityBin::High
-            })
+            fg.step_traced(
+                &mut state.fg,
+                cfg,
+                rate_now,
+                |t| accepted.bin_for(t) != SensitivityBin::High,
+                &trace,
+                &kernel.name,
+                iteration,
+            )
         } else {
             state.last_bins = Some(bins);
             state.fg.note(rate_now, cfg);

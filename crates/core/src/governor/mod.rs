@@ -33,6 +33,7 @@ pub use harmonia::{HarmoniaConfig, HarmoniaGovernor};
 pub use oracle::OracleGovernor;
 pub use powertune::PowerTuneGovernor;
 
+use crate::telemetry::TraceHandle;
 use harmonia_sim::{CounterSample, KernelProfile};
 use harmonia_types::HwConfig;
 
@@ -40,6 +41,12 @@ use harmonia_types::HwConfig;
 pub trait Governor {
     /// Human-readable policy name used in reports.
     fn name(&self) -> &str;
+
+    /// Installs a telemetry handle so the governor can emit decision-trace
+    /// events. The default is a no-op for policies that make no traceable
+    /// decisions (the always-boost baseline). Decorators must forward the
+    /// handle to their inner governor.
+    fn set_trace(&mut self, _trace: TraceHandle) {}
 
     /// Chooses the hardware configuration for the upcoming invocation of
     /// `kernel` (application iteration `iteration`).

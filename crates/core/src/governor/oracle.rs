@@ -15,6 +15,7 @@
 //! answered from a per-kernel memo keyed by the scale in effect.
 
 use crate::governor::Governor;
+use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_power::{Activity, PowerModel};
 use harmonia_sim::{sweep, CounterSample, KernelProfile, SimCache, TimingModel};
 use harmonia_types::{ConfigSpace, HwConfig};
@@ -36,6 +37,7 @@ pub struct OracleGovernor<'a> {
     /// decision was made for. Interning lets lookups borrow the kernel's
     /// name instead of cloning a `String` per invocation.
     decisions: HashMap<Arc<str>, HashMap<ScaleKey, HwConfig>>,
+    trace: TraceHandle,
 }
 
 impl<'a> OracleGovernor<'a> {
@@ -47,6 +49,7 @@ impl<'a> OracleGovernor<'a> {
             space: ConfigSpace::hd7970(),
             sim_cache: SimCache::new(),
             decisions: HashMap::new(),
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -93,6 +96,17 @@ impl<'a> OracleGovernor<'a> {
             .entry(Arc::from(kernel.name.as_str()))
             .or_default()
             .insert(scale_key, best);
+        // One sweep just ran: report the cache accounting (hits, misses,
+        // shard occupancy) so traces show what each exhaustive pass cost.
+        self.trace.emit(|| {
+            let stats = self.sim_cache.stats();
+            TraceEvent::CacheStats {
+                hits: stats.hits as u64,
+                misses: stats.misses as u64,
+                entries: stats.entries as u64,
+                shards: stats.shard_occupancy.iter().map(|&n| n as u64).collect(),
+            }
+        });
         best
     }
 
@@ -105,6 +119,10 @@ impl<'a> OracleGovernor<'a> {
 impl Governor for OracleGovernor<'_> {
     fn name(&self) -> &str {
         "oracle"
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     fn decide(&mut self, kernel: &KernelProfile, iteration: u64) -> HwConfig {

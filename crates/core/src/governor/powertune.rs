@@ -16,6 +16,7 @@
 //! power cap, where the contrast with Harmonia's coordinated scaling shows.
 
 use crate::governor::Governor;
+use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_power::{Activity, PowerModel, ThermalModel, ThermalParams};
 use harmonia_sim::{CounterSample, KernelProfile};
 use harmonia_types::{ComputeConfig, HwConfig, MegaHertz, MemoryConfig, Watts};
@@ -31,6 +32,7 @@ pub struct PowerTuneGovernor<'a> {
     thermal: ThermalModel,
     /// Index into [`DPM_CLOCKS`].
     state: usize,
+    trace: TraceHandle,
 }
 
 impl<'a> PowerTuneGovernor<'a> {
@@ -46,6 +48,7 @@ impl<'a> PowerTuneGovernor<'a> {
             tdp,
             thermal: ThermalModel::new(ThermalParams::default()),
             state: DPM_CLOCKS.len() - 1, // start at boost
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -68,17 +71,22 @@ impl Governor for PowerTuneGovernor<'_> {
         "powertune"
     }
 
+    fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
     fn decide(&mut self, _kernel: &KernelProfile, _iteration: u64) -> HwConfig {
         self.config_for_state()
     }
 
     fn observe(
         &mut self,
-        _kernel: &KernelProfile,
-        _iteration: u64,
+        kernel: &KernelProfile,
+        iteration: u64,
         cfg: HwConfig,
         counters: &CounterSample,
     ) {
+        let state_before = self.state;
         let activity = Activity {
             valu_activity: counters.valu_activity(),
             dram_bytes_per_sec: counters.dram_bytes_per_sec(),
@@ -106,6 +114,14 @@ impl Governor for PowerTuneGovernor<'_> {
             if self.power.card_pwr(probe, &activity) <= self.tdp {
                 self.state = next;
             }
+        }
+        if self.state != state_before {
+            self.trace.emit(|| TraceEvent::DpmShift {
+                kernel: kernel.name.clone(),
+                iteration,
+                from_mhz: DPM_CLOCKS[state_before],
+                to_mhz: DPM_CLOCKS[self.state],
+            });
         }
     }
 }

@@ -27,7 +27,9 @@
 //!   and [`OracleGovernor`] (exhaustive per-kernel ED² search),
 //! * [`runtime`] — the monitoring/decision loop executing applications on a
 //!   timing model and power model,
-//! * [`metrics`] — energy, ED, ED², improvement, and residency reporting.
+//! * [`metrics`] — energy, ED, ED², improvement, and residency reporting,
+//! * [`telemetry`] — the zero-cost-when-disabled decision trace: typed
+//!   events for every CG/FG decision, JSONL/CSV export, summaries, replay.
 //!
 //! # Examples
 //!
@@ -62,6 +64,7 @@ pub mod metrics;
 pub mod predictor;
 pub mod runtime;
 pub mod sensitivity;
+pub mod telemetry;
 
 pub use binning::SensitivityBin;
 pub use governor::{BaselineGovernor, Governor, HarmoniaGovernor, OracleGovernor};
@@ -69,3 +72,4 @@ pub use metrics::{InvocationRecord, KernelReport, Residency, RunReport};
 pub use predictor::SensitivityPredictor;
 pub use runtime::Runtime;
 pub use sensitivity::Sensitivity;
+pub use telemetry::{TraceEvent, TraceHandle, TraceSummary};

@@ -8,27 +8,35 @@
 
 use crate::governor::Governor;
 use crate::metrics::{InvocationRecord, KernelReport, Residency, RunReport};
-use harmonia_power::{Activity, PowerModel};
+use crate::telemetry::{TraceEvent, TraceHandle};
+use harmonia_power::{Activity, PowerModel, PowerTrace};
 use harmonia_sim::TimingModel;
 use harmonia_types::{Joules, Seconds};
 use harmonia_workloads::Application;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// DAQ sampling rate for the telemetry power trace (the paper's 1 kHz).
+const POWER_SAMPLE_HZ: f64 = 1000.0;
+
 /// Executes applications on a timing model and power model under a governor.
 pub struct Runtime<'a> {
     model: &'a dyn TimingModel,
     power: &'a PowerModel,
     keep_trace: bool,
+    telemetry: TraceHandle,
 }
 
 impl<'a> Runtime<'a> {
-    /// Creates a runtime over the given models (full traces kept).
+    /// Creates a runtime over the given models (full traces kept). Decision
+    /// telemetry defaults to [`TraceHandle::from_env`]: disabled unless
+    /// `HARMONIA_TRACE=1`.
     pub fn new(model: &'a dyn TimingModel, power: &'a PowerModel) -> Self {
         Self {
             model,
             power,
             keep_trace: true,
+            telemetry: TraceHandle::from_env(),
         }
     }
 
@@ -36,6 +44,20 @@ impl<'a> Runtime<'a> {
     pub fn without_trace(mut self) -> Self {
         self.keep_trace = false;
         self
+    }
+
+    /// Installs an explicit decision-telemetry handle. The same handle is
+    /// passed to the governor of every subsequent [`run`](Self::run), so
+    /// runtime events (kernel boundaries, power samples) and governor events
+    /// (CG/FG decisions) interleave in one stream.
+    pub fn with_telemetry(mut self, telemetry: TraceHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The decision-telemetry handle in use.
+    pub fn telemetry(&self) -> &TraceHandle {
+        &self.telemetry
     }
 
     /// The timing model in use.
@@ -65,9 +87,23 @@ impl<'a> Runtime<'a> {
             .map(|k| Arc::from(k.name.as_str()))
             .collect();
 
+        governor.set_trace(self.telemetry.clone());
+        self.telemetry.emit(|| TraceEvent::RunStart {
+            app: app.name.clone(),
+            governor: governor.name().to_string(),
+        });
+        // The virtual DAQ accumulates segments only while telemetry is
+        // enabled; sampled at POWER_SAMPLE_HZ after the run.
+        let mut daq = self.telemetry.enabled().then(PowerTrace::new);
+
         for iteration in 0..app.iterations {
             for (kernel, name) in app.kernels.iter().zip(&names) {
                 let cfg = governor.decide(kernel, iteration);
+                self.telemetry.emit(|| TraceEvent::KernelStart {
+                    kernel: kernel.name.clone(),
+                    iteration,
+                    cfg: cfg.into(),
+                });
                 let result = self.model.simulate(cfg, kernel, iteration);
                 let counters = result.counters;
                 let activity = Activity {
@@ -83,6 +119,19 @@ impl<'a> Runtime<'a> {
                 gpu_energy += breakdown.gpu_pwr() * dt;
                 mem_energy += breakdown.mem_pwr() * dt;
                 residency.record(cfg, dt);
+                self.telemetry.emit(|| TraceEvent::KernelEnd {
+                    kernel: kernel.name.clone(),
+                    iteration,
+                    cfg: cfg.into(),
+                    time_s: dt.value(),
+                    card_w: breakdown.card_pwr().value(),
+                    gpu_w: breakdown.gpu_pwr().value(),
+                    mem_w: breakdown.mem_pwr().value(),
+                    counters,
+                });
+                if let Some(daq) = &mut daq {
+                    daq.push(dt, breakdown);
+                }
 
                 let entry = per_kernel
                     .entry(name.clone())
@@ -112,6 +161,23 @@ impl<'a> Runtime<'a> {
                 governor.observe(kernel, iteration, cfg, &counters);
             }
         }
+
+        if let Some(daq) = &daq {
+            for s in daq.sample(POWER_SAMPLE_HZ) {
+                self.telemetry.emit(|| TraceEvent::PowerSample {
+                    at_s: s.at.value(),
+                    card_w: s.card.value(),
+                    gpu_w: s.gpu.value(),
+                    mem_w: s.mem.value(),
+                });
+            }
+        }
+        self.telemetry.emit(|| TraceEvent::RunEnd {
+            app: app.name.clone(),
+            governor: governor.name().to_string(),
+            total_time_s: total_time.value(),
+            card_energy_j: card_energy.value(),
+        });
 
         RunReport {
             app: app.name.clone(),

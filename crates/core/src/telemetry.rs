@@ -1,0 +1,946 @@
+//! Decision-trace observability for the monitoring/decision runtime.
+//!
+//! The paper's claims (Figures 10–18) are statements about *governor
+//! behaviour over time* — CG retunes, FG probes and reverts, residencies,
+//! power splits — yet aggregate run reports cannot show *why* a decision was
+//! made. This module adds a structured, zero-cost-when-disabled event trace:
+//!
+//! * [`TraceEvent`] — typed events covering kernel boundaries (with the full
+//!   [`CounterSample`]), sensitivity predictions and bin assignments, CG
+//!   retunes, every FG probe/accept/revert with the blamed tunable,
+//!   revert-guard and known-bad-list hits, sweep-cache statistics, and 1 kHz
+//!   power-trace samples;
+//! * [`TraceHandle`] — a cheap cloneable handle over a bounded ring buffer
+//!   ([`TraceBuffer`]). A disabled handle is a `None`: emitting through it is
+//!   a single branch and the event is never even constructed, so traced and
+//!   untraced runs execute identical decision logic;
+//! * [`to_jsonl`]/[`from_jsonl`]/[`to_csv`] — line-oriented exporters whose
+//!   output is byte-stable for deterministic models (golden-trace tests);
+//! * [`TraceSummary`] — decision counts, residencies, and convergence
+//!   iterations (Section 7 / Figure 18) derived purely from the event
+//!   stream;
+//! * [`config_sequence`]/[`matches_run`] — replay: the per-invocation
+//!   configuration sequence recovered from the trace, checkable against a
+//!   live [`RunReport`](crate::metrics::RunReport).
+//!
+//! The runtime emits kernel/power events, [`HarmoniaGovernor`] emits
+//! CG/FG/guard events, and [`OracleGovernor`] emits sweep-cache statistics;
+//! see `harmonia-experiments trace <app>` for the CLI entry point.
+//!
+//! [`HarmoniaGovernor`]: crate::governor::HarmoniaGovernor
+//! [`OracleGovernor`]: crate::governor::OracleGovernor
+
+use crate::binning::SensitivityBin;
+use crate::metrics::{Residency, RunReport};
+use harmonia_sim::CounterSample;
+use harmonia_types::{ComputeConfig, HwConfig, MegaHertz, MemoryConfig, Seconds, Tunable};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Environment variable that globally enables runtime tracing
+/// (`HARMONIA_TRACE=1`); used by the CI matrix leg that asserts traced and
+/// untraced runs agree.
+pub const TRACE_ENV: &str = "HARMONIA_TRACE";
+
+/// Default ring-buffer capacity (events).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// A hardware operating point in trace-friendly form: the three raw tunable
+/// values. Compact in JSONL and trivially diffable, unlike the nested
+/// [`HwConfig`] serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConfigPoint {
+    /// Active compute units.
+    pub cu: u32,
+    /// Compute clock in MHz.
+    pub cu_mhz: u32,
+    /// Memory bus clock in MHz.
+    pub mem_mhz: u32,
+}
+
+impl From<HwConfig> for ConfigPoint {
+    fn from(cfg: HwConfig) -> Self {
+        Self {
+            cu: cfg.compute.cu_count(),
+            cu_mhz: cfg.compute.freq().value(),
+            mem_mhz: cfg.memory.bus_freq().value(),
+        }
+    }
+}
+
+impl ConfigPoint {
+    /// Reconstructs the validated [`HwConfig`]; `None` if the point is off
+    /// the hardware grid (e.g. a hand-edited trace).
+    pub fn to_hw(self) -> Option<HwConfig> {
+        Some(HwConfig::new(
+            ComputeConfig::new(self.cu, MegaHertz(self.cu_mhz)).ok()?,
+            MemoryConfig::new(MegaHertz(self.mem_mhz)).ok()?,
+        ))
+    }
+}
+
+/// One structured event of the decision trace.
+///
+/// Externally tagged on serialization: `{"KernelStart":{...}}` — one JSON
+/// object per line in the JSONL export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A runtime run began.
+    RunStart {
+        /// Application name.
+        app: String,
+        /// Governor name.
+        governor: String,
+    },
+    /// A kernel invocation is about to run at `cfg` (the governor's
+    /// decision for this invocation).
+    KernelStart {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// Decided configuration.
+        cfg: ConfigPoint,
+    },
+    /// A kernel invocation finished; carries the full counter sample the
+    /// monitoring block observed.
+    KernelEnd {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// Configuration the invocation ran at.
+        cfg: ConfigPoint,
+        /// Execution time in seconds.
+        time_s: f64,
+        /// Average card power over the invocation (W).
+        card_w: f64,
+        /// Average GPU chip power (W).
+        gpu_w: f64,
+        /// Average memory power (W).
+        mem_w: f64,
+        /// The performance counters produced by the invocation.
+        counters: CounterSample,
+    },
+    /// The CG block predicted sensitivities and binned them.
+    Prediction {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// Predicted CU-count sensitivity.
+        cu: f64,
+        /// Predicted CU-frequency sensitivity.
+        freq: f64,
+        /// Predicted memory-bandwidth sensitivity.
+        bandwidth: f64,
+        /// Bin assigned to the CU-count sensitivity.
+        cu_bin: SensitivityBin,
+        /// Bin assigned to the CU-frequency sensitivity.
+        freq_bin: SensitivityBin,
+        /// Bin assigned to the bandwidth sensitivity.
+        bw_bin: SensitivityBin,
+    },
+    /// A coarse-grain retune: the bins changed and CG jumped the tunables.
+    CgRetune {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// Configuration before the jump.
+        from: ConfigPoint,
+        /// Configuration chosen by the jump.
+        to: ConfigPoint,
+        /// Bin driving the CU count.
+        cu_bin: SensitivityBin,
+        /// Bin driving the CU frequency.
+        freq_bin: SensitivityBin,
+        /// Bin driving the memory frequency.
+        bw_bin: SensitivityBin,
+    },
+    /// The revert guard fired: a sensitivity shift right after a downward
+    /// actuation was judged an artifact and the previous configuration was
+    /// restored.
+    RevertGuard {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// The (perturbing) configuration being abandoned.
+        from: ConfigPoint,
+        /// The restored pre-change configuration.
+        to: ConfigPoint,
+    },
+    /// The FG loop probed: a decrement (or climb-continuation) move.
+    FgProbe {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// Configuration before the move.
+        from: ConfigPoint,
+        /// Configuration after the move.
+        to: ConfigPoint,
+        /// Tunables stepped down by this move.
+        moved_down: Vec<Tunable>,
+        /// Tunables stepped up by this move (recovery climbs).
+        moved_up: Vec<Tunable>,
+    },
+    /// The FG loop accepted the previous move: throughput was preserved at
+    /// the probed configuration.
+    FgAccept {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// The accepted configuration.
+        cfg: ConfigPoint,
+        /// The throughput proxy observed there (VALU instruction rate).
+        rate: f64,
+    },
+    /// The FG loop reverted: throughput degraded, the blamed tunables are
+    /// stepped back up.
+    FgRevert {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// The degrading configuration.
+        from: ConfigPoint,
+        /// The configuration after the increment move.
+        to: ConfigPoint,
+        /// The tunables blamed for the degradation (empty when the
+        /// degradation had no probe to blame, e.g. a CG misprediction).
+        blamed: Vec<Tunable>,
+    },
+    /// The FG loop converged: no further moves until the next CG retune.
+    FgConverged {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// The best (lowest-power, performance-preserving) state settled on.
+        cfg: ConfigPoint,
+    },
+    /// A downward probe was skipped because the target configuration is on
+    /// the known-bad list for the current phase regime.
+    KnownBadSkip {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// The configuration that was not re-probed.
+        cfg: ConfigPoint,
+    },
+    /// A power-cap decorator clamped the inner governor's decision.
+    CapClamp {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// What the inner policy wanted.
+        wanted: ConfigPoint,
+        /// What the cap allowed.
+        granted: ConfigPoint,
+    },
+    /// The reactive PowerTune governor shifted DPM state.
+    DpmShift {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// Compute clock before the shift (MHz).
+        from_mhz: u32,
+        /// Compute clock after the shift (MHz).
+        to_mhz: u32,
+    },
+    /// Sweep-engine cache statistics, emitted after an exhaustive sweep.
+    CacheStats {
+        /// Lookups served from memory.
+        hits: u64,
+        /// Lookups that ran the underlying model.
+        misses: u64,
+        /// Distinct simulation points stored.
+        entries: u64,
+        /// Entries per cache shard (occupancy distribution).
+        shards: Vec<u64>,
+    },
+    /// One 1 kHz sample of the virtual DAQ power trace.
+    PowerSample {
+        /// Timestamp since run start (s).
+        at_s: f64,
+        /// Card power (W).
+        card_w: f64,
+        /// GPU chip power (W).
+        gpu_w: f64,
+        /// Memory power (W).
+        mem_w: f64,
+    },
+    /// The runtime run finished.
+    RunEnd {
+        /// Application name.
+        app: String,
+        /// Governor name.
+        governor: String,
+        /// Total execution time (s).
+        total_time_s: f64,
+        /// Total card energy (J).
+        card_energy_j: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Short machine-readable event kind (the serialization tag).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "RunStart",
+            TraceEvent::KernelStart { .. } => "KernelStart",
+            TraceEvent::KernelEnd { .. } => "KernelEnd",
+            TraceEvent::Prediction { .. } => "Prediction",
+            TraceEvent::CgRetune { .. } => "CgRetune",
+            TraceEvent::RevertGuard { .. } => "RevertGuard",
+            TraceEvent::FgProbe { .. } => "FgProbe",
+            TraceEvent::FgAccept { .. } => "FgAccept",
+            TraceEvent::FgRevert { .. } => "FgRevert",
+            TraceEvent::FgConverged { .. } => "FgConverged",
+            TraceEvent::KnownBadSkip { .. } => "KnownBadSkip",
+            TraceEvent::CapClamp { .. } => "CapClamp",
+            TraceEvent::DpmShift { .. } => "DpmShift",
+            TraceEvent::CacheStats { .. } => "CacheStats",
+            TraceEvent::PowerSample { .. } => "PowerSample",
+            TraceEvent::RunEnd { .. } => "RunEnd",
+        }
+    }
+
+    /// The kernel this event concerns, when it concerns one.
+    pub fn kernel(&self) -> Option<&str> {
+        match self {
+            TraceEvent::KernelStart { kernel, .. }
+            | TraceEvent::KernelEnd { kernel, .. }
+            | TraceEvent::Prediction { kernel, .. }
+            | TraceEvent::CgRetune { kernel, .. }
+            | TraceEvent::RevertGuard { kernel, .. }
+            | TraceEvent::FgProbe { kernel, .. }
+            | TraceEvent::FgAccept { kernel, .. }
+            | TraceEvent::FgRevert { kernel, .. }
+            | TraceEvent::FgConverged { kernel, .. }
+            | TraceEvent::KnownBadSkip { kernel, .. }
+            | TraceEvent::CapClamp { kernel, .. }
+            | TraceEvent::DpmShift { kernel, .. } => Some(kernel),
+            _ => None,
+        }
+    }
+
+    /// The application iteration this event concerns, when it concerns one.
+    pub fn iteration(&self) -> Option<u64> {
+        match self {
+            TraceEvent::KernelStart { iteration, .. }
+            | TraceEvent::KernelEnd { iteration, .. }
+            | TraceEvent::Prediction { iteration, .. }
+            | TraceEvent::CgRetune { iteration, .. }
+            | TraceEvent::RevertGuard { iteration, .. }
+            | TraceEvent::FgProbe { iteration, .. }
+            | TraceEvent::FgAccept { iteration, .. }
+            | TraceEvent::FgRevert { iteration, .. }
+            | TraceEvent::FgConverged { iteration, .. }
+            | TraceEvent::KnownBadSkip { iteration, .. }
+            | TraceEvent::CapClamp { iteration, .. }
+            | TraceEvent::DpmShift { iteration, .. } => Some(*iteration),
+            _ => None,
+        }
+    }
+}
+
+/// A bounded ring buffer of trace events. When full, the oldest event is
+/// dropped and counted — decision traces keep their most recent window.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when at capacity.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.iter().cloned().collect()
+    }
+}
+
+/// A cheap, cloneable, thread-safe handle to a shared [`TraceBuffer`].
+///
+/// The disabled handle carries no buffer at all: [`TraceHandle::emit`]
+/// reduces to one `Option` branch and the event-constructing closure is
+/// never called, so instrumented code paths cost nothing measurable when
+/// tracing is off.
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle {
+    inner: Option<Arc<Mutex<TraceBuffer>>>,
+}
+
+impl TraceHandle {
+    /// A handle that records nothing (the zero-cost default).
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled handle over a fresh buffer of [`DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::bounded(DEFAULT_CAPACITY)
+    }
+
+    /// An enabled handle over a fresh buffer of `capacity` events.
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(TraceBuffer::new(capacity)))),
+        }
+    }
+
+    /// An enabled handle when [`TRACE_ENV`] is set to `1`/`true`, otherwise
+    /// disabled. Lets a CI leg run the entire test suite traced.
+    pub fn from_env() -> Self {
+        match std::env::var(TRACE_ENV) {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Self::new(),
+            _ => Self::disabled(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records the event produced by `f` (not called when disabled).
+    #[inline]
+    pub fn emit<F: FnOnce() -> TraceEvent>(&self, f: F) {
+        if let Some(buffer) = &self.inner {
+            buffer.lock().expect("trace buffer poisoned").push(f());
+        }
+    }
+
+    /// A snapshot of the buffered events, oldest first (empty when
+    /// disabled).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.as_ref().map_or_else(Vec::new, |b| {
+            b.lock().expect("trace buffer poisoned").snapshot()
+        })
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |b| b.lock().expect("trace buffer poisoned").len())
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |b| b.lock().expect("trace buffer poisoned").dropped())
+    }
+
+    /// Summarizes the buffered events (see [`summarize`]).
+    pub fn summary(&self) -> TraceSummary {
+        let mut s = summarize(&self.events());
+        s.dropped = self.dropped();
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+/// Serializes events as JSONL: one compact JSON object per line. Output is
+/// byte-stable for identical event streams (struct-order keys, shortest
+/// round-trip float formatting).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&serde_json::to_string(ev).expect("trace events always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL decision trace produced by [`to_jsonl`].
+///
+/// # Errors
+///
+/// Returns the offending line number and parser message on malformed input.
+pub fn from_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: TraceEvent = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+/// Flattens events into a CSV with the common columns
+/// `kind,kernel,iteration,cu,cu_mhz,mem_mhz,detail` (decision events carry
+/// their destination configuration; `detail` holds kind-specific values).
+pub fn to_csv(events: &[TraceEvent]) -> String {
+    let mut out = String::from("kind,kernel,iteration,cu,cu_mhz,mem_mhz,detail\n");
+    for ev in events {
+        let kernel = ev.kernel().unwrap_or("");
+        let iteration = ev
+            .iteration()
+            .map_or(String::new(), |i| i.to_string());
+        let (cfg, detail): (Option<ConfigPoint>, String) = match ev {
+            TraceEvent::RunStart { app, governor } => {
+                (None, format!("app={app} governor={governor}"))
+            }
+            TraceEvent::KernelStart { cfg, .. } => (Some(*cfg), String::new()),
+            TraceEvent::KernelEnd { cfg, time_s, card_w, .. } => {
+                (Some(*cfg), format!("time_s={time_s} card_w={card_w}"))
+            }
+            TraceEvent::Prediction { cu, freq, bandwidth, cu_bin, freq_bin, bw_bin, .. } => (
+                None,
+                format!(
+                    "s=({cu:.3}/{freq:.3}/{bandwidth:.3}) bins=({cu_bin}/{freq_bin}/{bw_bin})"
+                ),
+            ),
+            TraceEvent::CgRetune { from, to, .. }
+            | TraceEvent::RevertGuard { from, to, .. }
+            | TraceEvent::FgProbe { from, to, .. }
+            | TraceEvent::FgRevert { from, to, .. } => (
+                Some(*to),
+                format!("from={}/{}/{}", from.cu, from.cu_mhz, from.mem_mhz),
+            ),
+            TraceEvent::FgAccept { cfg, rate, .. } => (Some(*cfg), format!("rate={rate}")),
+            TraceEvent::FgConverged { cfg, .. } | TraceEvent::KnownBadSkip { cfg, .. } => {
+                (Some(*cfg), String::new())
+            }
+            TraceEvent::CapClamp { wanted, granted, .. } => (
+                Some(*granted),
+                format!("wanted={}/{}/{}", wanted.cu, wanted.cu_mhz, wanted.mem_mhz),
+            ),
+            TraceEvent::DpmShift { from_mhz, to_mhz, .. } => {
+                (None, format!("{from_mhz}->{to_mhz}"))
+            }
+            TraceEvent::CacheStats { hits, misses, entries, .. } => {
+                (None, format!("hits={hits} misses={misses} entries={entries}"))
+            }
+            TraceEvent::PowerSample { at_s, card_w, gpu_w, mem_w } => {
+                (None, format!("at_s={at_s} card={card_w} gpu={gpu_w} mem={mem_w}"))
+            }
+            TraceEvent::RunEnd { total_time_s, card_energy_j, .. } => {
+                (None, format!("time_s={total_time_s} energy_j={card_energy_j}"))
+            }
+        };
+        let (cu, cu_mhz, mem_mhz) = cfg.map_or((String::new(), String::new(), String::new()), |c| {
+            (c.cu.to_string(), c.cu_mhz.to_string(), c.mem_mhz.to_string())
+        });
+        out.push_str(&format!(
+            "{},{kernel},{iteration},{cu},{cu_mhz},{mem_mhz},{detail}\n",
+            ev.kind()
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+/// The per-invocation configuration sequence recorded in the trace, in
+/// execution order: `(kernel, iteration, configuration)` from every
+/// [`TraceEvent::KernelStart`].
+pub fn config_sequence(events: &[TraceEvent]) -> Vec<(String, u64, ConfigPoint)> {
+    events
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::KernelStart { kernel, iteration, cfg } => {
+                Some((kernel.clone(), *iteration, *cfg))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Whether replaying the trace reproduces the governor's exact configuration
+/// sequence as recorded independently by the run report's invocation trace.
+pub fn matches_run(events: &[TraceEvent], report: &RunReport) -> bool {
+    let replayed = config_sequence(events);
+    if replayed.len() != report.trace.len() {
+        return false;
+    }
+    replayed.iter().zip(&report.trace).all(|(r, live)| {
+        r.0 == *live.kernel && r.1 == live.iteration && r.2 == ConfigPoint::from(live.cfg)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Summary
+// ---------------------------------------------------------------------------
+
+/// Aggregate view of a decision trace: decision counts, power-state
+/// residency, and convergence (Section 7 / Figure 18).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TraceSummary {
+    /// Events summarized.
+    pub events: u64,
+    /// Events evicted from the ring buffer before the summary.
+    pub dropped: u64,
+    /// Kernel invocations (KernelEnd events).
+    pub invocations: u64,
+    /// Sensitivity predictions made.
+    pub predictions: u64,
+    /// Coarse-grain retunes.
+    pub cg_retunes: u64,
+    /// Revert-guard activations.
+    pub revert_guards: u64,
+    /// FG probe moves.
+    pub fg_probes: u64,
+    /// FG accepts (throughput preserved at a probed point).
+    pub fg_accepts: u64,
+    /// FG reverts (blamed increments).
+    pub fg_reverts: u64,
+    /// FG convergence events.
+    pub fg_converged: u64,
+    /// Downward probes skipped by the known-bad list.
+    pub known_bad_skips: u64,
+    /// Power-cap clamps.
+    pub cap_clamps: u64,
+    /// DPM state shifts.
+    pub dpm_shifts: u64,
+    /// Virtual-DAQ power samples.
+    pub power_samples: u64,
+    /// Last reported sweep-cache hits.
+    pub cache_hits: u64,
+    /// Last reported sweep-cache misses.
+    pub cache_misses: u64,
+    /// Last reported sweep-cache entries.
+    pub cache_entries: u64,
+    /// Number of invocation-to-invocation configuration changes (per
+    /// kernel).
+    pub config_changes: u64,
+    /// Last application iteration at which any kernel's configuration still
+    /// changed — the convergence metric of Figure 18.
+    pub settle_iteration: u64,
+    /// Time-weighted power-state residency over the traced run (from
+    /// KernelEnd events), the series behind Figures 15–16.
+    pub residency: Residency,
+}
+
+/// Builds a [`TraceSummary`] from an event stream.
+pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
+    let mut s = TraceSummary {
+        events: events.len() as u64,
+        ..TraceSummary::default()
+    };
+    let mut last_cfg: HashMap<&str, ConfigPoint> = HashMap::new();
+    for ev in events {
+        match ev {
+            TraceEvent::KernelStart { kernel, iteration, cfg } => {
+                if let Some(prev) = last_cfg.insert(kernel, *cfg) {
+                    if prev != *cfg {
+                        s.config_changes += 1;
+                        s.settle_iteration = s.settle_iteration.max(*iteration);
+                    }
+                }
+            }
+            TraceEvent::KernelEnd { cfg, time_s, .. } => {
+                s.invocations += 1;
+                if let Some(hw) = cfg.to_hw() {
+                    s.residency.record(hw, Seconds(*time_s));
+                }
+            }
+            TraceEvent::Prediction { .. } => s.predictions += 1,
+            TraceEvent::CgRetune { .. } => s.cg_retunes += 1,
+            TraceEvent::RevertGuard { .. } => s.revert_guards += 1,
+            TraceEvent::FgProbe { .. } => s.fg_probes += 1,
+            TraceEvent::FgAccept { .. } => s.fg_accepts += 1,
+            TraceEvent::FgRevert { .. } => s.fg_reverts += 1,
+            TraceEvent::FgConverged { .. } => s.fg_converged += 1,
+            TraceEvent::KnownBadSkip { .. } => s.known_bad_skips += 1,
+            TraceEvent::CapClamp { .. } => s.cap_clamps += 1,
+            TraceEvent::DpmShift { .. } => s.dpm_shifts += 1,
+            TraceEvent::PowerSample { .. } => s.power_samples += 1,
+            TraceEvent::CacheStats { hits, misses, entries, .. } => {
+                s.cache_hits = *hits;
+                s.cache_misses = *misses;
+                s.cache_entries = *entries;
+            }
+            TraceEvent::RunStart { .. } | TraceEvent::RunEnd { .. } => {}
+        }
+    }
+    s
+}
+
+/// Residency accumulated from the trace over an application-iteration
+/// window `lo..hi` — the windowed series of Figure 15.
+pub fn residency_between(events: &[TraceEvent], lo: u64, hi: u64) -> Residency {
+    let mut residency = Residency::new();
+    for ev in events {
+        if let TraceEvent::KernelEnd { iteration, cfg, time_s, .. } = ev {
+            if (lo..hi).contains(iteration) {
+                if let Some(hw) = cfg.to_hw() {
+                    residency.record(hw, Seconds(*time_s));
+                }
+            }
+        }
+    }
+    residency
+}
+
+/// The Figure 18 convergence metric: the last application iteration at
+/// which any kernel's decided configuration still changed.
+pub fn settle_iteration(events: &[TraceEvent]) -> u64 {
+    summarize(events).settle_iteration
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(cu: u32, f: u32, m: u32) -> ConfigPoint {
+        ConfigPoint { cu, cu_mhz: f, mem_mhz: m }
+    }
+
+    fn start(kernel: &str, iteration: u64, cfg: ConfigPoint) -> TraceEvent {
+        TraceEvent::KernelStart {
+            kernel: kernel.into(),
+            iteration,
+            cfg,
+        }
+    }
+
+    fn end(kernel: &str, iteration: u64, cfg: ConfigPoint, time_s: f64) -> TraceEvent {
+        TraceEvent::KernelEnd {
+            kernel: kernel.into(),
+            iteration,
+            cfg,
+            time_s,
+            card_w: 200.0,
+            gpu_w: 140.0,
+            mem_w: 40.0,
+            counters: CounterSample::default(),
+        }
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing_and_never_builds_events() {
+        let h = TraceHandle::disabled();
+        assert!(!h.enabled());
+        let mut called = false;
+        h.emit(|| {
+            called = true;
+            TraceEvent::RunStart {
+                app: "a".into(),
+                governor: "g".into(),
+            }
+        });
+        assert!(!called, "closure must not run when tracing is disabled");
+        assert!(h.events().is_empty());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn enabled_handle_buffers_in_order() {
+        let h = TraceHandle::new();
+        assert!(h.enabled());
+        h.emit(|| start("k", 0, pt(32, 1000, 1375)));
+        h.emit(|| start("k", 1, pt(32, 1000, 1225)));
+        let evs = h.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(h.len(), 2);
+        assert_eq!(evs[0].iteration(), Some(0));
+        assert_eq!(evs[1].iteration(), Some(1));
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_at_capacity() {
+        let h = TraceHandle::bounded(2);
+        for i in 0..5 {
+            h.emit(|| start("k", i, pt(32, 1000, 1375)));
+        }
+        let evs = h.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(h.dropped(), 3);
+        assert_eq!(evs[0].iteration(), Some(3));
+        assert_eq!(evs[1].iteration(), Some(4));
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let a = TraceHandle::new();
+        let b = a.clone();
+        b.emit(|| start("k", 0, pt(32, 1000, 1375)));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn config_point_round_trips() {
+        let cfg = HwConfig::max_hd7970();
+        let p = ConfigPoint::from(cfg);
+        assert_eq!(p, pt(32, 1000, 1375));
+        assert_eq!(p.to_hw(), Some(cfg));
+        assert_eq!(pt(33, 1000, 1375).to_hw(), None, "off-grid points reject");
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_is_line_oriented() {
+        let events = vec![
+            TraceEvent::RunStart {
+                app: "Graph500".into(),
+                governor: "harmonia".into(),
+            },
+            start("k", 0, pt(32, 1000, 1375)),
+            end("k", 0, pt(32, 1000, 1375), 0.001),
+            TraceEvent::CacheStats {
+                hits: 10,
+                misses: 2,
+                entries: 2,
+                shards: vec![1, 1],
+            },
+        ];
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), events.len());
+        let back = from_jsonl(&text).expect("round trip");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn jsonl_is_byte_stable() {
+        let ev = vec![end("k", 3, pt(16, 700, 925), 0.0125)];
+        assert_eq!(to_jsonl(&ev), to_jsonl(&ev.clone()));
+    }
+
+    #[test]
+    fn from_jsonl_reports_bad_lines() {
+        let err = from_jsonl("{\"Nope\":{}}\n").unwrap_err();
+        assert!(err.contains("line 1"), "got: {err}");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_event_plus_header() {
+        let events = vec![
+            start("k", 0, pt(32, 1000, 1375)),
+            TraceEvent::FgProbe {
+                kernel: "k".into(),
+                iteration: 1,
+                from: pt(32, 1000, 1375),
+                to: pt(28, 900, 1225),
+                moved_down: vec![Tunable::CuCount, Tunable::CuFreq, Tunable::MemFreq],
+                moved_up: vec![],
+            },
+        ];
+        let csv = to_csv(&events);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(2).unwrap().starts_with("FgProbe,k,1,28,900,1225"));
+    }
+
+    #[test]
+    fn summary_counts_and_residency() {
+        let events = vec![
+            start("k", 0, pt(32, 1000, 1375)),
+            end("k", 0, pt(32, 1000, 1375), 1.0),
+            TraceEvent::Prediction {
+                kernel: "k".into(),
+                iteration: 0,
+                cu: 0.9,
+                freq: 0.5,
+                bandwidth: 0.1,
+                cu_bin: SensitivityBin::High,
+                freq_bin: SensitivityBin::Med,
+                bw_bin: SensitivityBin::Low,
+            },
+            TraceEvent::CgRetune {
+                kernel: "k".into(),
+                iteration: 0,
+                from: pt(32, 1000, 1375),
+                to: pt(32, 1000, 775),
+                cu_bin: SensitivityBin::High,
+                freq_bin: SensitivityBin::Med,
+                bw_bin: SensitivityBin::Low,
+            },
+            start("k", 1, pt(32, 1000, 775)),
+            end("k", 1, pt(32, 1000, 775), 3.0),
+        ];
+        let s = summarize(&events);
+        assert_eq!(s.invocations, 2);
+        assert_eq!(s.predictions, 1);
+        assert_eq!(s.cg_retunes, 1);
+        assert_eq!(s.config_changes, 1);
+        assert_eq!(s.settle_iteration, 1);
+        assert!((s.residency.fraction(Tunable::MemFreq, 775) - 0.75).abs() < 1e-12);
+        assert!((s.residency.fraction(Tunable::MemFreq, 1375) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_residency_selects_iterations() {
+        let events = vec![
+            end("k", 0, pt(32, 1000, 1375), 1.0),
+            end("k", 1, pt(32, 1000, 775), 1.0),
+            end("k", 2, pt(32, 1000, 775), 1.0),
+        ];
+        let early = residency_between(&events, 0, 1);
+        assert!((early.fraction(Tunable::MemFreq, 1375) - 1.0).abs() < 1e-12);
+        let late = residency_between(&events, 1, 3);
+        assert!((late.fraction(Tunable::MemFreq, 775) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_matches_config_sequence() {
+        let events = vec![
+            start("a", 0, pt(32, 1000, 1375)),
+            start("b", 0, pt(32, 1000, 775)),
+            start("a", 1, pt(32, 900, 1375)),
+        ];
+        let seq = config_sequence(&events);
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq[2], ("a".to_string(), 1, pt(32, 900, 1375)));
+    }
+
+    #[test]
+    fn from_env_respects_variable() {
+        // Only the parsing path: the default environment must not enable it.
+        assert!(!TraceHandle::from_env().enabled() || std::env::var(TRACE_ENV).is_ok());
+    }
+}

@@ -6,22 +6,34 @@
 //! harmonia-experiments [EXPERIMENT ...] [--out DIR] [--no-csv] [--json]
 //! harmonia-experiments all
 //! harmonia-experiments list
+//! harmonia-experiments trace <APP>
 //! ```
 //!
 //! With no arguments, runs everything. CSVs land in `results/` (or `--out`).
+//! `trace <APP>` runs the application under full Harmonia with decision
+//! telemetry enabled, prints the trace summary, and writes the replayable
+//! JSONL stream to `results/trace_<app>.jsonl` (or `--out`).
 
-use harmonia_experiments::{run, Context, ALL_EXPERIMENTS};
+use harmonia_experiments::{run, trace_cmd, Context, ALL_EXPERIMENTS};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
+    let mut traces: Vec<String> = Vec::new();
     let mut out_dir = PathBuf::from("results");
     let mut write_csv = true;
     let mut write_json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "trace" => {
+                let Some(app) = args.next() else {
+                    eprintln!("trace requires an application name (e.g. `trace Graph500`)");
+                    return ExitCode::FAILURE;
+                };
+                traces.push(app);
+            }
             "--out" => {
                 let Some(dir) = args.next() else {
                     eprintln!("--out requires a directory");
@@ -45,7 +57,7 @@ fn main() -> ExitCode {
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() {
+    if ids.is_empty() && traces.is_empty() {
         ids.extend(ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()));
     }
 
@@ -77,6 +89,34 @@ fn main() -> ExitCode {
             }
             None => {
                 eprintln!("unknown experiment: {id} (try `list`)");
+                failed = true;
+            }
+        }
+    }
+    for app in &traces {
+        match trace_cmd::trace_app(&ctx, app) {
+            Some(traced) => {
+                println!("{}", traced.report);
+                match trace_cmd::write_jsonl(&out_dir, app, &traced.jsonl) {
+                    Ok(path) => println!("  → {}", path.display()),
+                    Err(err) => {
+                        eprintln!("failed to write trace for {app}: {err}");
+                        failed = true;
+                    }
+                }
+                if write_csv {
+                    match traced.report.write_csv(&out_dir) {
+                        Ok(path) => println!("  → {}", path.display()),
+                        Err(err) => {
+                            eprintln!("failed to write CSV for trace {app}: {err}");
+                            failed = true;
+                        }
+                    }
+                }
+                println!();
+            }
+            None => {
+                eprintln!("unknown application: {app} (not in the 14-app suite)");
                 failed = true;
             }
         }

@@ -8,6 +8,7 @@ use harmonia::governor::{
 use harmonia::metrics::RunReport;
 use harmonia::predictor::SensitivityPredictor;
 use harmonia::runtime::Runtime;
+use harmonia::telemetry::{TraceEvent, TraceHandle};
 use harmonia_power::PowerModel;
 use harmonia_sim::{sweep, IntervalModel};
 use harmonia_workloads::{suite, Application};
@@ -24,6 +25,10 @@ pub struct AppEval {
     pub cg: RunReport,
     /// Full Harmonia (CG + FG).
     pub harmonia: RunReport,
+    /// The decision-telemetry event stream of the `harmonia` run. Figures
+    /// 15, 16 and 18 derive their series from this trace rather than from
+    /// ad-hoc invocation-record accounting.
+    pub harmonia_trace: Vec<TraceEvent>,
     /// Exhaustive ED² oracle.
     pub oracle: RunReport,
     /// Compute-DVFS-only ablation.
@@ -85,7 +90,13 @@ impl Context {
         );
         let cg = rt.run(app, &mut cg);
         let mut hm = HarmoniaGovernor::new(self.predictor().clone());
-        let harmonia = rt.run(app, &mut hm);
+        // The full-Harmonia run always carries decision telemetry so the
+        // residency/convergence figures can read their series from it.
+        let telemetry = TraceHandle::new();
+        let harmonia = Runtime::new(&self.model, &self.power)
+            .with_telemetry(telemetry.clone())
+            .run(app, &mut hm);
+        let harmonia_trace = telemetry.events();
         let mut orc = OracleGovernor::new(&self.model, &self.power);
         let oracle = rt.run(app, &mut orc);
         let mut fo = HarmoniaGovernor::with_config(
@@ -98,6 +109,7 @@ impl Context {
             baseline,
             cg,
             harmonia,
+            harmonia_trace,
             oracle,
             freq_only,
         }

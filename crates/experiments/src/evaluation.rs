@@ -4,6 +4,7 @@ use crate::context::{AppEval, Context};
 use crate::report::{bar, num, pct, Report};
 use harmonia::governor::{Governor, HarmoniaGovernor};
 use harmonia::metrics::improvement;
+use harmonia::telemetry;
 use harmonia_sim::TimingModel;
 use harmonia_types::{HwConfig, Tunable};
 use harmonia_workloads::suite;
@@ -130,23 +131,19 @@ pub fn fig15(ctx: &Context) -> Report {
         .expect("Graph500 in suite");
     // The paper plots residency *as time progresses*: split the run into
     // early/late halves by application iteration, then give the overall
-    // distribution.
+    // distribution. All three series come from the decision trace.
     let half = eval.app.iterations / 2;
     for (label, lo, hi) in [
         ("early (it 0..4)", 0, half),
         ("late (it 4..8)", half, eval.app.iterations),
     ] {
-        let mut windowed = harmonia::metrics::Residency::new();
-        for rec in &eval.harmonia.trace {
-            if rec.iteration >= lo && rec.iteration < hi {
-                windowed.record(rec.cfg, rec.time);
-            }
-        }
+        let windowed = telemetry::residency_between(&eval.harmonia_trace, lo, hi);
         for (mhz, frac) in windowed.distribution(Tunable::MemFreq) {
             r.push_row(vec![label.to_string(), mhz.to_string(), pct(frac), bar(frac, 20)]);
         }
     }
-    for (mhz, frac) in eval.harmonia.residency.distribution(Tunable::MemFreq) {
+    let overall = telemetry::summarize(&eval.harmonia_trace).residency;
+    for (mhz, frac) in overall.distribution(Tunable::MemFreq) {
         r.push_row(vec!["overall".into(), mhz.to_string(), pct(frac), bar(frac, 20)]);
     }
     r.note("paper: 1375 MHz 25%, 925 MHz 23%, 775 MHz 42%, 475 MHz 8% — dithering with phase");
@@ -167,8 +164,9 @@ pub fn fig16(ctx: &Context) -> Report {
         .iter()
         .find(|e| e.app.name == "Graph500")
         .expect("Graph500 in suite");
+    let residency = telemetry::summarize(&eval.harmonia_trace).residency;
     for t in Tunable::ALL {
-        for (v, frac) in eval.harmonia.residency.distribution(t) {
+        for (v, frac) in residency.distribution(t) {
             r.push_row(vec![t.to_string(), v.to_string(), pct(frac), bar(frac, 20)]);
         }
     }
@@ -238,25 +236,15 @@ pub fn fig18(ctx: &Context) -> Report {
         let cg = improvement(e.baseline.ed2(), e.cg.ed2());
         let hm = improvement(e.baseline.ed2(), e.harmonia.ed2());
         let fg_share = hm - cg;
-        // Settling: last application iteration at which any kernel's
-        // configuration still changed (tracked per kernel because the trace
-        // interleaves kernels).
-        let mut last_change = 0;
-        let mut last_cfg: std::collections::HashMap<&str, harmonia_types::HwConfig> =
-            std::collections::HashMap::new();
-        for rec in &e.harmonia.trace {
-            if let Some(prev) = last_cfg.insert(&*rec.kernel, rec.cfg) {
-                if prev != rec.cfg {
-                    last_change = last_change.max(rec.iteration);
-                }
-            }
-        }
+        // Settling: last application iteration at which any kernel's decided
+        // configuration still changed, straight from the decision trace.
+        let settled = telemetry::settle_iteration(&e.harmonia_trace);
         r.push_row(vec![
             e.app.name.clone(),
             pct(cg),
             pct(hm),
             pct(fg_share),
-            last_change.to_string(),
+            settled.to_string(),
         ]);
     }
     r.note("paper: ~6% of the 12% ED² gain from CG, the rest from FG; FG takes 3–4 iterations");

@@ -37,6 +37,7 @@
 //! | `ablation-noise` | controller robustness to measurement noise |
 //! | `characterize` | probe-based platform characterization (§3 as a tool) |
 //! | `appendix` / `appendix-<app>` | per-application deep dives |
+//! | `trace-<app>` | decision-trace summary (the `trace <app>` subcommand) |
 
 pub mod appendix;
 pub mod context;
@@ -44,6 +45,7 @@ pub mod evaluation;
 pub mod figures;
 pub mod report;
 pub mod tables;
+pub mod trace_cmd;
 
 #[cfg(test)]
 mod lib_tests;
@@ -125,6 +127,10 @@ pub fn run(ctx: &Context, id: &str) -> Option<Report> {
         "characterize" => figures::characterize(ctx),
         "appendix" => appendix::appendix_summary(ctx),
         other => {
+            // Parameterized decision traces: `trace-<app>`.
+            if let Some(name) = other.strip_prefix("trace-") {
+                return trace_cmd::trace_app(ctx, name).map(|t| t.report);
+            }
             // Dynamic per-application deep dives: `appendix-<app>`.
             let dive = other
                 .strip_prefix("appendix-")

@@ -65,5 +65,5 @@ pub use model::{SimResult, TimingModel};
 pub use noise::NoisyModel;
 pub use occupancy::{Occupancy, OccupancyLimiter};
 pub use profile::{KernelProfile, KernelProfileBuilder, PhaseModulation, PhaseScale};
-pub use sweep::{CachedModel, SimCache};
+pub use sweep::{CacheStats, CachedModel, SimCache};
 pub use trace::{TraceGenerator, TraceModel, TraceOp, WaveTrace};

@@ -249,6 +249,47 @@ impl SimCache {
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Entries per shard, in shard order — the occupancy distribution of
+    /// the sharding hash.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .collect()
+    }
+
+    /// A consistent snapshot of the accounting counters (taken between
+    /// sweeps; concurrent lookups may skew a mid-sweep snapshot).
+    pub fn stats(&self) -> CacheStats {
+        let shard_occupancy = self.shard_occupancy();
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            entries: shard_occupancy.iter().sum(),
+            shard_occupancy,
+        }
+    }
+}
+
+/// A snapshot of a [`SimCache`]'s accounting counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub hits: usize,
+    /// Lookups that ran the underlying model.
+    pub misses: usize,
+    /// Distinct simulation points stored.
+    pub entries: usize,
+    /// Entries per shard, in shard order (occupancy distribution).
+    pub shard_occupancy: Vec<usize>,
+}
+
+impl CacheStats {
+    /// Total lookups observed (`hits + misses`).
+    pub fn lookups(&self) -> usize {
+        self.hits + self.misses
+    }
 }
 
 /// A [`TimingModel`] adaptor that routes every simulation through a

@@ -9,6 +9,7 @@
 //! `assert!` panic of the failing case.
 
 pub mod collection;
+pub mod persistence;
 pub mod strategy;
 pub mod test_runner;
 

@@ -1,0 +1,113 @@
+//! Reading `*.proptest-regressions` persistence files.
+//!
+//! The real proptest appends one `cc <hash> # shrinks to <vars>` line per
+//! newly discovered failure and re-runs those cases before sampling novel
+//! ones. This deterministic stand-in cannot replay the hash — it encodes
+//! upstream's RNG state — but the human-readable shrink comment carries the
+//! concrete failing values. [`parse`]/[`load`] expose the recorded cases
+//! and [`Regression::integers`] extracts the values so a test can
+//! reconstruct each persisted case and assert it explicitly (see
+//! `tests/model_properties.rs` in the workspace root, and DESIGN.md §5).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One persisted failure case: the upstream seed hash plus the
+/// `shrinks to …` comment describing the concrete inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// The upstream case hash (opaque here; kept for identification).
+    pub hash: String,
+    /// The human-readable shrink description after the `#`.
+    pub comment: String,
+}
+
+impl Regression {
+    /// Every unsigned integer appearing in the shrink comment, in order of
+    /// appearance — enough to reconstruct cases whose inputs are integers
+    /// or newtypes over them (`seed = 87, … MegaHertz(300) …` → `[87, 300,
+    /// …]`).
+    pub fn integers(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut current: Option<u64> = None;
+        for ch in self.comment.chars() {
+            if let Some(d) = ch.to_digit(10) {
+                current = Some(current.unwrap_or(0).saturating_mul(10) + u64::from(d));
+            } else if let Some(n) = current.take() {
+                out.push(n);
+            }
+        }
+        if let Some(n) = current {
+            out.push(n);
+        }
+        out
+    }
+}
+
+/// Parses the body of a `.proptest-regressions` file: `#` comment lines and
+/// blanks are skipped, every `cc <hash> [# comment]` line yields a
+/// [`Regression`].
+pub fn parse(text: &str) -> Vec<Regression> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let rest = line.strip_prefix("cc ")?;
+            let (hash, comment) = match rest.split_once('#') {
+                Some((h, c)) => (h.trim(), c.trim()),
+                None => (rest.trim(), ""),
+            };
+            Some(Regression {
+                hash: hash.to_string(),
+                comment: comment.to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Loads and parses a `.proptest-regressions` file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading `path`.
+pub fn load(path: &Path) -> io::Result<Vec<Regression>> {
+    Ok(parse(&fs::read_to_string(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Seeds for failure cases proptest has generated in the past.
+# It is automatically read ...
+
+cc abd6bf86 # shrinks to seed = 87, cfg = HwConfig { compute: ComputeConfig { cu_count: 4, freq: MegaHertz(300) } }
+cc deadbeef
+";
+
+    #[test]
+    fn parses_cc_lines_and_skips_comments() {
+        let cases = parse(SAMPLE);
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].hash, "abd6bf86");
+        assert!(cases[0].comment.starts_with("shrinks to seed = 87"));
+        assert_eq!(cases[1].hash, "deadbeef");
+        assert_eq!(cases[1].comment, "");
+    }
+
+    #[test]
+    fn integers_extracts_values_in_order() {
+        let cases = parse(SAMPLE);
+        assert_eq!(cases[0].integers(), vec![87, 4, 300]);
+        assert!(cases[1].integers().is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_ignored() {
+        assert!(parse("not a cc line\nxx 1234\n").is_empty());
+    }
+}
