@@ -22,6 +22,53 @@ use harmonia_sim::{sweep, CachedModel, CounterSample, KernelProfile, SimCache, T
 use harmonia_types::ConfigSpace;
 use harmonia_workloads::suite;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a training set (or an operation on one) was rejected.
+///
+/// Collection from the in-process simulator always yields well-formed rows,
+/// but sets also arrive from JSON files and from fault-injected pipelines —
+/// malformed rows must surface as errors, not panics, before they poison a
+/// regression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// The set contains no rows at all.
+    Empty,
+    /// `split_every(k)` was called with a period that cannot partition
+    /// (`k < 2` would place every row in the test split).
+    SplitPeriod {
+        /// The rejected period.
+        k: usize,
+    },
+    /// A row carries a non-finite or out-of-domain value in the named
+    /// field.
+    BadValue {
+        /// Kernel name of the offending row.
+        kernel: String,
+        /// Which counter or label field failed validation.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Empty => write!(f, "training set has no rows"),
+            DatasetError::SplitPeriod { k } => {
+                write!(f, "split period must be at least 2, got {k}")
+            }
+            DatasetError::BadValue {
+                kernel,
+                field,
+                value,
+            } => write!(f, "kernel {kernel:?}: field {field} has invalid value {value}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
 
 /// Invocations averaged per configuration during collection, so
 /// phase-modulated kernels contribute their nominal behaviour.
@@ -37,6 +84,56 @@ pub struct TrainingRow {
     pub counters: CounterSample,
     /// Measured sensitivities (the regression target).
     pub measured: Sensitivity,
+}
+
+impl TrainingRow {
+    /// Validates the row: every float feature and label must be finite and
+    /// the sample must cover a positive duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::BadValue`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), DatasetError> {
+        let c = &self.counters;
+        let bad = |field: &'static str, value: f64| DatasetError::BadValue {
+            kernel: self.kernel.clone(),
+            field,
+            value,
+        };
+        let finite: [(&'static str, f64); 12] = [
+            ("VALUBusy", c.valu_busy_pct),
+            ("VALUUtilization", c.valu_utilization_pct),
+            ("MemUnitBusy", c.mem_unit_busy_pct),
+            ("MemUnitStalled", c.mem_unit_stalled_pct),
+            ("WriteUnitStalled", c.write_unit_stalled_pct),
+            ("NormVGPR", c.norm_vgpr),
+            ("NormSGPR", c.norm_sgpr),
+            ("icActivity", c.ic_activity),
+            ("dram_bytes", c.dram_bytes),
+            ("achieved_bw_gbps", c.achieved_bw_gbps),
+            ("occupancy_fraction", c.occupancy_fraction),
+            ("l2_hit_rate", c.l2_hit_rate),
+        ];
+        for (field, value) in finite {
+            if !value.is_finite() {
+                return Err(bad(field, value));
+            }
+        }
+        if !(c.duration.value().is_finite() && c.duration.value() > 0.0) {
+            return Err(bad("duration", c.duration.value()));
+        }
+        let labels = [
+            ("measured.cu", self.measured.cu),
+            ("measured.freq", self.measured.freq),
+            ("measured.bandwidth", self.measured.bandwidth),
+        ];
+        for (field, value) in labels {
+            if !value.is_finite() {
+                return Err(bad(field, value));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A labelled training set over the workload suite.
@@ -141,14 +238,33 @@ impl TrainingSet {
         self.rows.len() * per_kernel
     }
 
+    /// Validates every row of the set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Empty`] for a rowless set, or the first
+    /// per-row [`DatasetError::BadValue`] in row order.
+    pub fn validate(&self) -> Result<(), DatasetError> {
+        if self.rows.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        for row in &self.rows {
+            row.validate()?;
+        }
+        Ok(())
+    }
+
     /// Splits into (train, test) by taking every `k`-th row as test — used
     /// for the leave-out error evaluation reported in `EXPERIMENTS.md`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `k < 2`.
-    pub fn split_every(&self, k: usize) -> (TrainingSet, TrainingSet) {
-        assert!(k >= 2, "split period must be at least 2");
+    /// Returns [`DatasetError::SplitPeriod`] if `k < 2` (every row would
+    /// land in the test split).
+    pub fn split_every(&self, k: usize) -> Result<(TrainingSet, TrainingSet), DatasetError> {
+        if k < 2 {
+            return Err(DatasetError::SplitPeriod { k });
+        }
         let mut train = TrainingSet::default();
         let mut test = TrainingSet::default();
         for (i, row) in self.rows.iter().enumerate() {
@@ -158,7 +274,7 @@ impl TrainingSet {
                 train.rows.push(row.clone());
             }
         }
-        (train, test)
+        Ok((train, test))
     }
 }
 
@@ -209,15 +325,56 @@ mod tests {
     fn split_partitions_rows() {
         let model = IntervalModel::default();
         let data = TrainingSet::collect(&model);
-        let (train, test) = data.split_every(5);
+        let (train, test) = data.split_every(5).expect("valid period");
         assert_eq!(train.rows.len() + test.rows.len(), data.rows.len());
         assert!(!test.rows.is_empty());
         assert!(train.rows.len() > test.rows.len());
     }
 
     #[test]
-    #[should_panic(expected = "split period")]
     fn split_rejects_small_k() {
-        let _ = TrainingSet::default().split_every(1);
+        assert_eq!(
+            TrainingSet::default().split_every(1),
+            Err(DatasetError::SplitPeriod { k: 1 })
+        );
+    }
+
+    #[test]
+    fn collected_set_validates_clean() {
+        let model = IntervalModel::default();
+        let kernels: Vec<_> = suite::training_kernels().into_iter().take(3).collect();
+        let data = TrainingSet::collect_for(&model, &kernels);
+        assert_eq!(data.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_rows() {
+        assert_eq!(TrainingSet::default().validate(), Err(DatasetError::Empty));
+
+        let model = IntervalModel::default();
+        let kernels = vec![(
+            "MaxFlops".to_string(),
+            suite::maxflops().kernels[0].clone(),
+        )];
+        let mut data = TrainingSet::collect_for(&model, &kernels);
+
+        let mut poisoned = data.clone();
+        poisoned.rows[0].counters.ic_activity = f64::NAN;
+        let err = poisoned.validate().expect_err("NaN feature must fail");
+        assert!(
+            matches!(&err, DatasetError::BadValue { field, .. } if *field == "icActivity"),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().contains("icActivity"));
+
+        data.rows[0].measured.bandwidth = f64::INFINITY;
+        let err = data.validate().expect_err("non-finite label must fail");
+        assert!(matches!(
+            err,
+            DatasetError::BadValue {
+                field: "measured.bandwidth",
+                ..
+            }
+        ));
     }
 }

@@ -8,6 +8,7 @@
 //! tunable that buys the most power per step. The inner policy still
 //! receives the real counters, so Harmonia-under-a-cap keeps learning.
 
+use crate::governor::watchdog::{Watchdog, WatchdogConfig, WatchdogTransition};
 use crate::governor::Governor;
 use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_power::{Activity, PowerModel};
@@ -24,6 +25,16 @@ pub struct CappedGovernor<'a, G> {
     /// Last observed activity per kernel, used to project power.
     activity: HashMap<String, Activity>,
     trace: TraceHandle,
+    /// Safe-state fallback watchdog (opt-in hardening).
+    watchdog: Option<Watchdog>,
+    /// Last granted (post-clamp) decision per kernel, for the
+    /// actuation-mismatch check.
+    granted: HashMap<String, HwConfig>,
+    /// Observed intervals whose projected card power exceeded the cap
+    /// (with a 5% enforcement tolerance).
+    cap_violations: u64,
+    /// Cap violations observed while fallback was engaged.
+    violations_while_fallback: u64,
 }
 
 impl<'a, G: Governor> CappedGovernor<'a, G> {
@@ -37,12 +48,46 @@ impl<'a, G: Governor> CappedGovernor<'a, G> {
             name,
             activity: HashMap::new(),
             trace: TraceHandle::disabled(),
+            watchdog: None,
+            granted: HashMap::new(),
+            cap_violations: 0,
+            violations_while_fallback: 0,
         }
+    }
+
+    /// Arms the safe-state fallback watchdog: cap-violation streaks and
+    /// granted-vs-ran actuation mismatches count as anomalous intervals;
+    /// after the threshold, decisions pin to the (still cap-clamped) safe
+    /// state with exponential-backoff re-engagement.
+    pub fn with_watchdog(mut self, config: WatchdogConfig) -> Self {
+        self.watchdog = Some(Watchdog::new(config));
+        self
     }
 
     /// The wrapped governor.
     pub fn inner(&self) -> &G {
         &self.inner
+    }
+
+    /// The fallback watchdog, when armed.
+    pub fn watchdog(&self) -> Option<&Watchdog> {
+        self.watchdog.as_ref()
+    }
+
+    /// Whether fallback is currently engaged.
+    pub fn fallback_engaged(&self) -> bool {
+        self.watchdog.as_ref().is_some_and(Watchdog::engaged)
+    }
+
+    /// Observed intervals whose projected card power exceeded the cap
+    /// (5% enforcement tolerance), fallback engaged or not.
+    pub fn cap_violations(&self) -> u64 {
+        self.cap_violations
+    }
+
+    /// Cap violations observed while fallback was engaged.
+    pub fn violations_while_fallback(&self) -> u64 {
+        self.violations_while_fallback
     }
 
     /// Clamps `cfg` under the cap for the given activity estimate.
@@ -84,7 +129,12 @@ impl<G: Governor> Governor for CappedGovernor<'_, G> {
     }
 
     fn decide(&mut self, kernel: &KernelProfile, iteration: u64) -> HwConfig {
-        let want = self.inner.decide(kernel, iteration);
+        let want = match &self.watchdog {
+            // While fallback is engaged the inner policy is bypassed
+            // entirely; the safe state still goes through the cap clamp.
+            Some(wd) if wd.engaged() => wd.safe(),
+            _ => self.inner.decide(kernel, iteration),
+        };
         // Without an observation yet, assume a fully busy card — the
         // conservative projection for cap enforcement.
         let activity = self
@@ -101,6 +151,9 @@ impl<G: Governor> Governor for CappedGovernor<'_, G> {
                 granted: granted.into(),
             });
         }
+        if self.watchdog.is_some() {
+            self.granted.insert(kernel.name.clone(), granted);
+        }
         granted
     }
 
@@ -111,14 +164,60 @@ impl<G: Governor> Governor for CappedGovernor<'_, G> {
         cfg: HwConfig,
         counters: &CounterSample,
     ) {
-        self.activity.insert(
-            kernel.name.clone(),
-            Activity {
-                valu_activity: counters.valu_activity(),
-                dram_bytes_per_sec: counters.dram_bytes_per_sec(),
-                dram_traffic_fraction: counters.ic_activity,
-            },
-        );
+        let activity = Activity {
+            valu_activity: counters.valu_activity(),
+            dram_bytes_per_sec: counters.dram_bytes_per_sec(),
+            dram_traffic_fraction: counters.ic_activity,
+        };
+        // NaN projections (glitched telemetry) fail the comparison and are
+        // not counted — the inner watchdog catches implausible counters.
+        let over = self.power.card_pwr(cfg, &activity).value() > self.cap.value() * 1.05;
+        if over {
+            self.cap_violations += 1;
+            if self.fallback_engaged() {
+                self.violations_while_fallback += 1;
+            }
+        }
+        if let Some(wd) = self.watchdog.as_mut() {
+            let engaged_before = wd.engaged();
+            let what: Option<&'static str> = if over {
+                Some("cap violation")
+            } else if wd.config().check_actuation
+                && !engaged_before
+                && self.granted.get(&kernel.name).is_some_and(|g| *g != cfg)
+            {
+                Some("actuation mismatch")
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                self.trace.emit(|| TraceEvent::FaultDetected {
+                    kernel: kernel.name.clone(),
+                    iteration,
+                    what: what.to_string(),
+                });
+            }
+            match wd.tick(what.is_some()) {
+                WatchdogTransition::Engaged => {
+                    let safe = wd.safe();
+                    let hold = wd.hold();
+                    self.trace.emit(|| TraceEvent::FallbackEngaged {
+                        kernel: kernel.name.clone(),
+                        iteration,
+                        safe: safe.into(),
+                        hold,
+                    });
+                }
+                WatchdogTransition::Released => {
+                    self.trace.emit(|| TraceEvent::FallbackReleased {
+                        kernel: kernel.name.clone(),
+                        iteration,
+                    });
+                }
+                WatchdogTransition::None => {}
+            }
+        }
+        self.activity.insert(kernel.name.clone(), activity);
         self.inner.observe(kernel, iteration, cfg, counters);
     }
 }

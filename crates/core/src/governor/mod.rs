@@ -24,6 +24,7 @@ mod fine;
 mod harmonia;
 mod oracle;
 mod powertune;
+mod watchdog;
 
 pub use baseline::BaselineGovernor;
 pub use capped::CappedGovernor;
@@ -32,6 +33,7 @@ pub use fine::{FgState, FineGrain};
 pub use harmonia::{HarmoniaConfig, HarmoniaGovernor};
 pub use oracle::OracleGovernor;
 pub use powertune::PowerTuneGovernor;
+pub use watchdog::{safe_state, Watchdog, WatchdogConfig, WatchdogTransition};
 
 use crate::telemetry::TraceHandle;
 use harmonia_sim::{CounterSample, KernelProfile};

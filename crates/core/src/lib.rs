@@ -63,13 +63,16 @@ pub mod governor;
 pub mod metrics;
 pub mod predictor;
 pub mod runtime;
+pub mod sanitize;
 pub mod sensitivity;
 pub mod telemetry;
 
 pub use binning::SensitivityBin;
+pub use dataset::DatasetError;
 pub use governor::{BaselineGovernor, Governor, HarmoniaGovernor, OracleGovernor};
 pub use metrics::{InvocationRecord, KernelReport, Residency, RunReport};
-pub use predictor::SensitivityPredictor;
+pub use predictor::{FitError, SensitivityPredictor};
 pub use runtime::Runtime;
+pub use sanitize::{CounterSanitizer, SanitizerConfig};
 pub use sensitivity::Sensitivity;
 pub use telemetry::{TraceEvent, TraceHandle, TraceSummary};

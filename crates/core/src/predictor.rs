@@ -13,11 +13,53 @@
 //! platform is a model, not the authors' silicon — `EXPERIMENTS.md` reports
 //! both).
 
-use crate::dataset::TrainingSet;
+use crate::dataset::{DatasetError, TrainingSet};
 use crate::sensitivity::Sensitivity;
 use harmonia_sim::CounterSample;
 use harmonia_stats::regression::{Ols, RegressionError};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why training a [`SensitivityPredictor`] failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The training set itself is malformed (empty, or a row carries
+    /// non-finite values) — rejected before any regression runs.
+    Dataset(DatasetError),
+    /// The design matrix is degenerate (too few kernels, collinear
+    /// counters).
+    Regression(RegressionError),
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::Dataset(e) => write!(f, "invalid training set: {e}"),
+            FitError::Regression(e) => write!(f, "regression failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FitError::Dataset(e) => Some(e),
+            FitError::Regression(e) => Some(e),
+        }
+    }
+}
+
+impl From<DatasetError> for FitError {
+    fn from(e: DatasetError) -> Self {
+        FitError::Dataset(e)
+    }
+}
+
+impl From<RegressionError> for FitError {
+    fn from(e: RegressionError) -> Self {
+        FitError::Regression(e)
+    }
+}
 
 /// Names of the bandwidth-model features, in feature-vector order.
 pub const BANDWIDTH_FEATURES: [&str; 7] = [
@@ -147,13 +189,18 @@ impl SensitivityPredictor {
         }
     }
 
-    /// Trains both models on a collected [`TrainingSet`].
+    /// Trains both models on a collected [`TrainingSet`]. The set is
+    /// validated first: malformed rows (non-finite counters or labels, as
+    /// fault-injected pipelines can produce) are rejected up front instead
+    /// of silently corrupting the regression.
     ///
     /// # Errors
     ///
-    /// Propagates [`RegressionError`] when the design matrix is degenerate
-    /// (too few kernels, collinear counters).
-    pub fn fit(data: &TrainingSet) -> Result<Self, RegressionError> {
+    /// Returns [`FitError::Dataset`] for an empty or malformed set, or
+    /// [`FitError::Regression`] when the design matrix is degenerate (too
+    /// few kernels, collinear counters).
+    pub fn fit(data: &TrainingSet) -> Result<Self, FitError> {
+        data.validate()?;
         let bw_x: Vec<Vec<f64>> = data
             .rows
             .iter()
@@ -326,6 +373,24 @@ mod tests {
             }
         }
         assert!(SensitivityPredictor::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn fit_rejects_malformed_sets_before_regressing() {
+        let empty = TrainingSet { rows: vec![] };
+        assert!(matches!(
+            SensitivityPredictor::fit(&empty),
+            Err(FitError::Dataset(crate::dataset::DatasetError::Empty))
+        ));
+
+        let model = IntervalModel::default();
+        let mut data = TrainingSet::collect(&model);
+        data.rows[0].counters.norm_vgpr = f64::NAN;
+        let err = SensitivityPredictor::fit(&data).expect_err("NaN row must be rejected");
+        assert!(
+            matches!(&err, FitError::Dataset(_)),
+            "expected a dataset error, got {err}"
+        );
     }
 
     #[test]

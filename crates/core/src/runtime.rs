@@ -8,12 +8,14 @@
 
 use crate::governor::Governor;
 use crate::metrics::{InvocationRecord, KernelReport, Residency, RunReport};
+use crate::sanitize::{CounterSanitizer, SanitizerConfig};
 use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_power::{Activity, PowerModel, PowerTrace};
+use harmonia_sim::faults::FaultPlan;
 use harmonia_sim::TimingModel;
-use harmonia_types::{Joules, Seconds};
+use harmonia_types::{HwConfig, Joules, Seconds};
 use harmonia_workloads::Application;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// DAQ sampling rate for the telemetry power trace (the paper's 1 kHz).
@@ -25,6 +27,11 @@ pub struct Runtime<'a> {
     power: &'a PowerModel,
     keep_trace: bool,
     telemetry: TraceHandle,
+    /// Actuator-fault plan: DVFS denials/delays/neighbor transitions and
+    /// thermal throttling applied between the decision and the invocation.
+    faults: Option<&'a FaultPlan>,
+    /// Counter-sanitization tuning; a fresh sanitizer is built per run.
+    sanitizer: Option<SanitizerConfig>,
 }
 
 impl<'a> Runtime<'a> {
@@ -37,12 +44,35 @@ impl<'a> Runtime<'a> {
             power,
             keep_trace: true,
             telemetry: TraceHandle::from_env(),
+            faults: None,
+            sanitizer: None,
         }
     }
 
     /// Disables per-invocation trace recording (large sweeps).
     pub fn without_trace(mut self) -> Self {
         self.keep_trace = false;
+        self
+    }
+
+    /// Applies `plan`'s actuator faults between the governor's decision and
+    /// each invocation: transitions may be denied, land a step away, or be
+    /// throttled, and the governor observes the configuration that actually
+    /// ran. An empty plan leaves the runtime byte-identical to the clean
+    /// path. Counter faults belong on the model side
+    /// ([`FaultyModel`](harmonia_sim::FaultyModel), same plan).
+    pub fn with_faults(mut self, plan: &'a FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enables the counter-sanitization stage between the monitoring block
+    /// and everything downstream (power accounting and the governor): every
+    /// sample is finite/range-checked, outlier-filtered, and substituted
+    /// from the last good reading when rejected
+    /// (see [`CounterSanitizer`]).
+    pub fn with_sanitizer(mut self, config: SanitizerConfig) -> Self {
+        self.sanitizer = Some(config);
         self
     }
 
@@ -95,17 +125,53 @@ impl<'a> Runtime<'a> {
         // The virtual DAQ accumulates segments only while telemetry is
         // enabled; sampled at POWER_SAMPLE_HZ after the run.
         let mut daq = self.telemetry.enabled().then(PowerTrace::new);
+        let mut sanitizer = self.sanitizer.clone().map(CounterSanitizer::new);
+        // Configuration each kernel actually ran at last, for actuator
+        // faults that hold the previous state.
+        let mut last_actual: HashMap<Arc<str>, HwConfig> = HashMap::new();
 
         for iteration in 0..app.iterations {
             for (kernel, name) in app.kernels.iter().zip(&names) {
-                let cfg = governor.decide(kernel, iteration);
+                let decided = governor.decide(kernel, iteration);
+                let cfg = match self.faults {
+                    Some(plan) if !plan.is_empty() => {
+                        let previous = last_actual.get(name).copied();
+                        match plan.actuate(&kernel.name, decided, previous, iteration) {
+                            Some((kind, actual)) if actual != decided => {
+                                self.telemetry.emit(|| TraceEvent::FaultInjected {
+                                    kernel: kernel.name.clone(),
+                                    iteration,
+                                    kind: kind.label().to_string(),
+                                    wanted: decided.into(),
+                                    actual: actual.into(),
+                                });
+                                actual
+                            }
+                            _ => decided,
+                        }
+                    }
+                    _ => decided,
+                };
+                if self.faults.is_some() {
+                    last_actual.insert(name.clone(), cfg);
+                }
                 self.telemetry.emit(|| TraceEvent::KernelStart {
                     kernel: kernel.name.clone(),
                     iteration,
                     cfg: cfg.into(),
                 });
                 let result = self.model.simulate(cfg, kernel, iteration);
-                let counters = result.counters;
+                let (time, counters) = match sanitizer.as_mut() {
+                    Some(s) => s.sanitize(
+                        &kernel.name,
+                        iteration,
+                        cfg,
+                        result.time,
+                        result.counters,
+                        &self.telemetry,
+                    ),
+                    None => (result.time, result.counters),
+                };
                 let activity = Activity {
                     valu_activity: counters.valu_activity(),
                     dram_bytes_per_sec: counters.dram_bytes_per_sec(),
@@ -113,7 +179,7 @@ impl<'a> Runtime<'a> {
                 };
                 let breakdown = self.power.breakdown(cfg, &activity);
 
-                let dt = result.time;
+                let dt = time;
                 total_time += dt;
                 card_energy += breakdown.card_pwr() * dt;
                 gpu_energy += breakdown.gpu_pwr() * dt;

@@ -1,0 +1,577 @@
+//! Counter sanitization: the hardening stage between the monitoring block
+//! and everything that consumes its samples.
+//!
+//! Real counter reads glitch — values come back non-finite, out of physical
+//! range, latched at zero, or spiked by orders of magnitude (see
+//! `harmonia_sim::faults` for the injected taxonomy). An unhardened pipeline
+//! feeds those readings straight into power accounting and the governor's
+//! learning loops, where a single NaN poisons the whole run's energy total.
+//! [`CounterSanitizer`] guarantees that everything downstream of it only
+//! ever sees finite, in-range samples:
+//!
+//! 1. **Hard checks** — every float field must be finite and inside its
+//!    physical range (percentages in 0–100, fractions in 0–1, bandwidth
+//!    below the bus limit, DRAM traffic below `bandwidth × duration`).
+//! 2. **Dead-sample detection** — a sample whose dynamic counters are all
+//!    zero while the timer ran is a failed read, not an idle kernel.
+//! 3. **EWMA outlier rejection** — per-kernel, per-field running mean and
+//!    absolute deviation (reset on configuration change, armed only after a
+//!    warmup) catch in-range spikes. Thresholds are deliberately generous:
+//!    phase-modulated kernels legitimately swing their counters, and a
+//!    false rejection costs more than a missed mild outlier.
+//! 4. **Last-good substitution** — rejected fields are replaced from the
+//!    most recent sanitized sample; when two or more fields of one sample
+//!    are rejected the whole sample is deemed corrupt and replaced
+//!    wholesale (keeping the independently-sanitized timer).
+//!
+//! Every substitution emits [`TraceEvent::SanitizerReject`] so chaos runs
+//! can count what the sanitizer absorbed. The stage is opt-in
+//! ([`Runtime::with_sanitizer`](crate::runtime::Runtime::with_sanitizer));
+//! the default runtime path is byte-identical to previous behaviour.
+
+use crate::telemetry::{TraceEvent, TraceHandle};
+use harmonia_sim::CounterSample;
+use harmonia_types::{HwConfig, Seconds};
+use std::collections::HashMap;
+
+/// Physical ceiling for achieved bandwidth used by the default plausibility
+/// checks (GB/s). The HD 7970's bus peaks at 264 GB/s; the margin tolerates
+/// model overshoot without admitting sensor garbage.
+pub const DEFAULT_MAX_BW_GBPS: f64 = 300.0;
+
+/// Number of fields tracked by the EWMA outlier stage.
+const OUTLIER_FIELDS: usize = 6;
+
+/// Tuning for the [`CounterSanitizer`].
+#[derive(Debug, Clone)]
+pub struct SanitizerConfig {
+    /// Physical bandwidth ceiling (GB/s) for the achieved-bandwidth and
+    /// DRAM-traffic hard checks.
+    pub max_bw_gbps: f64,
+    /// Same-configuration samples observed before the outlier stage arms.
+    pub warmup: u32,
+    /// Outlier threshold in multiples of the running absolute deviation.
+    pub outlier_k: f64,
+    /// Outlier threshold floor as a fraction of the field's hard range —
+    /// deviations below this are never outliers, whatever the history says.
+    pub outlier_floor: f64,
+    /// EWMA smoothing factor for the running mean/deviation.
+    pub ewma_alpha: f64,
+}
+
+impl Default for SanitizerConfig {
+    fn default() -> Self {
+        Self {
+            max_bw_gbps: DEFAULT_MAX_BW_GBPS,
+            warmup: 4,
+            outlier_k: 8.0,
+            outlier_floor: 0.35,
+            ewma_alpha: 0.3,
+        }
+    }
+}
+
+/// Whether a sample passes the *static* plausibility checks alone: every
+/// float field finite and inside its physical range. Shared with the
+/// governor watchdogs, which must judge anomalies without carrying the
+/// sanitizer's per-kernel history.
+pub fn counters_plausible(c: &CounterSample) -> bool {
+    let pct_ok = |v: f64| v.is_finite() && (0.0..=100.0).contains(&v);
+    let frac_ok = |v: f64| v.is_finite() && (0.0..=1.0).contains(&v);
+    c.duration.value().is_finite()
+        && c.duration.value() > 0.0
+        && pct_ok(c.valu_busy_pct)
+        && pct_ok(c.valu_utilization_pct)
+        && pct_ok(c.mem_unit_busy_pct)
+        && pct_ok(c.mem_unit_stalled_pct)
+        && pct_ok(c.write_unit_stalled_pct)
+        && frac_ok(c.ic_activity)
+        && frac_ok(c.norm_vgpr)
+        && frac_ok(c.norm_sgpr)
+        && frac_ok(c.occupancy_fraction)
+        && frac_ok(c.l2_hit_rate)
+        && c.dram_bytes.is_finite()
+        && c.dram_bytes >= 0.0
+        && c.achieved_bw_gbps.is_finite()
+        && (0.0..=DEFAULT_MAX_BW_GBPS).contains(&c.achieved_bw_gbps)
+}
+
+/// Whether a sample looks like a failed counter read: the timer ran but
+/// every dynamic counter reports zero. A kernel that executed did
+/// *something*; all-zero activity is physically impossible.
+pub fn dead_sample(c: &CounterSample) -> bool {
+    c.duration.value() > 0.0
+        && c.valu_insts == 0
+        && c.vfetch_insts == 0
+        && c.vwrite_insts == 0
+        && c.valu_busy_pct == 0.0
+        && c.dram_bytes == 0.0
+}
+
+/// One float field's hard bounds and (optional) outlier-tracking slot.
+struct FieldSpec {
+    name: &'static str,
+    get: fn(&CounterSample) -> f64,
+    set: fn(&mut CounterSample, f64),
+    lo: f64,
+    hi: f64,
+    stat: Option<usize>,
+}
+
+/// The statically-bounded float fields. Bandwidth and DRAM traffic have
+/// config-dependent bounds and are handled separately.
+const FIELDS: &[FieldSpec] = &[
+    FieldSpec {
+        name: "valu_busy_pct",
+        get: |c| c.valu_busy_pct,
+        set: |c, v| c.valu_busy_pct = v,
+        lo: 0.0,
+        hi: 100.0,
+        stat: Some(0),
+    },
+    FieldSpec {
+        name: "valu_utilization_pct",
+        get: |c| c.valu_utilization_pct,
+        set: |c, v| c.valu_utilization_pct = v,
+        lo: 0.0,
+        hi: 100.0,
+        stat: Some(1),
+    },
+    FieldSpec {
+        name: "mem_unit_busy_pct",
+        get: |c| c.mem_unit_busy_pct,
+        set: |c, v| c.mem_unit_busy_pct = v,
+        lo: 0.0,
+        hi: 100.0,
+        stat: Some(2),
+    },
+    FieldSpec {
+        name: "mem_unit_stalled_pct",
+        get: |c| c.mem_unit_stalled_pct,
+        set: |c, v| c.mem_unit_stalled_pct = v,
+        lo: 0.0,
+        hi: 100.0,
+        stat: Some(3),
+    },
+    FieldSpec {
+        name: "write_unit_stalled_pct",
+        get: |c| c.write_unit_stalled_pct,
+        set: |c, v| c.write_unit_stalled_pct = v,
+        lo: 0.0,
+        hi: 100.0,
+        stat: Some(4),
+    },
+    FieldSpec {
+        name: "ic_activity",
+        get: |c| c.ic_activity,
+        set: |c, v| c.ic_activity = v,
+        lo: 0.0,
+        hi: 1.0,
+        stat: Some(5),
+    },
+    FieldSpec {
+        name: "norm_vgpr",
+        get: |c| c.norm_vgpr,
+        set: |c, v| c.norm_vgpr = v,
+        lo: 0.0,
+        hi: 1.0,
+        stat: None,
+    },
+    FieldSpec {
+        name: "norm_sgpr",
+        get: |c| c.norm_sgpr,
+        set: |c, v| c.norm_sgpr = v,
+        lo: 0.0,
+        hi: 1.0,
+        stat: None,
+    },
+    FieldSpec {
+        name: "occupancy_fraction",
+        get: |c| c.occupancy_fraction,
+        set: |c, v| c.occupancy_fraction = v,
+        lo: 0.0,
+        hi: 1.0,
+        stat: None,
+    },
+    FieldSpec {
+        name: "l2_hit_rate",
+        get: |c| c.l2_hit_rate,
+        set: |c, v| c.l2_hit_rate = v,
+        lo: 0.0,
+        hi: 1.0,
+        stat: None,
+    },
+];
+
+#[derive(Debug, Clone, Copy)]
+struct FieldStats {
+    mean: f64,
+    dev: f64,
+}
+
+#[derive(Debug, Default)]
+struct KernelState {
+    last_cfg: Option<HwConfig>,
+    samples: u32,
+    stats: [Option<FieldStats>; OUTLIER_FIELDS],
+    last_good: Option<(Seconds, CounterSample)>,
+}
+
+/// Stateful per-kernel counter sanitizer (see module docs).
+#[derive(Debug)]
+pub struct CounterSanitizer {
+    config: SanitizerConfig,
+    kernels: HashMap<String, KernelState>,
+    rejects: u64,
+}
+
+impl CounterSanitizer {
+    /// A sanitizer with the given tuning.
+    pub fn new(config: SanitizerConfig) -> Self {
+        Self {
+            config,
+            kernels: HashMap::new(),
+            rejects: 0,
+        }
+    }
+
+    /// Total field/sample rejections so far.
+    pub fn rejects(&self) -> u64 {
+        self.rejects
+    }
+
+    /// Sanitizes one invocation's measurement: returns a finite, in-range
+    /// `(time, counters)` pair, substituting from the kernel's last good
+    /// sample where the raw reading is rejected. Emits
+    /// [`TraceEvent::SanitizerReject`] per substitution.
+    pub fn sanitize(
+        &mut self,
+        kernel: &str,
+        iteration: u64,
+        cfg: HwConfig,
+        time: Seconds,
+        counters: CounterSample,
+        trace: &TraceHandle,
+    ) -> (Seconds, CounterSample) {
+        let ks = self.kernels.entry(kernel.to_string()).or_default();
+        if ks.last_cfg != Some(cfg) {
+            // The operating point moved: counter levels legitimately shift,
+            // so the outlier history no longer applies.
+            ks.last_cfg = Some(cfg);
+            ks.samples = 0;
+            ks.stats = [None; OUTLIER_FIELDS];
+        }
+        let mut rejected: Vec<(&'static str, f64)> = Vec::new();
+        let mut c = counters;
+
+        // Timer channel: the wall clock and the counter block's duration
+        // mirror each other and everything downstream divides by them.
+        let good_time = ks.last_good.map(|(t, _)| t);
+        let t = sanitize_positive(time, good_time, 1e-6, "time_s", &mut rejected);
+        let dur = sanitize_positive(
+            c.duration,
+            ks.last_good.map(|(_, g)| g.duration),
+            t.value(),
+            "duration",
+            &mut rejected,
+        );
+        c.duration = dur;
+
+        // Failed read: all dynamic counters zero while the timer ran.
+        let dead = dead_sample(&c);
+
+        // Statically-bounded fields: hard range, then (armed) EWMA outlier.
+        for f in FIELDS {
+            let raw = (f.get)(&c);
+            let in_range = raw.is_finite() && (f.lo..=f.hi).contains(&raw);
+            let outlier = in_range
+                && ks.samples >= self.config.warmup
+                && f.stat
+                    .and_then(|i| ks.stats[i])
+                    .is_some_and(|st| {
+                        let threshold = (self.config.outlier_k * st.dev)
+                            .max(self.config.outlier_floor * (f.hi - f.lo));
+                        (raw - st.mean).abs() > threshold
+                    });
+            if !in_range || outlier {
+                rejected.push((f.name, raw));
+                let sub = ks
+                    .last_good
+                    .map(|(_, g)| (f.get)(&g))
+                    .unwrap_or(if raw.is_finite() {
+                        raw.clamp(f.lo, f.hi)
+                    } else {
+                        f.lo
+                    });
+                (f.set)(&mut c, sub);
+            }
+        }
+
+        // Config-dependent bounds: achieved bandwidth below the bus limit,
+        // DRAM traffic below what that bandwidth could move in the sample.
+        let bw_hi = self.config.max_bw_gbps;
+        if !(c.achieved_bw_gbps.is_finite() && (0.0..=bw_hi).contains(&c.achieved_bw_gbps)) {
+            rejected.push(("achieved_bw_gbps", c.achieved_bw_gbps));
+            c.achieved_bw_gbps = ks
+                .last_good
+                .map(|(_, g)| g.achieved_bw_gbps)
+                .unwrap_or(if c.achieved_bw_gbps.is_finite() {
+                    c.achieved_bw_gbps.clamp(0.0, bw_hi)
+                } else {
+                    0.0
+                });
+        }
+        let dram_hi = bw_hi * 1e9 * c.duration.value() * 4.0;
+        if !(c.dram_bytes.is_finite() && (0.0..=dram_hi).contains(&c.dram_bytes)) {
+            rejected.push(("dram_bytes", c.dram_bytes));
+            c.dram_bytes = ks
+                .last_good
+                .map(|(_, g)| g.dram_bytes)
+                .unwrap_or(if c.dram_bytes.is_finite() {
+                    c.dram_bytes.clamp(0.0, dram_hi)
+                } else {
+                    0.0
+                });
+        }
+
+        // Cross-field corruption: a dead read, or two-plus rejected fields
+        // in one sample, invalidates the whole reading — substitute the
+        // last good sample wholesale (keeping the sanitized timer).
+        let counter_rejects = rejected
+            .iter()
+            .filter(|(n, _)| *n != "time_s" && *n != "duration")
+            .count();
+        if dead || counter_rejects >= 2 {
+            if let Some((_, good)) = ks.last_good {
+                if dead {
+                    rejected.push(("sample", 0.0));
+                }
+                let keep = c.duration;
+                c = good;
+                c.duration = keep;
+            }
+        }
+
+        for (field, raw) in &rejected {
+            self.rejects += 1;
+            trace.emit(|| TraceEvent::SanitizerReject {
+                kernel: kernel.to_string(),
+                iteration,
+                field: (*field).to_string(),
+                value: format!("{raw}"),
+                substitute: match *field {
+                    "time_s" => t.value(),
+                    "duration" => c.duration.value(),
+                    f => FIELDS
+                        .iter()
+                        .find(|s| s.name == f)
+                        .map(|s| (s.get)(&c))
+                        .unwrap_or(match f {
+                            "achieved_bw_gbps" => c.achieved_bw_gbps,
+                            "dram_bytes" => c.dram_bytes,
+                            _ => 0.0,
+                        }),
+                },
+            });
+        }
+
+        // Learn from what was accepted (post-substitution values keep the
+        // running stats finite by construction) and store the new last-good.
+        let alpha = self.config.ewma_alpha;
+        for f in FIELDS {
+            let Some(i) = f.stat else { continue };
+            let v = (f.get)(&c);
+            match &mut ks.stats[i] {
+                Some(st) => {
+                    let delta = (v - st.mean).abs();
+                    st.mean += alpha * (v - st.mean);
+                    st.dev += alpha * (delta - st.dev);
+                }
+                slot @ None => {
+                    *slot = Some(FieldStats {
+                        mean: v,
+                        dev: 0.25 * (f.hi - f.lo),
+                    });
+                }
+            }
+        }
+        ks.samples = ks.samples.saturating_add(1);
+        ks.last_good = Some((t, c));
+        (t, c)
+    }
+}
+
+/// Sanitizes a strictly-positive time channel.
+fn sanitize_positive(
+    v: Seconds,
+    good: Option<Seconds>,
+    fallback: f64,
+    name: &'static str,
+    rejected: &mut Vec<(&'static str, f64)>,
+) -> Seconds {
+    if v.value().is_finite() && v.value() > 0.0 {
+        return v;
+    }
+    rejected.push((name, v.value()));
+    Seconds(good.map(Seconds::value).unwrap_or(fallback))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good() -> CounterSample {
+        CounterSample {
+            duration: Seconds(0.01),
+            valu_busy_pct: 60.0,
+            valu_utilization_pct: 90.0,
+            mem_unit_busy_pct: 30.0,
+            mem_unit_stalled_pct: 10.0,
+            ic_activity: 0.4,
+            norm_vgpr: 0.4,
+            norm_sgpr: 0.3,
+            valu_insts: 1_000_000,
+            dram_bytes: 1e7,
+            achieved_bw_gbps: 80.0,
+            occupancy_fraction: 0.8,
+            l2_hit_rate: 0.5,
+            ..CounterSample::default()
+        }
+    }
+
+    fn sanitizer() -> CounterSanitizer {
+        CounterSanitizer::new(SanitizerConfig::default())
+    }
+
+    #[test]
+    fn clean_samples_pass_untouched() {
+        let mut s = sanitizer();
+        let cfg = HwConfig::max_hd7970();
+        let trace = TraceHandle::new();
+        for i in 0..10 {
+            let (t, c) = s.sanitize("k", i, cfg, Seconds(0.01), good(), &trace);
+            assert_eq!(t, Seconds(0.01));
+            assert_eq!(c, good());
+        }
+        assert_eq!(s.rejects(), 0);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn nan_fields_are_substituted_from_last_good() {
+        let mut s = sanitizer();
+        let cfg = HwConfig::max_hd7970();
+        let trace = TraceHandle::new();
+        s.sanitize("k", 0, cfg, Seconds(0.01), good(), &trace);
+        let mut bad = good();
+        bad.valu_busy_pct = f64::NAN;
+        let (_, c) = s.sanitize("k", 1, cfg, Seconds(0.01), bad, &trace);
+        assert_eq!(c.valu_busy_pct, 60.0);
+        assert_eq!(s.rejects(), 1);
+        let ev = trace.events();
+        assert!(matches!(&ev[0], TraceEvent::SanitizerReject { field, .. } if field == "valu_busy_pct"));
+    }
+
+    #[test]
+    fn nan_without_history_clamps_into_range() {
+        let mut s = sanitizer();
+        let trace = TraceHandle::disabled();
+        let mut bad = good();
+        bad.mem_unit_busy_pct = f64::INFINITY;
+        bad.achieved_bw_gbps = f64::NAN;
+        let (_, c) = s.sanitize("k", 0, HwConfig::max_hd7970(), Seconds(0.01), bad, &trace);
+        assert!(c.mem_unit_busy_pct.is_finite());
+        assert!((0.0..=100.0).contains(&c.mem_unit_busy_pct));
+        assert_eq!(c.achieved_bw_gbps, 0.0);
+    }
+
+    #[test]
+    fn nan_time_is_replaced() {
+        let mut s = sanitizer();
+        let cfg = HwConfig::max_hd7970();
+        let trace = TraceHandle::disabled();
+        s.sanitize("k", 0, cfg, Seconds(0.01), good(), &trace);
+        let mut bad = good();
+        bad.duration = Seconds(f64::NAN);
+        let (t, c) = s.sanitize("k", 1, cfg, Seconds(f64::NAN), bad, &trace);
+        assert_eq!(t, Seconds(0.01));
+        assert_eq!(c.duration, Seconds(0.01));
+    }
+
+    #[test]
+    fn dead_sample_is_replaced_wholesale() {
+        let mut s = sanitizer();
+        let cfg = HwConfig::max_hd7970();
+        let trace = TraceHandle::disabled();
+        s.sanitize("k", 0, cfg, Seconds(0.01), good(), &trace);
+        let dead = CounterSample {
+            duration: Seconds(0.01),
+            norm_vgpr: 0.4,
+            norm_sgpr: 0.3,
+            occupancy_fraction: 0.8,
+            ..CounterSample::default()
+        };
+        let (_, c) = s.sanitize("k", 1, cfg, Seconds(0.01), dead, &trace);
+        assert_eq!(c.valu_insts, good().valu_insts, "dynamic counters restored");
+        assert_eq!(c.valu_busy_pct, good().valu_busy_pct);
+    }
+
+    #[test]
+    fn spike_with_multiple_bad_fields_restores_whole_sample() {
+        let mut s = sanitizer();
+        let cfg = HwConfig::max_hd7970();
+        let trace = TraceHandle::disabled();
+        for i in 0..6 {
+            s.sanitize("k", i, cfg, Seconds(0.01), good(), &trace);
+        }
+        let mut spiked = good();
+        spiked.valu_busy_pct *= 6.0;
+        spiked.mem_unit_busy_pct *= 6.0;
+        spiked.valu_insts *= 6;
+        let (_, c) = s.sanitize("k", 6, cfg, Seconds(0.01), spiked, &trace);
+        assert_eq!(c, good(), "cross-field corruption restores the last good sample");
+    }
+
+    #[test]
+    fn outlier_stats_reset_on_config_change() {
+        let mut s = sanitizer();
+        let trace = TraceHandle::disabled();
+        let a = HwConfig::max_hd7970();
+        let b = a.step_down(harmonia_types::Tunable::MemFreq).unwrap();
+        for i in 0..8 {
+            s.sanitize("k", i, a, Seconds(0.01), good(), &trace);
+        }
+        // After a config change the first sample at the new point may shift
+        // arbitrarily without tripping the (disarmed) outlier stage.
+        let mut shifted = good();
+        shifted.valu_busy_pct = 5.0;
+        let (_, c) = s.sanitize("k", 8, b, Seconds(0.01), shifted, &trace);
+        assert_eq!(c.valu_busy_pct, 5.0);
+        assert_eq!(s.rejects(), 0);
+    }
+
+    #[test]
+    fn counters_plausible_flags_garbage() {
+        assert!(counters_plausible(&good()));
+        let mut bad = good();
+        bad.valu_busy_pct = 120.0;
+        assert!(!counters_plausible(&bad));
+        let mut nan = good();
+        nan.dram_bytes = f64::NAN;
+        assert!(!counters_plausible(&nan));
+        let mut glitch = good();
+        glitch.duration = Seconds(f64::NAN);
+        assert!(!counters_plausible(&glitch));
+    }
+
+    #[test]
+    fn dead_sample_detector() {
+        assert!(!dead_sample(&good()));
+        let dead = CounterSample {
+            duration: Seconds(0.01),
+            norm_vgpr: 0.4,
+            ..CounterSample::default()
+        };
+        assert!(dead_sample(&dead));
+    }
+}

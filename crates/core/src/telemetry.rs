@@ -255,6 +255,64 @@ pub enum TraceEvent {
         /// Compute clock after the shift (MHz).
         to_mhz: u32,
     },
+    /// The runtime's fault shim perturbed actuation: the governor decided
+    /// `wanted` but the invocation actually ran at `actual`.
+    FaultInjected {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// Fault-kind label (see `harmonia_sim::faults::FaultKind::label`).
+        kind: String,
+        /// The configuration the governor decided on.
+        wanted: ConfigPoint,
+        /// The configuration the hardware actually ran at.
+        actual: ConfigPoint,
+    },
+    /// The counter sanitizer rejected a field value and substituted a
+    /// trusted one.
+    SanitizerReject {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// The rejected counter field.
+        field: String,
+        /// The rejected raw value (formatted, so non-finite values survive
+        /// the JSONL round trip).
+        value: String,
+        /// The substituted value (always finite).
+        substitute: f64,
+    },
+    /// A governor watchdog judged this observation interval anomalous.
+    FaultDetected {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// What looked wrong.
+        what: String,
+    },
+    /// A watchdog's anomaly streak crossed its threshold: the governor fell
+    /// back to the safe PowerTune-equivalent state.
+    FallbackEngaged {
+        /// Kernel whose observation tripped the watchdog.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// The safe state decisions are pinned to.
+        safe: ConfigPoint,
+        /// Intervals the fallback will hold before re-engagement is tried.
+        hold: u64,
+    },
+    /// The watchdog's hold expired: normal governing re-engages (with the
+    /// next hold doubled, up to the backoff cap).
+    FallbackReleased {
+        /// Kernel observed when the hold expired.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+    },
     /// Sweep-engine cache statistics, emitted after an exhaustive sweep.
     CacheStats {
         /// Lookups served from memory.
@@ -307,6 +365,11 @@ impl TraceEvent {
             TraceEvent::KnownBadSkip { .. } => "KnownBadSkip",
             TraceEvent::CapClamp { .. } => "CapClamp",
             TraceEvent::DpmShift { .. } => "DpmShift",
+            TraceEvent::FaultInjected { .. } => "FaultInjected",
+            TraceEvent::SanitizerReject { .. } => "SanitizerReject",
+            TraceEvent::FaultDetected { .. } => "FaultDetected",
+            TraceEvent::FallbackEngaged { .. } => "FallbackEngaged",
+            TraceEvent::FallbackReleased { .. } => "FallbackReleased",
             TraceEvent::CacheStats { .. } => "CacheStats",
             TraceEvent::PowerSample { .. } => "PowerSample",
             TraceEvent::RunEnd { .. } => "RunEnd",
@@ -327,7 +390,12 @@ impl TraceEvent {
             | TraceEvent::FgConverged { kernel, .. }
             | TraceEvent::KnownBadSkip { kernel, .. }
             | TraceEvent::CapClamp { kernel, .. }
-            | TraceEvent::DpmShift { kernel, .. } => Some(kernel),
+            | TraceEvent::DpmShift { kernel, .. }
+            | TraceEvent::FaultInjected { kernel, .. }
+            | TraceEvent::SanitizerReject { kernel, .. }
+            | TraceEvent::FaultDetected { kernel, .. }
+            | TraceEvent::FallbackEngaged { kernel, .. }
+            | TraceEvent::FallbackReleased { kernel, .. } => Some(kernel),
             _ => None,
         }
     }
@@ -346,7 +414,12 @@ impl TraceEvent {
             | TraceEvent::FgConverged { iteration, .. }
             | TraceEvent::KnownBadSkip { iteration, .. }
             | TraceEvent::CapClamp { iteration, .. }
-            | TraceEvent::DpmShift { iteration, .. } => Some(*iteration),
+            | TraceEvent::DpmShift { iteration, .. }
+            | TraceEvent::FaultInjected { iteration, .. }
+            | TraceEvent::SanitizerReject { iteration, .. }
+            | TraceEvent::FaultDetected { iteration, .. }
+            | TraceEvent::FallbackEngaged { iteration, .. }
+            | TraceEvent::FallbackReleased { iteration, .. } => Some(*iteration),
             _ => None,
         }
     }
@@ -359,6 +432,7 @@ pub struct TraceBuffer {
     events: VecDeque<TraceEvent>,
     capacity: usize,
     dropped: u64,
+    recorded: u64,
 }
 
 impl TraceBuffer {
@@ -368,6 +442,7 @@ impl TraceBuffer {
             events: VecDeque::new(),
             capacity: capacity.max(1),
             dropped: 0,
+            recorded: 0,
         }
     }
 
@@ -377,6 +452,7 @@ impl TraceBuffer {
             self.events.pop_front();
             self.dropped += 1;
         }
+        self.recorded += 1;
         self.events.push_back(event);
     }
 
@@ -393,6 +469,12 @@ impl TraceBuffer {
     /// Events evicted because the buffer was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Total events ever pushed (buffered + dropped). A saturated ring under
+    /// chaos runs shows up as `recorded > len`, not silent truncation.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
     }
 
     /// The buffered events, oldest first.
@@ -479,10 +561,18 @@ impl TraceHandle {
             .map_or(0, |b| b.lock().expect("trace buffer poisoned").dropped())
     }
 
+    /// Total events ever recorded through this handle's buffer.
+    pub fn recorded(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |b| b.lock().expect("trace buffer poisoned").recorded())
+    }
+
     /// Summarizes the buffered events (see [`summarize`]).
     pub fn summary(&self) -> TraceSummary {
         let mut s = summarize(&self.events());
         s.dropped = self.dropped();
+        s.recorded = self.recorded();
         s
     }
 }
@@ -563,6 +653,21 @@ pub fn to_csv(events: &[TraceEvent]) -> String {
             TraceEvent::DpmShift { from_mhz, to_mhz, .. } => {
                 (None, format!("{from_mhz}->{to_mhz}"))
             }
+            TraceEvent::FaultInjected { kind, wanted, actual, .. } => (
+                Some(*actual),
+                format!(
+                    "kind={kind} wanted={}/{}/{}",
+                    wanted.cu, wanted.cu_mhz, wanted.mem_mhz
+                ),
+            ),
+            TraceEvent::SanitizerReject { field, value, substitute, .. } => {
+                (None, format!("field={field} value={value} substitute={substitute}"))
+            }
+            TraceEvent::FaultDetected { what, .. } => (None, format!("what={what}")),
+            TraceEvent::FallbackEngaged { safe, hold, .. } => {
+                (Some(*safe), format!("hold={hold}"))
+            }
+            TraceEvent::FallbackReleased { .. } => (None, String::new()),
             TraceEvent::CacheStats { hits, misses, entries, .. } => {
                 (None, format!("hits={hits} misses={misses} entries={entries}"))
             }
@@ -627,6 +732,9 @@ pub struct TraceSummary {
     pub events: u64,
     /// Events evicted from the ring buffer before the summary.
     pub dropped: u64,
+    /// Total events ever recorded (buffered + dropped); zero when the
+    /// summary was built from a raw slice rather than a handle.
+    pub recorded: u64,
     /// Kernel invocations (KernelEnd events).
     pub invocations: u64,
     /// Sensitivity predictions made.
@@ -649,6 +757,19 @@ pub struct TraceSummary {
     pub cap_clamps: u64,
     /// DPM state shifts.
     pub dpm_shifts: u64,
+    /// Actuation faults injected by the runtime's fault shim.
+    pub faults_injected: u64,
+    /// Counter fields rejected (and substituted) by the sanitizer.
+    pub sanitizer_rejects: u64,
+    /// Anomalous intervals flagged by governor watchdogs.
+    pub faults_detected: u64,
+    /// Safe-state fallback engagements.
+    pub fallbacks_engaged: u64,
+    /// Safe-state fallback releases.
+    pub fallbacks_released: u64,
+    /// Kernel invocations completed while a fallback was engaged
+    /// (safe-state residency in invocation counts).
+    pub fallback_invocations: u64,
     /// Virtual-DAQ power samples.
     pub power_samples: u64,
     /// Last reported sweep-cache hits.
@@ -675,6 +796,7 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
         ..TraceSummary::default()
     };
     let mut last_cfg: HashMap<&str, ConfigPoint> = HashMap::new();
+    let mut fallback_active = false;
     for ev in events {
         match ev {
             TraceEvent::KernelStart { kernel, iteration, cfg } => {
@@ -687,6 +809,9 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
             }
             TraceEvent::KernelEnd { cfg, time_s, .. } => {
                 s.invocations += 1;
+                if fallback_active {
+                    s.fallback_invocations += 1;
+                }
                 if let Some(hw) = cfg.to_hw() {
                     s.residency.record(hw, Seconds(*time_s));
                 }
@@ -701,6 +826,17 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
             TraceEvent::KnownBadSkip { .. } => s.known_bad_skips += 1,
             TraceEvent::CapClamp { .. } => s.cap_clamps += 1,
             TraceEvent::DpmShift { .. } => s.dpm_shifts += 1,
+            TraceEvent::FaultInjected { .. } => s.faults_injected += 1,
+            TraceEvent::SanitizerReject { .. } => s.sanitizer_rejects += 1,
+            TraceEvent::FaultDetected { .. } => s.faults_detected += 1,
+            TraceEvent::FallbackEngaged { .. } => {
+                s.fallbacks_engaged += 1;
+                fallback_active = true;
+            }
+            TraceEvent::FallbackReleased { .. } => {
+                s.fallbacks_released += 1;
+                fallback_active = false;
+            }
             TraceEvent::PowerSample { .. } => s.power_samples += 1,
             TraceEvent::CacheStats { hits, misses, entries, .. } => {
                 s.cache_hits = *hits;

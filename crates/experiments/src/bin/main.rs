@@ -7,20 +7,26 @@
 //! harmonia-experiments all
 //! harmonia-experiments list
 //! harmonia-experiments trace <APP>
+//! harmonia-experiments chaos <APP>
 //! ```
 //!
 //! With no arguments, runs everything. CSVs land in `results/` (or `--out`).
 //! `trace <APP>` runs the application under full Harmonia with decision
 //! telemetry enabled, prints the trace summary, and writes the replayable
 //! JSONL stream to `results/trace_<app>.jsonl` (or `--out`).
+//! `chaos <APP>` runs the application through the full fault matrix —
+//! hardened vs unhardened pipeline per fault class — and prints the
+//! resilience table (seeded via `HARMONIA_FAULT_SEED`, so the table is
+//! exactly repeatable).
 
-use harmonia_experiments::{run, trace_cmd, Context, ALL_EXPERIMENTS};
+use harmonia_experiments::{chaos_cmd, run, trace_cmd, Context, ALL_EXPERIMENTS};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut traces: Vec<String> = Vec::new();
+    let mut chaos: Vec<String> = Vec::new();
     let mut out_dir = PathBuf::from("results");
     let mut write_csv = true;
     let mut write_json = false;
@@ -33,6 +39,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 traces.push(app);
+            }
+            "chaos" => {
+                let Some(app) = args.next() else {
+                    eprintln!("chaos requires an application name (e.g. `chaos Graph500`)");
+                    return ExitCode::FAILURE;
+                };
+                chaos.push(app);
             }
             "--out" => {
                 let Some(dir) = args.next() else {
@@ -57,7 +70,7 @@ fn main() -> ExitCode {
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() && traces.is_empty() {
+    if ids.is_empty() && traces.is_empty() && chaos.is_empty() {
         ids.extend(ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()));
     }
 
@@ -109,6 +122,27 @@ fn main() -> ExitCode {
                         Ok(path) => println!("  → {}", path.display()),
                         Err(err) => {
                             eprintln!("failed to write CSV for trace {app}: {err}");
+                            failed = true;
+                        }
+                    }
+                }
+                println!();
+            }
+            None => {
+                eprintln!("unknown application: {app} (not in the 14-app suite)");
+                failed = true;
+            }
+        }
+    }
+    for app in &chaos {
+        match chaos_cmd::chaos_app(&ctx, app) {
+            Some(chaos_run) => {
+                println!("{}", chaos_run.report);
+                if write_csv {
+                    match chaos_run.report.write_csv(&out_dir) {
+                        Ok(path) => println!("  → {}", path.display()),
+                        Err(err) => {
+                            eprintln!("failed to write CSV for chaos {app}: {err}");
                             failed = true;
                         }
                     }

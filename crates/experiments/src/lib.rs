@@ -38,8 +38,10 @@
 //! | `characterize` | probe-based platform characterization (§3 as a tool) |
 //! | `appendix` / `appendix-<app>` | per-application deep dives |
 //! | `trace-<app>` | decision-trace summary (the `trace <app>` subcommand) |
+//! | `chaos-<app>` | fault-matrix resilience table (the `chaos <app>` subcommand) |
 
 pub mod appendix;
+pub mod chaos_cmd;
 pub mod context;
 pub mod evaluation;
 pub mod figures;
@@ -130,6 +132,10 @@ pub fn run(ctx: &Context, id: &str) -> Option<Report> {
             // Parameterized decision traces: `trace-<app>`.
             if let Some(name) = other.strip_prefix("trace-") {
                 return trace_cmd::trace_app(ctx, name).map(|t| t.report);
+            }
+            // Fault-matrix resilience tables: `chaos-<app>`.
+            if let Some(name) = other.strip_prefix("chaos-") {
+                return chaos_cmd::chaos_app(ctx, name).map(|c| c.report);
             }
             // Dynamic per-application deep dives: `appendix-<app>`.
             let dive = other

@@ -208,7 +208,7 @@ pub fn predictor_error(ctx: &Context) -> Report {
         num(err.cu * 100.0, 2) + "%",
         num(err.freq * 100.0, 2) + "%",
     ]);
-    let (train, test) = data.split_every(5);
+    let (train, test) = data.split_every(5).expect("period 5 is valid");
     if let Ok(holdout_model) = SensitivityPredictor::fit(&train) {
         let e = holdout_model.mean_abs_error(&test);
         r.push_row(vec![

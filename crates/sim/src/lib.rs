@@ -48,6 +48,7 @@
 pub mod counters;
 pub mod device;
 pub mod event;
+pub mod faults;
 pub mod interval;
 pub mod model;
 pub mod noise;
@@ -60,6 +61,7 @@ pub mod trace;
 pub use counters::CounterSample;
 pub use device::GpuDescriptor;
 pub use event::EventModel;
+pub use faults::{FaultKind, FaultPlan, FaultSpec, FaultyModel};
 pub use interval::IntervalModel;
 pub use model::{SimResult, TimingModel};
 pub use noise::NoisyModel;

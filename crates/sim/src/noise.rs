@@ -14,7 +14,7 @@ use crate::model::{SimResult, TimingModel};
 use crate::profile::KernelProfile;
 use harmonia_types::{HwConfig, Seconds};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Wraps a timing model and perturbs its outputs with bounded relative
 /// noise. Deterministic: the perturbation is seeded from the kernel name,
@@ -51,16 +51,7 @@ impl<M: TimingModel> NoisyModel<M> {
     }
 
     fn rng_for(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> SmallRng {
-        let mut h: u64 = self.seed ^ 0x517c_c1b7_2722_0a95;
-        for b in kernel.name.bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h ^= u64::from(cfg.compute.cu_count()) << 32;
-        h ^= u64::from(cfg.compute.freq().value()) << 16;
-        h ^= u64::from(cfg.memory.bus_freq().value());
-        h ^= iteration.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        SmallRng::seed_from_u64(h)
+        crate::faults::rng_for(self.seed, &kernel.name, cfg, iteration)
     }
 }
 

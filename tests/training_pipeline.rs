@@ -48,7 +48,7 @@ fn in_sample_errors_are_small() {
 #[test]
 fn holdout_errors_do_not_explode() {
     let (_, data) = training();
-    let (train, test) = data.split_every(5);
+    let (train, test) = data.split_every(5).expect("valid period");
     let p = SensitivityPredictor::fit(&train).expect("fit");
     let e = p.mean_abs_error(&test);
     assert!(e.bandwidth < 0.35, "held-out bandwidth MAE {}", e.bandwidth);
