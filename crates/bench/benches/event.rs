@@ -1,0 +1,175 @@
+//! Adaptive-fidelity event-model benchmarks: the exact event model
+//! (`FastForwardPolicy::Off`) vs steady-state fast-forward (`Auto`) on a cold
+//! 448-configuration sweep.
+//!
+//! The wave cap is raised well above the default here: fast-forward pays a
+//! fixed detection-plus-drain cost of a few residency periods per run, so
+//! its speedup grows with the number of steady "cruise" waves it can skip.
+//! At the default cap the win is modest; at trace-fidelity caps it is the
+//! difference between a coffee break and an interactive sweep.
+//!
+//! Alongside wall-clock, the artifact pass records the *accuracy* of the
+//! approximation over the full grid — worst relative time deviation and
+//! whether the ED²-optimal configuration (the oracle governor's selection
+//! rule) is unchanged — because a fast wrong answer is worthless.
+//!
+//! Running this bench regenerates `BENCH_event.json` at the repository root.
+
+use criterion::Criterion;
+use harmonia_power::{Activity, PowerModel};
+use harmonia_sim::{EventModel, FastForwardPolicy, KernelProfile, SimResult, TimingModel};
+use harmonia_types::{ConfigSpace, HwConfig};
+use harmonia_workloads::suite;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Wave cap for the models under benchmark. Raised from the default 8192 to
+/// the regime where long-kernel sweeps actually hurt — the largest suite
+/// grids (DeviceMemory at 65536 waves, Sort at 32768) stay capped even here.
+const BENCH_WAVE_CAP: u64 = 32768;
+
+/// The largest-grid suite kernels: the ones whose exact simulation dominates
+/// a sweep's wall-clock and whose steady cruise fast-forward can skip.
+fn bench_kernels() -> Vec<(&'static str, KernelProfile)> {
+    vec![
+        ("DeviceMemory.Stream", suite::devicememory().kernels[0].clone()),
+        ("Sort.BottomScan", suite::sort().kernels[2].clone()),
+        ("MaxFlops.Main", suite::maxflops().kernels[0].clone()),
+    ]
+}
+
+/// Simulates every grid configuration once (a cold sweep: no memoization),
+/// returning the per-configuration results for accuracy checks.
+fn grid_sweep(model: &EventModel, configs: &[HwConfig], k: &KernelProfile) -> Vec<SimResult> {
+    configs
+        .iter()
+        .map(|&cfg| model.simulate(black_box(cfg), black_box(k), 0))
+        .collect()
+}
+
+/// ED² (energy × delay², the oracle's objective) of one simulated point.
+fn ed2(power: &PowerModel, cfg: HwConfig, r: &SimResult) -> f64 {
+    let activity = Activity {
+        valu_activity: r.counters.valu_activity(),
+        dram_bytes_per_sec: r.counters.dram_bytes_per_sec(),
+        dram_traffic_fraction: r.counters.ic_activity,
+    };
+    let t = r.time.value();
+    power.card_pwr(cfg, &activity).value() * t * t * t
+}
+
+/// Index of the ED²-optimal configuration over a swept grid.
+fn ed2_argmin(power: &PowerModel, configs: &[HwConfig], results: &[SimResult]) -> usize {
+    let mut best = (f64::INFINITY, 0);
+    for (i, r) in results.iter().enumerate() {
+        let e = ed2(power, configs[i], r);
+        if e < best.0 {
+            best = (e, i);
+        }
+    }
+    best.1
+}
+
+fn bench_event(c: &mut Criterion) {
+    let off = EventModel::default().with_max_waves(BENCH_WAVE_CAP);
+    let auto = off.clone().with_fast_forward(FastForwardPolicy::auto());
+    let cfg = HwConfig::max_hd7970();
+    let (_, k) = bench_kernels().swap_remove(0);
+
+    c.bench_function("event/off_single_cfg_32k_waves", |b| {
+        b.iter(|| off.simulate(black_box(cfg), black_box(&k), 0));
+    });
+    c.bench_function("event/auto_single_cfg_32k_waves", |b| {
+        b.iter(|| auto.simulate(black_box(cfg), black_box(&k), 0));
+    });
+}
+
+/// Median of `reps` wall-clock measurements of `f`, in seconds.
+fn median_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+/// Measures the cold-sweep comparison per kernel, checks accuracy over the
+/// full grid, and writes `BENCH_event.json` at the repository root.
+fn write_artifact() {
+    const REPS: usize = 3;
+    let off = EventModel::default().with_max_waves(BENCH_WAVE_CAP);
+    let auto = off.clone().with_fast_forward(FastForwardPolicy::auto());
+    let power = PowerModel::hd7970();
+    let configs: Vec<HwConfig> = ConfigSpace::hd7970().iter().collect();
+
+    let mut entries = String::new();
+    let mut total_off = 0.0;
+    let mut total_auto = 0.0;
+    let mut worst_dev = 0.0f64;
+    for (name, k) in bench_kernels() {
+        // Accuracy pass: full-grid results under both policies.
+        let exact = grid_sweep(&off, &configs, &k);
+        let approx = grid_sweep(&auto, &configs, &k);
+        let max_dev = exact
+            .iter()
+            .zip(&approx)
+            .map(|(e, a)| (a.time.value() / e.time.value() - 1.0).abs())
+            .fold(0.0f64, f64::max);
+        let (stepped, skipped) = approx.iter().fold((0u64, 0u64), |(s, f), r| {
+            (
+                s + r.fast_forward.stepped_waves,
+                f + r.fast_forward.fast_forwarded_waves,
+            )
+        });
+        let decisions_match = ed2_argmin(&power, &configs, &exact)
+            == ed2_argmin(&power, &configs, &approx);
+
+        // Timing pass: cold sweeps, median of REPS.
+        let off_s = median_secs(REPS, || grid_sweep(&off, &configs, &k));
+        let auto_s = median_secs(REPS, || grid_sweep(&auto, &configs, &k));
+        total_off += off_s;
+        total_auto += auto_s;
+        worst_dev = worst_dev.max(max_dev);
+
+        entries.push_str(&format!(
+            "    {{\n      \"kernel\": {:?},\n      \"off_sweep_ms\": {:.1},\n      \"auto_sweep_ms\": {:.1},\n      \"speedup\": {:.2},\n      \"max_time_deviation_pct\": {:.4},\n      \"waves_skipped_pct\": {:.1},\n      \"ed2_argmin_matches\": {}\n    }},\n",
+            name,
+            off_s * 1e3,
+            auto_s * 1e3,
+            off_s / auto_s,
+            max_dev * 100.0,
+            skipped as f64 / (stepped + skipped) as f64 * 100.0,
+            decisions_match,
+        ));
+    }
+    entries.truncate(entries.len().saturating_sub(2)); // trailing ",\n"
+    entries.push('\n');
+
+    let json = format!(
+        "{{\n  \"bench\": \"event\",\n  \"wave_cap\": {},\n  \"configs\": {},\n  \"kernels\": [\n{}  ],\n  \"aggregate_speedup\": {:.2},\n  \"worst_deviation_pct\": {:.4}\n}}\n",
+        BENCH_WAVE_CAP,
+        configs.len(),
+        entries,
+        total_off / total_auto,
+        worst_dev * 100.0,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_event.json");
+    std::fs::write(path, json).expect("write BENCH_event.json");
+    println!(
+        "fast-forward speedup: {:.1}x on a cold {}-config sweep (worst deviation {:.3}%)",
+        total_off / total_auto,
+        configs.len(),
+        worst_dev * 100.0,
+    );
+    println!("wrote {path}");
+}
+
+fn main() {
+    let mut criterion = Criterion::default().sample_size(10);
+    bench_event(&mut criterion);
+    write_artifact();
+}

@@ -222,7 +222,7 @@ mod tests {
     #[test]
     fn backoff_doubles_up_to_cap_and_resets_after_clean_streak() {
         let mut w = wd();
-        let mut engage_and_release = |w: &mut Watchdog| {
+        let engage_and_release = |w: &mut Watchdog| {
             while !w.engaged() {
                 w.tick(true);
             }

@@ -195,6 +195,14 @@ impl<'a> Runtime<'a> {
                     mem_w: breakdown.mem_pwr().value(),
                     counters,
                 });
+                if !result.fast_forward.is_exact() {
+                    self.telemetry.emit(|| TraceEvent::FastForward {
+                        kernel: kernel.name.clone(),
+                        iteration,
+                        stepped_waves: result.fast_forward.stepped_waves,
+                        fast_forwarded_waves: result.fast_forward.fast_forwarded_waves,
+                    });
+                }
                 if let Some(daq) = &mut daq {
                     daq.push(dt, breakdown);
                 }

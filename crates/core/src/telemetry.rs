@@ -123,6 +123,20 @@ pub enum TraceEvent {
         /// The performance counters produced by the invocation.
         counters: CounterSample,
     },
+    /// The timing model detected steady state and extrapolated the tail of
+    /// the invocation instead of stepping it (adaptive fidelity; see
+    /// `harmonia_sim::event::FastForwardPolicy`). Emitted right after the
+    /// invocation's `KernelEnd`.
+    FastForward {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// Waves played out event by event before convergence.
+        stepped_waves: u64,
+        /// Waves extrapolated at the converged steady-state rate.
+        fast_forwarded_waves: u64,
+    },
     /// The CG block predicted sensitivities and binned them.
     Prediction {
         /// Kernel name.
@@ -355,6 +369,7 @@ impl TraceEvent {
             TraceEvent::RunStart { .. } => "RunStart",
             TraceEvent::KernelStart { .. } => "KernelStart",
             TraceEvent::KernelEnd { .. } => "KernelEnd",
+            TraceEvent::FastForward { .. } => "FastForward",
             TraceEvent::Prediction { .. } => "Prediction",
             TraceEvent::CgRetune { .. } => "CgRetune",
             TraceEvent::RevertGuard { .. } => "RevertGuard",
@@ -381,6 +396,7 @@ impl TraceEvent {
         match self {
             TraceEvent::KernelStart { kernel, .. }
             | TraceEvent::KernelEnd { kernel, .. }
+            | TraceEvent::FastForward { kernel, .. }
             | TraceEvent::Prediction { kernel, .. }
             | TraceEvent::CgRetune { kernel, .. }
             | TraceEvent::RevertGuard { kernel, .. }
@@ -405,6 +421,7 @@ impl TraceEvent {
         match self {
             TraceEvent::KernelStart { iteration, .. }
             | TraceEvent::KernelEnd { iteration, .. }
+            | TraceEvent::FastForward { iteration, .. }
             | TraceEvent::Prediction { iteration, .. }
             | TraceEvent::CgRetune { iteration, .. }
             | TraceEvent::RevertGuard { iteration, .. }
@@ -629,6 +646,10 @@ pub fn to_csv(events: &[TraceEvent]) -> String {
             TraceEvent::KernelEnd { cfg, time_s, card_w, .. } => {
                 (Some(*cfg), format!("time_s={time_s} card_w={card_w}"))
             }
+            TraceEvent::FastForward { stepped_waves, fast_forwarded_waves, .. } => (
+                None,
+                format!("stepped={stepped_waves} fast_forwarded={fast_forwarded_waves}"),
+            ),
             TraceEvent::Prediction { cu, freq, bandwidth, cu_bin, freq_bin, bw_bin, .. } => (
                 None,
                 format!(
@@ -737,6 +758,8 @@ pub struct TraceSummary {
     pub recorded: u64,
     /// Kernel invocations (KernelEnd events).
     pub invocations: u64,
+    /// Invocations whose timing model fast-forwarded part of the run.
+    pub fast_forwards: u64,
     /// Sensitivity predictions made.
     pub predictions: u64,
     /// Coarse-grain retunes.
@@ -816,6 +839,7 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
                     s.residency.record(hw, Seconds(*time_s));
                 }
             }
+            TraceEvent::FastForward { .. } => s.fast_forwards += 1,
             TraceEvent::Prediction { .. } => s.predictions += 1,
             TraceEvent::CgRetune { .. } => s.cg_retunes += 1,
             TraceEvent::RevertGuard { .. } => s.revert_guards += 1,

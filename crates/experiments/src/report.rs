@@ -87,17 +87,21 @@ impl Report {
 }
 
 fn csv_line(cells: &[String]) -> String {
-    let escaped: Vec<String> = cells
-        .iter()
-        .map(|c| {
-            if c.contains(',') || c.contains('"') || c.contains('\n') {
-                format!("\"{}\"", c.replace('"', "\"\""))
-            } else {
-                c.clone()
-            }
-        })
-        .collect();
-    format!("{}\n", escaped.join(","))
+    let mut line = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        if c.contains(',') || c.contains('"') || c.contains('\n') {
+            line.push('"');
+            line.push_str(&c.replace('"', "\"\""));
+            line.push('"');
+        } else {
+            line.push_str(c);
+        }
+    }
+    line.push('\n');
+    line
 }
 
 impl fmt::Display for Report {

@@ -56,6 +56,13 @@ pub fn rng_for(seed: u64, kernel: &str, cfg: HwConfig, iteration: u64) -> SmallR
     SmallRng::seed_from_u64(mix_seed(seed, kernel, cfg, iteration))
 }
 
+/// FNV-1a style fold for composing [`TimingModel::fidelity_key`] values:
+/// perturbing wrappers (noise, faults) mix a marker over the inner model's
+/// key so a shared sweep cache keeps their results separate.
+pub fn mix_fidelity(inner: u64, marker: u64) -> u64 {
+    (inner ^ marker).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
 /// The fault taxonomy (see DESIGN.md "Robustness & fault model").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
@@ -413,6 +420,18 @@ impl<M: TimingModel> TimingModel for FaultyModel<M> {
         // Faults are seeded per raw iteration, so only the empty plan may
         // inherit the inner model's phase-collapsed memoization.
         self.plan.is_empty() && self.inner.phase_determined()
+    }
+
+    fn fidelity_key(&self) -> u64 {
+        // An active plan corrupts the measurement path: mix its seed over
+        // the inner key so faulted results never alias clean ones in a
+        // shared sweep cache. The empty plan is bit-transparent and keeps
+        // the inner key.
+        if self.plan.is_empty() {
+            self.inner.fidelity_key()
+        } else {
+            mix_fidelity(self.inner.fidelity_key(), 0xFA17) ^ self.plan.seed.rotate_left(21)
+        }
     }
 }
 

@@ -161,7 +161,7 @@ impl IntervalModel {
 
             l2_hit,
             peak_bw_theoretical,
-            valu_insts: valu_per_item * items / 1.0,
+            valu_insts: valu_per_item * items,
             vfetch_insts: kernel.vfetch_insts_per_item * scale.memory * items,
             vwrite_insts: kernel.vwrite_insts_per_item * scale.memory * items,
             occupancy,
@@ -211,6 +211,7 @@ impl TimingModel for IntervalModel {
         SimResult {
             time: Seconds(t),
             counters,
+            fast_forward: Default::default(),
         }
     }
 
@@ -323,7 +324,7 @@ mod tests {
         // and extracts less bandwidth, so it reacts less to bus frequency
         // than the same kernel at full occupancy.
         let m = model();
-        let base = KernelProfile::builder("scan")
+        let mut k = KernelProfile::builder("scan")
             .workitems(1 << 21)
             .valu_insts_per_item(24.0)
             .vfetch_insts_per_item(6.0)
@@ -332,21 +333,17 @@ mod tests {
             .l2_hit_rate(0.2)
             .blocks_per_wave(24)
             .build();
-        let full_occ = KernelProfile {
-            vgprs_per_item: 24,
-            ..base.clone()
-        };
-        let low_occ = KernelProfile {
-            vgprs_per_item: 120, // 2 waves/SIMD
-            ..base
-        };
         let sens = |k: &KernelProfile| {
             let hi = m.simulate(cfg(32, 1000, 1375), k, 0).time.value();
             let lo = m.simulate(cfg(32, 1000, 475), k, 0).time.value();
             lo / hi - 1.0
         };
-        let s_full = sens(&full_occ);
-        let s_low = sens(&low_occ);
+        // Only the VGPR budget differs between the variants, so mutate one
+        // profile in place instead of cloning the whole kernel per variant.
+        k.vgprs_per_item = 24;
+        let s_full = sens(&k);
+        k.vgprs_per_item = 120; // 2 waves/SIMD
+        let s_low = sens(&k);
         assert!(
             s_full > s_low + 0.05,
             "full-occupancy sensitivity {s_full} should exceed low-occupancy {s_low}"

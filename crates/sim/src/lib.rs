@@ -45,6 +45,7 @@
 //! assert!(result.counters.mem_unit_busy_pct >= 0.0);
 //! ```
 
+pub mod calendar;
 pub mod counters;
 pub mod device;
 pub mod event;
@@ -58,12 +59,13 @@ pub mod servers;
 pub mod sweep;
 pub mod trace;
 
+pub use calendar::CalendarQueue;
 pub use counters::CounterSample;
 pub use device::GpuDescriptor;
-pub use event::EventModel;
+pub use event::{EventModel, FastForwardPolicy};
 pub use faults::{FaultKind, FaultPlan, FaultSpec, FaultyModel};
 pub use interval::IntervalModel;
-pub use model::{SimResult, TimingModel};
+pub use model::{FastForwardStats, SimResult, TimingModel};
 pub use noise::NoisyModel;
 pub use occupancy::{Occupancy, OccupancyLimiter};
 pub use profile::{KernelProfile, KernelProfileBuilder, PhaseModulation, PhaseScale};

@@ -6,13 +6,69 @@ use crate::profile::KernelProfile;
 use harmonia_types::{HwConfig, Seconds};
 use serde::{Deserialize, Serialize};
 
+/// Adaptive-fidelity accounting for one simulation: how many waves were
+/// event-stepped exactly versus extrapolated analytically once the model
+/// detected steady state (see
+/// [`FastForwardPolicy`](crate::event::FastForwardPolicy)).
+///
+/// All-zero for models without a fast-forward notion (the default), so the
+/// field is free for every existing consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FastForwardStats {
+    /// Waves played out event by event.
+    pub stepped_waves: u64,
+    /// Waves whose completion was extrapolated from the converged
+    /// steady-state throughput instead of being stepped.
+    pub fast_forwarded_waves: u64,
+}
+
+impl FastForwardStats {
+    /// Whether the run was exact: nothing was extrapolated (also true for
+    /// models that never fast-forward and leave the stats at zero).
+    pub fn is_exact(&self) -> bool {
+        self.fast_forwarded_waves == 0
+    }
+}
+
 /// Result of simulating one kernel invocation at one hardware configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SimResult {
     /// Kernel execution time.
     pub time: Seconds,
     /// Performance counters collected over the execution.
     pub counters: CounterSample,
+    /// Fast-forward accounting (zero unless the producing model extrapolated
+    /// part of the run). Omitted from serialization when exact so existing
+    /// serialized artifacts keep their bytes; absent on input it defaults to
+    /// exact. (Hand-written impls below: the vendored derive has no
+    /// `skip_serializing_if`/`default` attributes.)
+    pub fast_forward: FastForwardStats,
+}
+
+impl Serialize for SimResult {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("time".to_string(), self.time.to_value()),
+            ("counters".to_string(), self.counters.to_value()),
+        ];
+        if !self.fast_forward.is_exact() {
+            entries.push(("fast_forward".to_string(), self.fast_forward.to_value()));
+        }
+        serde::Value::Object(entries)
+    }
+}
+
+impl Deserialize for SimResult {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(SimResult {
+            time: Deserialize::from_value(v.field("time")?)?,
+            counters: Deserialize::from_value(v.field("counters")?)?,
+            fast_forward: match v.field("fast_forward") {
+                Ok(ff) => Deserialize::from_value(ff)?,
+                Err(_) => FastForwardStats::default(),
+            },
+        })
+    }
 }
 
 /// A timing model: maps (configuration, kernel, iteration) to execution time
@@ -47,6 +103,19 @@ pub trait TimingModel: Send + Sync {
     fn phase_determined(&self) -> bool {
         false
     }
+
+    /// A key identifying this model's *fidelity configuration* — every knob
+    /// that changes its results for the same `(cfg, kernel, phase scale)`
+    /// point without being part of that point: wave-cap truncation,
+    /// fast-forward policy, injected noise or faults.
+    ///
+    /// The sweep cache ([`crate::sweep::SimCache`]) folds this key into its
+    /// entries so an exact model and an approximating variant of the same
+    /// model never alias each other's memoized results. Models with no such
+    /// knobs keep the default `0`.
+    fn fidelity_key(&self) -> u64 {
+        0
+    }
 }
 
 impl<T: TimingModel + ?Sized> TimingModel for &T {
@@ -60,6 +129,10 @@ impl<T: TimingModel + ?Sized> TimingModel for &T {
 
     fn phase_determined(&self) -> bool {
         (**self).phase_determined()
+    }
+
+    fn fidelity_key(&self) -> u64 {
+        (**self).fidelity_key()
     }
 }
 

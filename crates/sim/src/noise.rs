@@ -95,6 +95,21 @@ impl<M: TimingModel> TimingModel for NoisyModel<M> {
     fn gpu(&self) -> &GpuDescriptor {
         self.inner.gpu()
     }
+
+    fn fidelity_key(&self) -> u64 {
+        // Active noise is a fidelity change of its own: mix the amplitude
+        // and seed over the inner key so a noisy wrapper sharing a cache
+        // with its clean inner model never serves perturbed results as
+        // exact ones. Zero amplitude is transparent, so it inherits the
+        // inner key unchanged.
+        if self.amplitude <= 0.0 {
+            self.inner.fidelity_key()
+        } else {
+            crate::faults::mix_fidelity(self.inner.fidelity_key(), 0x4e01)
+                ^ self.amplitude.to_bits()
+                ^ self.seed.rotate_left(13)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -119,6 +119,62 @@ impl SimdBank {
     }
 }
 
+/// Per-wave simulation state in structure-of-arrays layout.
+///
+/// The event loop touches exactly one field per event — the SIMD binding on
+/// completion, the block countdown on memory return — so splitting the old
+/// `Vec<Wave {simd, blocks_left}>` into parallel arrays keeps each access on
+/// a dense homogeneous cache line and drops the per-event struct churn.
+/// Waves are identified by their dense dispatch index (`u32`), which is also
+/// the deterministic FIFO tie-break in the event queue.
+#[derive(Debug, Clone, Default)]
+pub struct WaveSet {
+    simd: Vec<u32>,
+    blocks_left: Vec<u32>,
+}
+
+impl WaveSet {
+    /// An empty set with room for `n` waves.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            simd: Vec::with_capacity(n),
+            blocks_left: Vec::with_capacity(n),
+        }
+    }
+
+    /// Dispatches a wave bound to `simd` with `blocks` compute/memory blocks
+    /// to run; returns its dense id.
+    pub fn dispatch(&mut self, simd: u32, blocks: u32) -> u32 {
+        let id = u32::try_from(self.simd.len()).expect("wave ids fit in u32");
+        self.simd.push(simd);
+        self.blocks_left.push(blocks);
+        id
+    }
+
+    /// The SIMD wave `id` is bound to.
+    pub fn simd(&self, id: u32) -> u32 {
+        self.simd[id as usize]
+    }
+
+    /// Retires one block of wave `id`; returns the blocks still to run
+    /// (0 = the wave completed).
+    pub fn retire_block(&mut self, id: u32) -> u32 {
+        let left = &mut self.blocks_left[id as usize];
+        *left -= 1;
+        *left
+    }
+
+    /// Waves dispatched so far.
+    pub fn len(&self) -> usize {
+        self.simd.len()
+    }
+
+    /// Whether no waves have been dispatched.
+    pub fn is_empty(&self) -> bool {
+        self.simd.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +252,20 @@ mod tests {
     #[should_panic(expected = "at least one SIMD")]
     fn empty_bank_rejected() {
         let _ = SimdBank::new(0);
+    }
+
+    #[test]
+    fn wave_set_tracks_binding_and_blocks() {
+        let mut ws = WaveSet::with_capacity(4);
+        assert!(ws.is_empty());
+        let a = ws.dispatch(3, 2);
+        let b = ws.dispatch(7, 1);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws.simd(a), 3);
+        assert_eq!(ws.simd(b), 7);
+        assert_eq!(ws.retire_block(a), 1);
+        assert_eq!(ws.retire_block(a), 0, "second block completes the wave");
+        assert_eq!(ws.retire_block(b), 0);
     }
 }

@@ -145,9 +145,11 @@ where
 // ---------------------------------------------------------------------------
 
 /// Key identifying one simulation: the kernel fingerprint, the hardware
-/// configuration, the bit patterns of the phase scale in effect, and — for
-/// models whose results also depend on the raw iteration number
-/// ([`TimingModel::phase_determined`] is `false`) — the iteration itself.
+/// configuration, the bit patterns of the phase scale in effect, the
+/// model's fidelity configuration ([`TimingModel::fidelity_key`] — wave
+/// caps, fast-forward policy), and — for models whose results also depend
+/// on the raw iteration number ([`TimingModel::phase_determined`] is
+/// `false`) — the iteration itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct CacheKey {
     kernel: u64,
@@ -157,17 +159,26 @@ struct CacheKey {
     /// Raw iteration for iteration-sensitive models, 0 for phase-determined
     /// ones (which is what lets their iterations share an entry).
     iteration: u64,
+    /// The producing model's fidelity configuration, so exact and
+    /// approximating variants of one model never alias an entry.
+    fidelity: u64,
 }
 
 impl CacheKey {
-    fn new(cfg: HwConfig, kernel: &KernelProfile, iteration: u64, phase_determined: bool) -> Self {
+    fn new<M: TimingModel + ?Sized>(
+        cfg: HwConfig,
+        kernel: &KernelProfile,
+        iteration: u64,
+        model: &M,
+    ) -> Self {
         let scale = kernel.phase.scale_for(iteration);
         CacheKey {
             kernel: kernel.cache_key(),
             cfg,
             compute_bits: scale.compute.to_bits(),
             memory_bits: scale.memory.to_bits(),
-            iteration: if phase_determined { 0 } else { iteration },
+            iteration: if model.phase_determined() { 0 } else { iteration },
+            fidelity: model.fidelity_key(),
         }
     }
 
@@ -177,7 +188,8 @@ impl CacheKey {
         ((self.kernel
             ^ self.compute_bits.rotate_left(17)
             ^ self.memory_bits.rotate_left(43)
-            ^ self.iteration.rotate_left(7)) as usize)
+            ^ self.iteration.rotate_left(7)
+            ^ self.fidelity.rotate_left(29)) as usize)
             % SHARDS
     }
 }
@@ -212,7 +224,7 @@ impl SimCache {
         kernel: &KernelProfile,
         iteration: u64,
     ) -> SimResult {
-        let key = CacheKey::new(cfg, kernel, iteration, model.phase_determined());
+        let key = CacheKey::new(cfg, kernel, iteration, model);
         let shard = &self.shards[key.shard()];
         if let Some(r) = shard.read().expect("cache shard poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -324,6 +336,10 @@ impl<M: TimingModel + ?Sized> TimingModel for CachedModel<'_, M> {
 
     fn phase_determined(&self) -> bool {
         self.inner.phase_determined()
+    }
+
+    fn fidelity_key(&self) -> u64 {
+        self.inner.fidelity_key()
     }
 }
 
@@ -454,6 +470,33 @@ mod tests {
         assert_eq!(r, model.simulate(HwConfig::max_hd7970(), &k, 3));
         assert_eq!(cached.gpu().max_cu, model.gpu().max_cu);
         assert_eq!(cached.cache().len(), 1);
+    }
+
+    #[test]
+    fn exact_and_fast_forwarded_results_never_alias() {
+        use crate::event::{EventModel, FastForwardPolicy};
+        let exact = EventModel::default();
+        let fast = EventModel::default().with_fast_forward(FastForwardPolicy::auto());
+        let cache = SimCache::new();
+        let k = KernelProfile::builder("steady")
+            .workitems(1 << 20)
+            .valu_insts_per_item(4.0)
+            .vfetch_insts_per_item(8.0)
+            .bytes_per_fetch(32.0)
+            .l1_hit_rate(0.05)
+            .l2_hit_rate(0.05)
+            .build();
+        let cfg = HwConfig::max_hd7970();
+        let re = cache.simulate(&exact, cfg, &k, 0);
+        let rf = cache.simulate(&fast, cfg, &k, 0);
+        assert_eq!(cache.len(), 2, "one entry per fidelity configuration");
+        assert_eq!(cache.misses(), 2, "the fast model must not hit the exact entry");
+        assert!(re.fast_forward.is_exact());
+        assert!(!rf.fast_forward.is_exact());
+        // Warm lookups hit their own fidelity's entry and reproduce it.
+        assert_eq!(cache.simulate(&exact, cfg, &k, 0), re);
+        assert_eq!(cache.simulate(&fast, cfg, &k, 0), rf);
+        assert_eq!(cache.hits(), 2);
     }
 
     #[test]

@@ -506,6 +506,7 @@ impl TimingModel for TraceModel {
         SimResult {
             time: Seconds(t_total),
             counters,
+            fast_forward: Default::default(),
         }
     }
 
