@@ -7,13 +7,19 @@
 //! recently observed activity and, while over budget, steps down the
 //! tunable that buys the most power per step. The inner policy still
 //! receives the real counters, so Harmonia-under-a-cap keeps learning.
+//!
+//! Safe-state fallback is not built in: stack a
+//! [`WatchdogLayer`](crate::governor::WatchdogLayer) *inside* this
+//! decorator (the registry's `hardened:capped` spec does) and hand its
+//! [`DecisionLedger`] to [`CappedGovernor::with_ledger`] so the watchdog's
+//! actuation check compares against the post-clamp grant.
 
-use crate::governor::watchdog::{Watchdog, WatchdogConfig, WatchdogTransition};
+use crate::governor::stack::{DecisionLedger, PolicyStats};
 use crate::governor::Governor;
 use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_power::{Activity, PowerModel};
 use harmonia_sim::{CounterSample, KernelProfile};
-use harmonia_types::{HwConfig, Tunable, Watts};
+use harmonia_types::{HwConfig, Seconds, Tunable, Watts};
 use std::collections::HashMap;
 
 /// Wraps a governor and enforces a card-power budget on its decisions.
@@ -25,16 +31,12 @@ pub struct CappedGovernor<'a, G> {
     /// Last observed activity per kernel, used to project power.
     activity: HashMap<String, Activity>,
     trace: TraceHandle,
-    /// Safe-state fallback watchdog (opt-in hardening).
-    watchdog: Option<Watchdog>,
-    /// Last granted (post-clamp) decision per kernel, for the
-    /// actuation-mismatch check.
-    granted: HashMap<String, HwConfig>,
-    /// Observed intervals whose projected card power exceeded the cap
-    /// (with a 5% enforcement tolerance).
-    cap_violations: u64,
-    /// Cap violations observed while fallback was engaged.
-    violations_while_fallback: u64,
+    /// Shared grant ledger, when an inner watchdog layer needs to see the
+    /// post-clamp decision.
+    ledger: Option<DecisionLedger>,
+    /// Cap-violation accounting (shared with the stack's stats handle when
+    /// registry-built).
+    stats: PolicyStats,
 }
 
 impl<'a, G: Governor> CappedGovernor<'a, G> {
@@ -48,19 +50,25 @@ impl<'a, G: Governor> CappedGovernor<'a, G> {
             name,
             activity: HashMap::new(),
             trace: TraceHandle::disabled(),
-            watchdog: None,
-            granted: HashMap::new(),
-            cap_violations: 0,
-            violations_while_fallback: 0,
+            ledger: None,
+            stats: PolicyStats::new(),
         }
     }
 
-    /// Arms the safe-state fallback watchdog: cap-violation streaks and
-    /// granted-vs-ran actuation mismatches count as anomalous intervals;
-    /// after the threshold, decisions pin to the (still cap-clamped) safe
-    /// state with exponential-backoff re-engagement.
-    pub fn with_watchdog(mut self, config: WatchdogConfig) -> Self {
-        self.watchdog = Some(Watchdog::new(config));
+    /// Records every post-clamp grant into `ledger`. Because this decorator
+    /// decides last, its write overwrites any pre-clamp entry an inner
+    /// watchdog layer made — actuation checks then compare against what
+    /// was actually granted.
+    pub fn with_ledger(mut self, ledger: DecisionLedger) -> Self {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    /// Shares `stats` so cap violations are counted into an external handle
+    /// (registry-built stacks report through
+    /// [`Policy::stats`](crate::governor::Policy)).
+    pub fn with_stats(mut self, stats: &PolicyStats) -> Self {
+        self.stats = stats.clone();
         self
     }
 
@@ -69,25 +77,10 @@ impl<'a, G: Governor> CappedGovernor<'a, G> {
         &self.inner
     }
 
-    /// The fallback watchdog, when armed.
-    pub fn watchdog(&self) -> Option<&Watchdog> {
-        self.watchdog.as_ref()
-    }
-
-    /// Whether fallback is currently engaged.
-    pub fn fallback_engaged(&self) -> bool {
-        self.watchdog.as_ref().is_some_and(Watchdog::engaged)
-    }
-
     /// Observed intervals whose projected card power exceeded the cap
-    /// (5% enforcement tolerance), fallback engaged or not.
+    /// (5% enforcement tolerance).
     pub fn cap_violations(&self) -> u64 {
-        self.cap_violations
-    }
-
-    /// Cap violations observed while fallback was engaged.
-    pub fn violations_while_fallback(&self) -> u64 {
-        self.violations_while_fallback
+        self.stats.cap_violations()
     }
 
     /// Clamps `cfg` under the cap for the given activity estimate.
@@ -129,12 +122,7 @@ impl<G: Governor> Governor for CappedGovernor<'_, G> {
     }
 
     fn decide(&mut self, kernel: &KernelProfile, iteration: u64) -> HwConfig {
-        let want = match &self.watchdog {
-            // While fallback is engaged the inner policy is bypassed
-            // entirely; the safe state still goes through the cap clamp.
-            Some(wd) if wd.engaged() => wd.safe(),
-            _ => self.inner.decide(kernel, iteration),
-        };
+        let want = self.inner.decide(kernel, iteration);
         // Without an observation yet, assume a fully busy card — the
         // conservative projection for cap enforcement.
         let activity = self
@@ -151,10 +139,21 @@ impl<G: Governor> Governor for CappedGovernor<'_, G> {
                 granted: granted.into(),
             });
         }
-        if self.watchdog.is_some() {
-            self.granted.insert(kernel.name.clone(), granted);
+        if let Some(ledger) = &self.ledger {
+            ledger.grant(&kernel.name, granted);
         }
         granted
+    }
+
+    fn condition(
+        &mut self,
+        kernel: &KernelProfile,
+        iteration: u64,
+        cfg: HwConfig,
+        time: Seconds,
+        counters: CounterSample,
+    ) -> (Seconds, CounterSample) {
+        self.inner.condition(kernel, iteration, cfg, time, counters)
     }
 
     fn observe(
@@ -170,52 +169,11 @@ impl<G: Governor> Governor for CappedGovernor<'_, G> {
             dram_traffic_fraction: counters.ic_activity,
         };
         // NaN projections (glitched telemetry) fail the comparison and are
-        // not counted — the inner watchdog catches implausible counters.
+        // not counted — a stacked counter watchdog catches implausible
+        // samples.
         let over = self.power.card_pwr(cfg, &activity).value() > self.cap.value() * 1.05;
         if over {
-            self.cap_violations += 1;
-            if self.fallback_engaged() {
-                self.violations_while_fallback += 1;
-            }
-        }
-        if let Some(wd) = self.watchdog.as_mut() {
-            let engaged_before = wd.engaged();
-            let what: Option<&'static str> = if over {
-                Some("cap violation")
-            } else if wd.config().check_actuation
-                && !engaged_before
-                && self.granted.get(&kernel.name).is_some_and(|g| *g != cfg)
-            {
-                Some("actuation mismatch")
-            } else {
-                None
-            };
-            if let Some(what) = what {
-                self.trace.emit(|| TraceEvent::FaultDetected {
-                    kernel: kernel.name.clone(),
-                    iteration,
-                    what: what.to_string(),
-                });
-            }
-            match wd.tick(what.is_some()) {
-                WatchdogTransition::Engaged => {
-                    let safe = wd.safe();
-                    let hold = wd.hold();
-                    self.trace.emit(|| TraceEvent::FallbackEngaged {
-                        kernel: kernel.name.clone(),
-                        iteration,
-                        safe: safe.into(),
-                        hold,
-                    });
-                }
-                WatchdogTransition::Released => {
-                    self.trace.emit(|| TraceEvent::FallbackReleased {
-                        kernel: kernel.name.clone(),
-                        iteration,
-                    });
-                }
-                WatchdogTransition::None => {}
-            }
+            self.stats.count_cap_violation();
         }
         self.activity.insert(kernel.name.clone(), activity);
         self.inner.observe(kernel, iteration, cfg, counters);
@@ -306,5 +264,19 @@ mod tests {
             hm.total_time,
             base.total_time
         );
+    }
+
+    #[test]
+    fn post_clamp_grant_lands_in_the_ledger() {
+        let power = PowerModel::hd7970();
+        let ledger = DecisionLedger::new();
+        let k = suite::maxflops().kernels[0].clone();
+        // A cap this tight forces a clamp below boost on the conservative
+        // warm-up projection.
+        let mut g = CappedGovernor::new(BaselineGovernor::new(), &power, Watts(150.0))
+            .with_ledger(ledger.clone());
+        let granted = g.decide(&k, 0);
+        assert_ne!(granted, HwConfig::max_hd7970());
+        assert_eq!(ledger.granted(&k.name), Some(granted));
     }
 }

@@ -19,10 +19,8 @@
 use crate::binning::SensitivityBin;
 use crate::governor::coarse::{CoarseGrain, SensitivityBins};
 use crate::governor::fine::{FgState, FineGrain};
-use crate::governor::watchdog::{Watchdog, WatchdogConfig, WatchdogTransition};
 use crate::governor::Governor;
 use crate::predictor::SensitivityPredictor;
-use crate::sanitize;
 use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_sim::{CounterSample, KernelProfile};
 use harmonia_types::{HwConfig, Tunable};
@@ -135,6 +133,12 @@ impl KernelState {
 }
 
 /// The two-level Harmonia power-management governor.
+///
+/// Hardening (safe-state watchdog, counter sanitization) is not built in:
+/// compose it via [`WatchdogLayer`](crate::governor::WatchdogLayer) /
+/// [`SanitizeLayer`](crate::governor::SanitizeLayer) or ask the
+/// [`PolicySpec`](crate::governor::PolicySpec) registry for a
+/// `hardened:*` stack.
 #[derive(Debug, Clone)]
 pub struct HarmoniaGovernor {
     cg: CoarseGrain,
@@ -143,10 +147,6 @@ pub struct HarmoniaGovernor {
     name: String,
     kernels: HashMap<String, KernelState>,
     trace: TraceHandle,
-    /// Safe-state fallback watchdog (opt-in hardening).
-    watchdog: Option<Watchdog>,
-    /// Best clean VALU rate per kernel, for the throughput-collapse check.
-    peak_rate: HashMap<String, f64>,
 }
 
 impl HarmoniaGovernor {
@@ -175,24 +175,7 @@ impl HarmoniaGovernor {
             name,
             kernels: HashMap::new(),
             trace: TraceHandle::disabled(),
-            watchdog: None,
-            peak_rate: HashMap::new(),
         }
-    }
-
-    /// Arms the safe-state fallback watchdog: implausible counters, dead
-    /// samples, and throughput collapses count as anomalous intervals;
-    /// after `config.threshold` consecutive ones, decisions pin to the
-    /// safe state (with exponential-backoff re-engagement) and the learning
-    /// loops stop consuming the suspect samples.
-    pub fn with_watchdog(mut self, config: WatchdogConfig) -> Self {
-        self.watchdog = Some(Watchdog::new(config));
-        self
-    }
-
-    /// The fallback watchdog, when armed.
-    pub fn watchdog(&self) -> Option<&Watchdog> {
-        self.watchdog.as_ref()
     }
 
     fn state_mut(&mut self, kernel: &str) -> &mut KernelState {
@@ -204,76 +187,6 @@ impl HarmoniaGovernor {
     /// The configuration currently selected for `kernel` (for inspection).
     pub fn current_config(&self, kernel: &str) -> Option<HwConfig> {
         self.kernels.get(kernel).map(|s| s.cfg)
-    }
-
-    /// Runs the armed watchdog over one observation. Returns `true` when
-    /// the sample must not reach the learning pipeline — either it is
-    /// anomalous, or fallback is (or just was) engaged, so the counters
-    /// were produced under the pinned safe state.
-    fn watchdog_intercepts(
-        &mut self,
-        kernel: &KernelProfile,
-        iteration: u64,
-        cfg: HwConfig,
-        counters: &CounterSample,
-    ) -> bool {
-        let rate_now = if counters.duration.value() > 0.0 {
-            counters.valu_insts as f64 / counters.duration.value()
-        } else {
-            0.0
-        };
-        let peak = self.peak_rate.get(&kernel.name).copied().unwrap_or(0.0);
-        let expected = self.kernels.get(&kernel.name).map(|s| s.cfg);
-        let wd = self.watchdog.as_mut().expect("caller checked the watchdog is armed");
-        let engaged_before = wd.engaged();
-
-        let what: Option<&'static str> = if !sanitize::counters_plausible(counters) {
-            Some("implausible counters")
-        } else if sanitize::dead_sample(counters) {
-            Some("dead counter sample")
-        } else if wd.config().collapse_ratio > 0.0
-            && peak > 0.0
-            && rate_now < wd.config().collapse_ratio * peak
-        {
-            Some("throughput collapse")
-        } else if wd.config().check_actuation
-            && !engaged_before
-            && expected.is_some_and(|e| e != cfg)
-        {
-            Some("actuation mismatch")
-        } else {
-            None
-        };
-        if let Some(what) = what {
-            self.trace.emit(|| TraceEvent::FaultDetected {
-                kernel: kernel.name.clone(),
-                iteration,
-                what: what.to_string(),
-            });
-        }
-        match wd.tick(what.is_some()) {
-            WatchdogTransition::Engaged => {
-                let safe = wd.safe();
-                let hold = wd.hold();
-                self.trace.emit(|| TraceEvent::FallbackEngaged {
-                    kernel: kernel.name.clone(),
-                    iteration,
-                    safe: safe.into(),
-                    hold,
-                });
-            }
-            WatchdogTransition::Released => {
-                self.trace.emit(|| TraceEvent::FallbackReleased {
-                    kernel: kernel.name.clone(),
-                    iteration,
-                });
-            }
-            WatchdogTransition::None => {}
-        }
-        if what.is_none() && !engaged_before && rate_now.is_finite() && rate_now > peak {
-            self.peak_rate.insert(kernel.name.clone(), rate_now);
-        }
-        engaged_before || what.is_some()
     }
 }
 
@@ -287,11 +200,6 @@ impl Governor for HarmoniaGovernor {
     }
 
     fn decide(&mut self, kernel: &KernelProfile, _iteration: u64) -> HwConfig {
-        if let Some(wd) = &self.watchdog {
-            if wd.engaged() {
-                return wd.safe();
-            }
-        }
         self.state_mut(&kernel.name).cfg
     }
 
@@ -302,9 +210,6 @@ impl Governor for HarmoniaGovernor {
         cfg: HwConfig,
         counters: &CounterSample,
     ) {
-        if self.watchdog.is_some() && self.watchdog_intercepts(kernel, iteration, cfg, counters) {
-            return;
-        }
         let enable_cg = self.config.enable_cg;
         let enable_fg = self.config.enable_fg;
         let cg = self.cg.clone();

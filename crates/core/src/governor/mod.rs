@@ -15,6 +15,11 @@
 //! * [`OracleGovernor`] — exhaustive per-kernel-per-iteration ED²
 //!   minimization over all ~450 configurations ("impractical to implement",
 //!   but the paper's upper bound).
+//!
+//! Cross-cutting concerns — safe-state watchdogs, counter sanitization,
+//! trace taps — are *not* baked into the governors. They are
+//! [`GovernorLayer`] decorators composed into a stack, and named stacks
+//! are built from one place by the [`PolicySpec`] registry.
 
 mod baseline;
 mod capped;
@@ -24,6 +29,8 @@ mod fine;
 mod harmonia;
 mod oracle;
 mod powertune;
+mod registry;
+mod stack;
 mod watchdog;
 
 pub use baseline::BaselineGovernor;
@@ -33,11 +40,16 @@ pub use fine::{FgState, FineGrain};
 pub use harmonia::{HarmoniaConfig, HarmoniaGovernor};
 pub use oracle::OracleGovernor;
 pub use powertune::PowerTuneGovernor;
+pub use registry::{Policy, PolicyResources, PolicySpec, DEFAULT_CAP};
+pub use stack::{
+    AnomalyCheck, BoxGovernor, CapCheck, CounterCheck, DecisionLedger, GovernorLayer, PolicyStats,
+    SanitizeLayer, TraceLayer, WatchdogLayer,
+};
 pub use watchdog::{safe_state, Watchdog, WatchdogConfig, WatchdogTransition};
 
 use crate::telemetry::TraceHandle;
 use harmonia_sim::{CounterSample, KernelProfile};
-use harmonia_types::HwConfig;
+use harmonia_types::{HwConfig, Seconds};
 
 /// A runtime power-management policy.
 pub trait Governor {
@@ -47,12 +59,29 @@ pub trait Governor {
     /// Installs a telemetry handle so the governor can emit decision-trace
     /// events. The default is a no-op for policies that make no traceable
     /// decisions (the always-boost baseline). Decorators must forward the
-    /// handle to their inner governor.
+    /// handle to their inner governor (a contract tested by
+    /// `tests/governor_stack.rs`).
     fn set_trace(&mut self, _trace: TraceHandle) {}
 
     /// Chooses the hardware configuration for the upcoming invocation of
     /// `kernel` (application iteration `iteration`).
     fn decide(&mut self, kernel: &KernelProfile, iteration: u64) -> HwConfig;
+
+    /// Conditions the raw measurement of the invocation that just ran,
+    /// *before* the runtime accounts power/energy from it and before
+    /// [`observe`](Governor::observe) sees it. The default is the identity:
+    /// governors trust their inputs unless a [`SanitizeLayer`] is stacked
+    /// on top, which overrides this to substitute implausible readings.
+    fn condition(
+        &mut self,
+        _kernel: &KernelProfile,
+        _iteration: u64,
+        _cfg: HwConfig,
+        time: Seconds,
+        counters: CounterSample,
+    ) -> (Seconds, CounterSample) {
+        (time, counters)
+    }
 
     /// Observes the counters produced by the invocation that just ran at
     /// `cfg`.
@@ -63,4 +92,43 @@ pub trait Governor {
         cfg: HwConfig,
         counters: &CounterSample,
     );
+}
+
+/// Boxed governors govern: forwarding **every** method (including the
+/// default-bodied ones) keeps layered stacks behaviourally identical to the
+/// unboxed composition — a `Box<SanitizeGovernor>` whose `condition` fell
+/// back to the identity default would silently disable sanitization.
+impl<G: Governor + ?Sized> Governor for Box<G> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle) {
+        (**self).set_trace(trace);
+    }
+
+    fn decide(&mut self, kernel: &KernelProfile, iteration: u64) -> HwConfig {
+        (**self).decide(kernel, iteration)
+    }
+
+    fn condition(
+        &mut self,
+        kernel: &KernelProfile,
+        iteration: u64,
+        cfg: HwConfig,
+        time: Seconds,
+        counters: CounterSample,
+    ) -> (Seconds, CounterSample) {
+        (**self).condition(kernel, iteration, cfg, time, counters)
+    }
+
+    fn observe(
+        &mut self,
+        kernel: &KernelProfile,
+        iteration: u64,
+        cfg: HwConfig,
+        counters: &CounterSample,
+    ) {
+        (**self).observe(kernel, iteration, cfg, counters);
+    }
 }

@@ -8,12 +8,11 @@
 
 use crate::governor::Governor;
 use crate::metrics::{InvocationRecord, KernelReport, Residency, RunReport};
-use crate::sanitize::{CounterSanitizer, SanitizerConfig};
 use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_power::{Activity, PowerModel, PowerTrace};
 use harmonia_sim::faults::FaultPlan;
 use harmonia_sim::TimingModel;
-use harmonia_types::{HwConfig, Joules, Seconds};
+use harmonia_types::{HwConfig, Joules, Seconds, Session};
 use harmonia_workloads::Application;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -30,22 +29,34 @@ pub struct Runtime<'a> {
     /// Actuator-fault plan: DVFS denials/delays/neighbor transitions and
     /// thermal throttling applied between the decision and the invocation.
     faults: Option<&'a FaultPlan>,
-    /// Counter-sanitization tuning; a fresh sanitizer is built per run.
-    sanitizer: Option<SanitizerConfig>,
 }
 
 impl<'a> Runtime<'a> {
-    /// Creates a runtime over the given models (full traces kept). Decision
-    /// telemetry defaults to [`TraceHandle::from_env`]: disabled unless
-    /// `HARMONIA_TRACE=1`.
+    /// Creates a runtime over the given models (full traces kept),
+    /// configured from the process environment — equivalent to
+    /// [`from_session`](Self::from_session) with [`Session::from_env`]:
+    /// decision telemetry is disabled unless `HARMONIA_TRACE=1`.
     pub fn new(model: &'a dyn TimingModel, power: &'a PowerModel) -> Self {
+        Self::from_session(model, power, &Session::from_env())
+    }
+
+    /// Creates a runtime configured by an explicit [`Session`] (full traces
+    /// kept): decision telemetry is enabled iff `session.trace()`.
+    pub fn from_session(
+        model: &'a dyn TimingModel,
+        power: &'a PowerModel,
+        session: &Session,
+    ) -> Self {
         Self {
             model,
             power,
             keep_trace: true,
-            telemetry: TraceHandle::from_env(),
+            telemetry: if session.trace() {
+                TraceHandle::new()
+            } else {
+                TraceHandle::disabled()
+            },
             faults: None,
-            sanitizer: None,
         }
     }
 
@@ -63,16 +74,6 @@ impl<'a> Runtime<'a> {
     /// ([`FaultyModel`](harmonia_sim::FaultyModel), same plan).
     pub fn with_faults(mut self, plan: &'a FaultPlan) -> Self {
         self.faults = Some(plan);
-        self
-    }
-
-    /// Enables the counter-sanitization stage between the monitoring block
-    /// and everything downstream (power accounting and the governor): every
-    /// sample is finite/range-checked, outlier-filtered, and substituted
-    /// from the last good reading when rejected
-    /// (see [`CounterSanitizer`]).
-    pub fn with_sanitizer(mut self, config: SanitizerConfig) -> Self {
-        self.sanitizer = Some(config);
         self
     }
 
@@ -125,7 +126,6 @@ impl<'a> Runtime<'a> {
         // The virtual DAQ accumulates segments only while telemetry is
         // enabled; sampled at POWER_SAMPLE_HZ after the run.
         let mut daq = self.telemetry.enabled().then(PowerTrace::new);
-        let mut sanitizer = self.sanitizer.clone().map(CounterSanitizer::new);
         // Configuration each kernel actually ran at last, for actuator
         // faults that hold the previous state.
         let mut last_actual: HashMap<Arc<str>, HwConfig> = HashMap::new();
@@ -161,17 +161,12 @@ impl<'a> Runtime<'a> {
                     cfg: cfg.into(),
                 });
                 let result = self.model.simulate(cfg, kernel, iteration);
-                let (time, counters) = match sanitizer.as_mut() {
-                    Some(s) => s.sanitize(
-                        &kernel.name,
-                        iteration,
-                        cfg,
-                        result.time,
-                        result.counters,
-                        &self.telemetry,
-                    ),
-                    None => (result.time, result.counters),
-                };
+                // The governor stack conditions the raw measurement first
+                // (identity unless a sanitize layer is stacked): power and
+                // energy are accounted from what the stack accepted, never
+                // from readings it rejected.
+                let (time, counters) =
+                    governor.condition(kernel, iteration, cfg, result.time, result.counters);
                 let activity = Activity {
                     valu_activity: counters.valu_activity(),
                     dram_bytes_per_sec: counters.dram_bytes_per_sec(),

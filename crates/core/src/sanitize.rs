@@ -25,9 +25,12 @@
 //!    wholesale (keeping the independently-sanitized timer).
 //!
 //! Every substitution emits [`TraceEvent::SanitizerReject`] so chaos runs
-//! can count what the sanitizer absorbed. The stage is opt-in
-//! ([`Runtime::with_sanitizer`](crate::runtime::Runtime::with_sanitizer));
-//! the default runtime path is byte-identical to previous behaviour.
+//! can count what the sanitizer absorbed. The stage is opt-in — stack a
+//! [`SanitizeLayer`](crate::governor::SanitizeLayer) over the governor (the
+//! registry's `hardened:*` policies do); it hooks
+//! [`Governor::condition`](crate::governor::Governor::condition), so the
+//! runtime accounts power/energy from the sanitized measurement. The
+//! default path is byte-identical to previous behaviour.
 
 use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_sim::CounterSample;

@@ -21,7 +21,7 @@
 //!   stream;
 //! * [`config_sequence`]/[`matches_run`] — replay: the per-invocation
 //!   configuration sequence recovered from the trace, checkable against a
-//!   live [`RunReport`](crate::metrics::RunReport).
+//!   live [`RunReport`].
 //!
 //! The runtime emits kernel/power events, [`HarmoniaGovernor`] emits
 //! CG/FG/guard events, and [`OracleGovernor`] emits sweep-cache statistics;
@@ -40,8 +40,9 @@ use std::sync::{Arc, Mutex};
 
 /// Environment variable that globally enables runtime tracing
 /// (`HARMONIA_TRACE=1`); used by the CI matrix leg that asserts traced and
-/// untraced runs agree.
-pub const TRACE_ENV: &str = "HARMONIA_TRACE";
+/// untraced runs agree. Re-exported from [`harmonia_types::session`], where
+/// the parsing lives.
+pub use harmonia_types::session::TRACE_ENV;
 
 /// Default ring-buffer capacity (events).
 pub const DEFAULT_CAPACITY: usize = 1 << 16;
@@ -509,12 +510,19 @@ impl TraceBuffer {
 #[derive(Debug, Clone, Default)]
 pub struct TraceHandle {
     inner: Option<Arc<Mutex<TraceBuffer>>>,
+    /// Extra buffers every emitted event is copied into, produced by
+    /// [`TraceHandle::tee`]. Empty on every handle except fanout ones, so
+    /// the single-buffer fast path is untouched.
+    taps: Vec<Arc<Mutex<TraceBuffer>>>,
 }
 
 impl TraceHandle {
     /// A handle that records nothing (the zero-cost default).
     pub fn disabled() -> Self {
-        Self { inner: None }
+        Self {
+            inner: None,
+            taps: Vec::new(),
+        }
     }
 
     /// An enabled handle over a fresh buffer of [`DEFAULT_CAPACITY`].
@@ -526,28 +534,62 @@ impl TraceHandle {
     pub fn bounded(capacity: usize) -> Self {
         Self {
             inner: Some(Arc::new(Mutex::new(TraceBuffer::new(capacity)))),
+            taps: Vec::new(),
         }
     }
 
     /// An enabled handle when [`TRACE_ENV`] is set to `1`/`true`, otherwise
     /// disabled. Lets a CI leg run the entire test suite traced.
     pub fn from_env() -> Self {
-        match std::env::var(TRACE_ENV) {
-            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Self::new(),
-            _ => Self::disabled(),
+        if harmonia_types::Session::from_env().trace() {
+            Self::new()
+        } else {
+            Self::disabled()
         }
     }
 
-    /// Whether events are being recorded.
+    /// A handle that records into this handle's buffer **and** into `tap`'s
+    /// (used by [`TraceLayer`](crate::governor::TraceLayer) to observe a
+    /// governor's events without stealing them from the primary sink).
+    /// Disabled handles and taps contribute no buffer; teeing two disabled
+    /// handles yields a disabled handle.
+    pub fn tee(&self, tap: &TraceHandle) -> TraceHandle {
+        let mut taps = self.taps.clone();
+        for buffer in tap.inner.iter().chain(tap.taps.iter()) {
+            let mut known = self.inner.iter().chain(taps.iter());
+            if !known.any(|t| Arc::ptr_eq(t, buffer)) {
+                taps.push(Arc::clone(buffer));
+            }
+        }
+        TraceHandle {
+            inner: self.inner.clone(),
+            taps,
+        }
+    }
+
+    /// Whether events are being recorded (into the primary buffer or any
+    /// tap).
     pub fn enabled(&self) -> bool {
-        self.inner.is_some()
+        self.inner.is_some() || !self.taps.is_empty()
     }
 
     /// Records the event produced by `f` (not called when disabled).
     #[inline]
     pub fn emit<F: FnOnce() -> TraceEvent>(&self, f: F) {
-        if let Some(buffer) = &self.inner {
-            buffer.lock().expect("trace buffer poisoned").push(f());
+        if !self.enabled() {
+            return;
+        }
+        let ev = f();
+        if let Some((last, rest)) = self.taps.split_last() {
+            if let Some(buffer) = &self.inner {
+                buffer.lock().expect("trace buffer poisoned").push(ev.clone());
+            }
+            for tap in rest {
+                tap.lock().expect("trace buffer poisoned").push(ev.clone());
+            }
+            last.lock().expect("trace buffer poisoned").push(ev);
+        } else if let Some(buffer) = &self.inner {
+            buffer.lock().expect("trace buffer poisoned").push(ev);
         }
     }
 
@@ -1100,7 +1142,60 @@ mod tests {
 
     #[test]
     fn from_env_respects_variable() {
-        // Only the parsing path: the default environment must not enable it.
-        assert!(!TraceHandle::from_env().enabled() || std::env::var(TRACE_ENV).is_ok());
+        // The handle is enabled exactly when the session parser says the
+        // trace knob is on (Session owns the HARMONIA_* semantics).
+        assert_eq!(
+            TraceHandle::from_env().enabled(),
+            harmonia_types::Session::from_env().trace()
+        );
+    }
+
+    #[test]
+    fn tee_fans_events_out_to_both_buffers() {
+        let primary = TraceHandle::new();
+        let tap = TraceHandle::new();
+        let fanout = primary.tee(&tap);
+        assert!(fanout.enabled());
+        fanout.emit(|| TraceEvent::RunStart {
+            app: "a".into(),
+            governor: "g".into(),
+        });
+        assert_eq!(primary.len(), 1);
+        assert_eq!(tap.len(), 1);
+        assert_eq!(primary.events(), tap.events());
+        // Emitting through the originals does not cross over.
+        primary.emit(|| TraceEvent::RunStart {
+            app: "b".into(),
+            governor: "g".into(),
+        });
+        assert_eq!(primary.len(), 2);
+        assert_eq!(tap.len(), 1);
+    }
+
+    #[test]
+    fn tee_over_disabled_primary_still_records_into_tap() {
+        let tap = TraceHandle::new();
+        let fanout = TraceHandle::disabled().tee(&tap);
+        assert!(fanout.enabled());
+        fanout.emit(|| TraceEvent::RunStart {
+            app: "a".into(),
+            governor: "g".into(),
+        });
+        assert_eq!(tap.len(), 1);
+        // Two disabled handles tee into a handle that records nothing.
+        let dead = TraceHandle::disabled().tee(&TraceHandle::disabled());
+        assert!(!dead.enabled());
+    }
+
+    #[test]
+    fn tee_deduplicates_shared_buffers() {
+        let primary = TraceHandle::new();
+        // Teeing a clone of the same handle must not double-record.
+        let fanout = primary.tee(&primary.clone());
+        fanout.emit(|| TraceEvent::RunStart {
+            app: "a".into(),
+            governor: "g".into(),
+        });
+        assert_eq!(primary.len(), 1);
     }
 }

@@ -6,12 +6,14 @@
 //! harmonia-experiments [EXPERIMENT ...] [--out DIR] [--no-csv] [--json]
 //! harmonia-experiments all
 //! harmonia-experiments list
-//! harmonia-experiments trace <APP>
+//! harmonia-experiments trace <APP> [POLICY]
 //! harmonia-experiments chaos <APP>
 //! ```
 //!
 //! With no arguments, runs everything. CSVs land in `results/` (or `--out`).
-//! `trace <APP>` runs the application under full Harmonia with decision
+//! `trace <APP> [POLICY]` runs the application under a registry policy
+//! (default `harmonia`; see `harmonia::governor::PolicySpec` for the names,
+//! e.g. `baseline`, `capped@185`, `hardened:capped`) with decision
 //! telemetry enabled, prints the trace summary, and writes the replayable
 //! JSONL stream to `results/trace_<app>.jsonl` (or `--out`).
 //! `chaos <APP>` runs the application through the full fault matrix —
@@ -19,18 +21,19 @@
 //! resilience table (seeded via `HARMONIA_FAULT_SEED`, so the table is
 //! exactly repeatable).
 
+use harmonia::governor::PolicySpec;
 use harmonia_experiments::{chaos_cmd, run, trace_cmd, Context, ALL_EXPERIMENTS};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
-    let mut traces: Vec<String> = Vec::new();
+    let mut traces: Vec<(String, PolicySpec)> = Vec::new();
     let mut chaos: Vec<String> = Vec::new();
     let mut out_dir = PathBuf::from("results");
     let mut write_csv = true;
     let mut write_json = false;
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "trace" => {
@@ -38,7 +41,17 @@ fn main() -> ExitCode {
                     eprintln!("trace requires an application name (e.g. `trace Graph500`)");
                     return ExitCode::FAILURE;
                 };
-                traces.push(app);
+                // An optional registry name follows the app (`trace
+                // Graph500 capped@185`); anything that doesn't parse as a
+                // policy is treated as the next ordinary argument.
+                let spec = match args.peek().map(|next| next.parse::<PolicySpec>()) {
+                    Some(Ok(spec)) => {
+                        args.next();
+                        spec
+                    }
+                    _ => PolicySpec::Harmonia,
+                };
+                traces.push((app, spec));
             }
             "chaos" => {
                 let Some(app) = args.next() else {
@@ -106,8 +119,8 @@ fn main() -> ExitCode {
             }
         }
     }
-    for app in &traces {
-        match trace_cmd::trace_app(&ctx, app) {
+    for (app, spec) in &traces {
+        match trace_cmd::trace_app_with(&ctx, app, *spec) {
             Some(traced) => {
                 println!("{}", traced.report);
                 match trace_cmd::write_jsonl(&out_dir, app, &traced.jsonl) {

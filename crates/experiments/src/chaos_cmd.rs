@@ -7,11 +7,11 @@
 //! actuator shim on the decision path, both driven by one seeded
 //! [`FaultPlan`]):
 //!
-//! * **unhardened** — plain `Runtime` with a capped Harmonia governor, as
-//!   the evaluation pipeline runs it;
-//! * **hardened** — the same governor stack with the counter sanitizer
-//!   enabled and the safe-state fallback watchdog armed on both the inner
-//!   Harmonia policy and the cap decorator.
+//! * **unhardened** — the registry's `capped@185` stack, as the
+//!   evaluation pipeline runs it;
+//! * **hardened** — the registry's `hardened:capped@185` stack: the same
+//!   governor with the counter sanitizer enabled and the safe-state
+//!   fallback watchdog armed on both the counter and the cap path.
 //!
 //! Fault firing is a pure function of the plan seed
 //! ([`FaultPlan::seed_from_env`], overridable via `HARMONIA_FAULT_SEED`),
@@ -19,9 +19,8 @@
 
 use crate::context::Context;
 use crate::report::Report;
-use harmonia::governor::{CappedGovernor, HarmoniaGovernor, WatchdogConfig};
+use harmonia::governor::{PolicyResources, PolicySpec};
 use harmonia::runtime::Runtime;
-use harmonia::sanitize::SanitizerConfig;
 use harmonia::telemetry::{self, TraceHandle};
 use harmonia_sim::{FaultKind, FaultPlan, FaultSpec, FaultyModel};
 use harmonia_types::Watts;
@@ -202,33 +201,26 @@ pub fn fault_matrix(seed: u64) -> Vec<(&'static str, FaultPlan)> {
 fn run_pipeline(ctx: &Context, app: &Application, plan: &FaultPlan, hardened: bool) -> ChaosOutcome {
     let faulty = FaultyModel::new(ctx.model(), plan.clone());
     let handle = TraceHandle::new();
-    let mut rt = Runtime::new(&faulty, ctx.power())
+    let rt = Runtime::new(&faulty, ctx.power())
         .with_telemetry(handle.clone())
         .with_faults(plan);
-    if hardened {
-        rt = rt.with_sanitizer(SanitizerConfig::default());
-    }
-    let inner = if hardened {
-        HarmoniaGovernor::new(ctx.predictor().clone()).with_watchdog(WatchdogConfig::default())
+    // Both cells come from the registry: the hardened one is the full
+    // sanitize + dual-watchdog stack; the stock one is the plain capped
+    // policy the evaluation pipeline runs.
+    let spec = if hardened {
+        PolicySpec::HardenedCapped(CHAOS_CAP)
     } else {
-        HarmoniaGovernor::new(ctx.predictor().clone())
+        PolicySpec::Capped(CHAOS_CAP)
     };
-    let mut gov = CappedGovernor::new(inner, ctx.power(), CHAOS_CAP);
-    if hardened {
-        // The cap decorator knows what it granted, so it also checks the
-        // actuation path (the inner policy must not: cap clamps would
-        // false-trip its granted-vs-ran comparison).
-        gov = gov.with_watchdog(WatchdogConfig {
-            check_actuation: true,
-            ..WatchdogConfig::default()
-        });
-    }
+    let resources = PolicyResources::new(ctx.predictor(), &faulty, ctx.power());
+    let policy = spec.build(&resources);
+    let mut gov = policy.governor;
     let run = rt.run(app, &mut gov);
     let s = telemetry::summarize(&handle.events());
     ChaosOutcome {
         ed2: run.ed2(),
-        cap_violations: gov.cap_violations(),
-        violations_while_fallback: gov.violations_while_fallback(),
+        cap_violations: policy.stats.cap_violations(),
+        violations_while_fallback: policy.stats.violations_while_fallback(),
         invocations: s.invocations,
         fallback_invocations: s.fallback_invocations,
         sanitizer_rejects: s.sanitizer_rejects,

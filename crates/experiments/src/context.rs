@@ -2,9 +2,7 @@
 //! evaluation matrix used by Figures 10–13 and 17–18.
 
 use harmonia::dataset::TrainingSet;
-use harmonia::governor::{
-    BaselineGovernor, HarmoniaConfig, HarmoniaGovernor, OracleGovernor,
-};
+use harmonia::governor::{Policy, PolicyResources, PolicySpec};
 use harmonia::metrics::RunReport;
 use harmonia::predictor::SensitivityPredictor;
 use harmonia::runtime::Runtime;
@@ -80,30 +78,31 @@ impl Context {
         })
     }
 
+    /// The registry resources over this context's models (predictor fitted
+    /// on first use).
+    pub fn resources(&self) -> PolicyResources<'_> {
+        PolicyResources::new(self.predictor(), &self.model, &self.power)
+    }
+
+    /// Builds one named policy stack over this context's resources.
+    pub fn policy(&self, spec: PolicySpec) -> Policy<'_> {
+        spec.build(&self.resources())
+    }
+
     /// Evaluates one application under every governor.
     pub fn evaluate_app(&self, app: &Application) -> AppEval {
         let rt = Runtime::new(&self.model, &self.power);
-        let baseline = rt.run(app, &mut BaselineGovernor::new());
-        let mut cg = HarmoniaGovernor::with_config(
-            self.predictor().clone(),
-            HarmoniaConfig::cg_only(),
-        );
-        let cg = rt.run(app, &mut cg);
-        let mut hm = HarmoniaGovernor::new(self.predictor().clone());
+        let baseline = rt.run(app, &mut self.policy(PolicySpec::Baseline).governor);
+        let cg = rt.run(app, &mut self.policy(PolicySpec::Cg).governor);
         // The full-Harmonia run always carries decision telemetry so the
         // residency/convergence figures can read their series from it.
         let telemetry = TraceHandle::new();
         let harmonia = Runtime::new(&self.model, &self.power)
             .with_telemetry(telemetry.clone())
-            .run(app, &mut hm);
+            .run(app, &mut self.policy(PolicySpec::Harmonia).governor);
         let harmonia_trace = telemetry.events();
-        let mut orc = OracleGovernor::new(&self.model, &self.power);
-        let oracle = rt.run(app, &mut orc);
-        let mut fo = HarmoniaGovernor::with_config(
-            self.predictor().clone(),
-            HarmoniaConfig::freq_only(),
-        );
-        let freq_only = rt.run(app, &mut fo);
+        let oracle = rt.run(app, &mut self.policy(PolicySpec::Oracle).governor);
+        let freq_only = rt.run(app, &mut self.policy(PolicySpec::FreqOnly).governor);
         AppEval {
             app: app.clone(),
             baseline,

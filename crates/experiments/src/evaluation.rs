@@ -2,7 +2,7 @@
 
 use crate::context::{AppEval, Context};
 use crate::report::{bar, num, pct, Report};
-use harmonia::governor::{Governor, HarmoniaGovernor};
+use harmonia::governor::{PolicyResources, PolicySpec};
 use harmonia::metrics::improvement;
 use harmonia::telemetry;
 use harmonia_sim::TimingModel;
@@ -279,7 +279,6 @@ pub fn ablation_freq_only(ctx: &Context) -> Report {
 /// TDP study: the reactive PowerTune governor under a reduced power cap
 /// versus Harmonia, which meets the same envelope proactively.
 pub fn ablation_tdp(ctx: &Context) -> Report {
-    use harmonia::governor::PowerTuneGovernor;
     use harmonia_types::Watts;
     let mut r = Report::new(
         "ablation-tdp",
@@ -290,15 +289,9 @@ pub fn ablation_tdp(ctx: &Context) -> Report {
     let cap = Watts(185.0);
     for name in ["MaxFlops", "DeviceMemory", "LUD", "CoMD"] {
         let app = suite::by_name(name).expect("suite app");
-        let base = rt.run(&app, &mut harmonia::governor::BaselineGovernor::new());
-        let mut pt = PowerTuneGovernor::with_tdp(ctx.power(), cap);
-        let pt_run = rt.run(&app, &mut pt);
-        let mut capped_hm = harmonia::governor::CappedGovernor::new(
-            HarmoniaGovernor::new(ctx.predictor().clone()),
-            ctx.power(),
-            cap,
-        );
-        let hm_run = rt.run(&app, &mut capped_hm);
+        let base = rt.run(&app, &mut ctx.policy(PolicySpec::Baseline).governor);
+        let pt_run = rt.run(&app, &mut ctx.policy(PolicySpec::PowerTune(cap)).governor);
+        let hm_run = rt.run(&app, &mut ctx.policy(PolicySpec::Capped(cap)).governor);
         for run in [&pt_run, &hm_run] {
             r.push_row(vec![
                 app.name.clone(),
@@ -325,12 +318,12 @@ pub fn ablation_stacked(ctx: &Context) -> Report {
     let stacked_power = harmonia_power::PowerModel::stacked_package();
     let rt_stacked =
         harmonia::runtime::Runtime::new(ctx.model(), &stacked_power).without_trace();
+    let res = PolicyResources::new(ctx.predictor(), ctx.model(), &stacked_power);
     let mut discrete_ratios = Vec::new();
     let mut stacked_ratios = Vec::new();
     for e in ctx.matrix() {
-        let base = rt_stacked.run(&e.app, &mut harmonia::governor::BaselineGovernor::new());
-        let mut hm = HarmoniaGovernor::new(ctx.predictor().clone());
-        let run = rt_stacked.run(&e.app, &mut hm);
+        let base = rt_stacked.run(&e.app, &mut PolicySpec::Baseline.build(&res).governor);
+        let run = rt_stacked.run(&e.app, &mut PolicySpec::Harmonia.build(&res).governor);
         let discrete = improvement(e.baseline.ed2(), e.harmonia.ed2());
         let stacked = improvement(base.ed2(), run.ed2());
         discrete_ratios.push(1.0 - discrete);
@@ -369,10 +362,10 @@ pub fn ablation_mem_voltage(ctx: &Context) -> Report {
         Watts(33.0),
     );
     let rt = harmonia::runtime::Runtime::new(ctx.model(), &scaled).without_trace();
+    let res = PolicyResources::new(ctx.predictor(), ctx.model(), &scaled);
     for e in ctx.matrix() {
-        let base = rt.run(&e.app, &mut harmonia::governor::BaselineGovernor::new());
-        let mut hm = HarmoniaGovernor::new(ctx.predictor().clone());
-        let run = rt.run(&e.app, &mut hm);
+        let base = rt.run(&e.app, &mut PolicySpec::Baseline.build(&res).governor);
+        let run = rt.run(&e.app, &mut PolicySpec::Harmonia.build(&res).governor);
         let fixed = improvement(e.baseline.avg_power().value(), e.harmonia.avg_power().value());
         let what_if = improvement(base.avg_power().value(), run.avg_power().value());
         r.push_row(vec![e.app.name.clone(), pct(fixed), pct(what_if)]);
@@ -394,12 +387,12 @@ pub fn ablation_noise(ctx: &Context) -> Report {
     for amplitude in [0.0, 0.02, 0.05, 0.10] {
         let noisy = NoisyModel::new(ctx.model().clone(), amplitude, 0xA11CE);
         let rt = harmonia::runtime::Runtime::new(&noisy, ctx.power()).without_trace();
+        let res = PolicyResources::new(ctx.predictor(), &noisy, ctx.power());
         let mut ratios = Vec::new();
         let mut worst = (String::new(), f64::MAX);
         for app in suite::all() {
-            let base = rt.run(&app, &mut harmonia::governor::BaselineGovernor::new());
-            let mut hm = HarmoniaGovernor::new(ctx.predictor().clone());
-            let run = rt.run(&app, &mut hm);
+            let base = rt.run(&app, &mut PolicySpec::Baseline.build(&res).governor);
+            let run = rt.run(&app, &mut PolicySpec::Harmonia.build(&res).governor);
             let gain = improvement(base.ed2(), run.ed2());
             ratios.push(1.0 - gain);
             if gain < worst.1 {
@@ -458,9 +451,7 @@ pub fn ablation_models(ctx: &Context) -> Report {
 pub fn quick_ed2_pair(ctx: &Context, app_name: &str) -> Option<(f64, f64)> {
     let app = suite::by_name(app_name)?;
     let rt = harmonia::runtime::Runtime::new(ctx.model(), ctx.power());
-    let baseline = rt.run(&app, &mut harmonia::governor::BaselineGovernor::new());
-    let mut hm: HarmoniaGovernor = HarmoniaGovernor::new(ctx.predictor().clone());
-    let governor: &mut dyn Governor = &mut hm;
-    let run = rt.run(&app, governor);
+    let baseline = rt.run(&app, &mut ctx.policy(PolicySpec::Baseline).governor);
+    let run = rt.run(&app, &mut ctx.policy(PolicySpec::Harmonia).governor);
     Some((baseline.ed2(), run.ed2()))
 }

@@ -169,13 +169,12 @@ pub fn sensitivity_table(ctx: &Context) -> Report {
 /// Where the oracle lands: the ED²-optimal operating point per kernel —
 /// the concrete "balance points" of Section 3.2.
 pub fn oracle_configs(ctx: &Context) -> Report {
-    use harmonia::governor::OracleGovernor;
     let mut r = Report::new(
         "oracle-configs",
         "ED²-optimal operating point per kernel (exhaustive oracle, iteration 0)",
         &["kernel", "CUs", "CU MHz", "mem MHz", "mem GB/s"],
     );
-    let mut oracle = OracleGovernor::new(ctx.model(), ctx.power());
+    let mut oracle = ctx.resources().oracle();
     for (_, kernel) in suite::training_kernels() {
         let cfg = oracle.best_config(&kernel, 0);
         r.push_row(vec![

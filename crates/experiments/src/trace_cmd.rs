@@ -11,7 +11,7 @@
 
 use crate::context::Context;
 use crate::report::Report;
-use harmonia::governor::HarmoniaGovernor;
+use harmonia::governor::PolicySpec;
 use harmonia::metrics::RunReport;
 use harmonia::runtime::Runtime;
 use harmonia::telemetry::{self, TraceEvent, TraceHandle};
@@ -37,21 +37,40 @@ pub struct TraceRun {
 /// Runs `name` (case-insensitive suite lookup) under full Harmonia with
 /// telemetry enabled. Returns `None` for an unknown application.
 pub fn trace_app(ctx: &Context, name: &str) -> Option<TraceRun> {
+    trace_app_with(ctx, name, PolicySpec::Harmonia)
+}
+
+/// Like [`trace_app`], but under any registry policy (`trace <APP>
+/// [POLICY]` on the CLI). Returns `None` for an unknown application.
+pub fn trace_app_with(ctx: &Context, name: &str, spec: PolicySpec) -> Option<TraceRun> {
     let app = suite::all()
         .into_iter()
         .find(|a| a.name.eq_ignore_ascii_case(name))?;
     let handle = TraceHandle::new();
-    let mut hm = HarmoniaGovernor::new(ctx.predictor().clone());
     let run = Runtime::new(ctx.model(), ctx.power())
         .with_telemetry(handle.clone())
-        .run(&app, &mut hm);
+        .run(&app, &mut ctx.policy(spec).governor);
     let events = handle.events();
     let jsonl = telemetry::to_jsonl(&events);
     let s = telemetry::summarize(&events);
 
+    // The default policy keeps the historical report id and title so the
+    // golden export stays byte-identical.
+    let (id, label) = if spec == PolicySpec::Harmonia {
+        (format!("trace-{}", app.name.to_lowercase()), "Harmonia".to_string())
+    } else {
+        (
+            format!(
+                "trace-{}-{}",
+                app.name.to_lowercase(),
+                spec.name().replace([':', '@'], "-")
+            ),
+            spec.name(),
+        )
+    };
     let mut report = Report::new(
-        format!("trace-{}", app.name.to_lowercase()),
-        format!("Decision trace, {} under Harmonia", app.name),
+        id,
+        format!("Decision trace, {} under {label}", app.name),
         &["metric", "value"],
     );
     let mut row = |metric: &str, value: String| {
@@ -118,6 +137,16 @@ mod tests {
     #[test]
     fn filenames_are_lowercased() {
         assert_eq!(jsonl_filename("Graph500"), "trace_graph500.jsonl");
+    }
+
+    #[test]
+    fn non_default_policy_gets_its_own_report_id() {
+        let ctx = Context::new();
+        let t = trace_app_with(&ctx, "maxflops", PolicySpec::Baseline)
+            .expect("MaxFlops is in the suite");
+        assert_eq!(t.report.id, "trace-maxflops-baseline");
+        assert!(t.report.title.contains("under baseline"));
+        assert_eq!(t.run.governor, "baseline");
     }
 
     #[test]

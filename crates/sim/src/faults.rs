@@ -29,11 +29,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Environment variable selecting the fault seed for chaos runs and the
-/// fault-seeded CI leg (`HARMONIA_FAULT_SEED=1`).
-pub const FAULT_SEED_ENV: &str = "HARMONIA_FAULT_SEED";
-
-/// Default plan seed when [`FAULT_SEED_ENV`] is unset.
-pub const DEFAULT_FAULT_SEED: u64 = 0xFA17;
+/// fault-seeded CI leg (`HARMONIA_FAULT_SEED=1`); re-exported from
+/// [`harmonia_types::session`], where the parsing lives.
+pub use harmonia_types::session::{DEFAULT_FAULT_SEED, FAULT_SEED_ENV};
 
 /// Mixes a seed with the kernel name, configuration, and iteration into one
 /// hash — the FNV-style discipline previously private to `NoisyModel`,
@@ -217,10 +215,7 @@ impl FaultPlan {
     /// The chaos seed from [`FAULT_SEED_ENV`], or [`DEFAULT_FAULT_SEED`]
     /// when unset/unparsable.
     pub fn seed_from_env() -> u64 {
-        std::env::var(FAULT_SEED_ENV)
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(DEFAULT_FAULT_SEED)
+        harmonia_types::Session::from_env().fault_seed()
     }
 
     /// Rolls spec `idx` for this invocation; `Some(rng)` when it fires, with
@@ -593,11 +588,13 @@ mod tests {
     }
 
     #[test]
-    fn seed_from_env_defaults() {
-        // The default environment has no seed variable set.
-        if std::env::var(FAULT_SEED_ENV).is_err() {
-            assert_eq!(FaultPlan::seed_from_env(), DEFAULT_FAULT_SEED);
-        }
+    fn seed_from_env_delegates_to_session() {
+        // Whatever the ambient environment holds, the plan seed is exactly
+        // the session's parse of it (Session owns the HARMONIA_* semantics).
+        assert_eq!(
+            FaultPlan::seed_from_env(),
+            harmonia_types::Session::from_env().fault_seed()
+        );
     }
 
     #[test]

@@ -40,8 +40,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::RwLock;
 
-/// Environment variable that pins the worker-pool size.
-pub const THREADS_ENV: &str = "HARMONIA_THREADS";
+/// Environment variable that pins the worker-pool size (re-exported from
+/// [`harmonia_types::session`], where the parsing lives).
+pub use harmonia_types::session::THREADS_ENV;
 
 /// Number of independently locked cache shards (power of two).
 const SHARDS: usize = 16;
@@ -54,10 +55,7 @@ const SHARDS: usize = 16;
 /// the machine's available parallelism (or the `HARMONIA_THREADS` override)
 /// clamped to the batch size, and always at least 1.
 pub fn pool_size(batch: usize) -> usize {
-    let available = std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0);
+    let available = harmonia_types::Session::from_env().threads();
     pool_size_with(batch, available, default_parallelism())
 }
 

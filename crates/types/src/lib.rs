@@ -14,6 +14,9 @@
 //!   design space the paper sweeps (Section 3.1).
 //! * [`dvfs`] — the DPM voltage/frequency table of Table 1 (plus the 1 GHz
 //!   boost state) and voltage interpolation for intermediate frequencies.
+//! * [`session`] — the typed [`Session`] configuration centralizing the
+//!   `HARMONIA_TRACE` / `HARMONIA_THREADS` / `HARMONIA_FAULT_SEED`
+//!   environment knobs behind one parser with programmatic overrides.
 //!
 //! # Examples
 //!
@@ -32,10 +35,12 @@
 
 pub mod config;
 pub mod dvfs;
+pub mod session;
 pub mod units;
 
 pub use config::{
     ComputeConfig, ConfigError, ConfigSpace, HwConfig, MemoryConfig, Tunable, TunableLevel,
 };
 pub use dvfs::{DpmState, DvfsTable};
+pub use session::{Session, DEFAULT_FAULT_SEED, FAULT_SEED_ENV, THREADS_ENV, TRACE_ENV};
 pub use units::{GigabytesPerSec, Joules, MegaHertz, Seconds, Volts, Watts};

@@ -1,0 +1,235 @@
+//! The typed session configuration behind the `HARMONIA_*` environment
+//! knobs.
+//!
+//! Three environment variables tune a Harmonia process — [`TRACE_ENV`]
+//! enables decision telemetry, [`THREADS_ENV`] overrides the sweep pool
+//! width, and [`FAULT_SEED_ENV`] seeds the chaos fault plans. Their parsing
+//! used to be scattered across the telemetry, sweep, and fault modules;
+//! [`Session`] centralizes it in one place so every consumer agrees on the
+//! semantics and programmatic overrides compose with the environment:
+//!
+//! ```
+//! use harmonia_types::session::Session;
+//!
+//! // Environment first, explicit overrides second.
+//! let session = Session::from_env().with_trace(true);
+//! assert!(session.trace());
+//! ```
+//!
+//! The CI matrix runs the suite once per knob (`default`, `HARMONIA_THREADS=1`,
+//! `HARMONIA_TRACE=1`, `HARMONIA_FAULT_SEED=1`); a grep gate keeps
+//! `std::env::var` reads of these knobs out of every other module.
+
+/// Environment variable that globally enables runtime decision tracing
+/// (`HARMONIA_TRACE=1` or `=true`, case-insensitive).
+pub const TRACE_ENV: &str = "HARMONIA_TRACE";
+
+/// Environment variable that overrides the sweep worker-pool width
+/// (`HARMONIA_THREADS=<n>`, positive integers only).
+pub const THREADS_ENV: &str = "HARMONIA_THREADS";
+
+/// Environment variable that seeds chaos fault plans
+/// (`HARMONIA_FAULT_SEED=<u64>`).
+pub const FAULT_SEED_ENV: &str = "HARMONIA_FAULT_SEED";
+
+/// Default fault-plan seed when [`FAULT_SEED_ENV`] is unset or unparsable.
+pub const DEFAULT_FAULT_SEED: u64 = 0xFA17;
+
+/// A process-wide session configuration: the parsed values of the three
+/// `HARMONIA_*` knobs, with builder-style programmatic overrides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    trace: bool,
+    threads: Option<usize>,
+    fault_seed: u64,
+}
+
+impl Default for Session {
+    /// The configuration with every knob unset: tracing off, pool width
+    /// from the platform, the default fault seed.
+    fn default() -> Self {
+        Self {
+            trace: false,
+            threads: None,
+            fault_seed: DEFAULT_FAULT_SEED,
+        }
+    }
+}
+
+impl Session {
+    /// Parses the session from the process environment. This is the only
+    /// place in the workspace that reads the `HARMONIA_*` variables.
+    pub fn from_env() -> Self {
+        Self::from_lookup(|key| std::env::var(key).ok())
+    }
+
+    /// Parses the session from an arbitrary key→value lookup — the
+    /// testable core of [`from_env`](Self::from_env). Parsing semantics:
+    ///
+    /// * trace: enabled iff the value is `1` or `true` (case-insensitive);
+    /// * threads: a positive integer, anything else ignored;
+    /// * fault seed: a `u64`, anything else falls back to
+    ///   [`DEFAULT_FAULT_SEED`].
+    pub fn from_lookup<F: Fn(&str) -> Option<String>>(lookup: F) -> Self {
+        Self {
+            trace: lookup(TRACE_ENV)
+                .is_some_and(|v| v == "1" || v.eq_ignore_ascii_case("true")),
+            threads: lookup(THREADS_ENV)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0),
+            fault_seed: lookup(FAULT_SEED_ENV)
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(DEFAULT_FAULT_SEED),
+        }
+    }
+
+    /// Overrides the tracing switch (wins over the environment).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Overrides the sweep pool width; `None` restores the platform
+    /// default (wins over the environment).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads.filter(|&n| n > 0);
+        self
+    }
+
+    /// Overrides the fault-plan seed (wins over the environment).
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Whether decision telemetry is enabled.
+    pub fn trace(&self) -> bool {
+        self.trace
+    }
+
+    /// The sweep pool-width override, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The chaos fault-plan seed.
+    pub fn fault_seed(&self) -> u64 {
+        self.fault_seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn lookup(vars: &[(&str, &str)]) -> impl Fn(&str) -> Option<String> {
+        let map: HashMap<String, String> = vars
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        move |key: &str| map.get(key).cloned()
+    }
+
+    #[test]
+    fn empty_environment_is_the_default_session() {
+        let s = Session::from_lookup(|_| None);
+        assert_eq!(s, Session::default());
+        assert!(!s.trace());
+        assert_eq!(s.threads(), None);
+        assert_eq!(s.fault_seed(), DEFAULT_FAULT_SEED);
+    }
+
+    /// The four CI matrix legs, round-tripped through the parser: default,
+    /// single-thread, traced, and fault-seeded.
+    #[test]
+    fn ci_matrix_legs_parse_to_their_sessions() {
+        let legs: [(&[(&str, &str)], Session); 4] = [
+            (&[], Session::default()),
+            (
+                &[(THREADS_ENV, "1")],
+                Session::default().with_threads(Some(1)),
+            ),
+            (&[(TRACE_ENV, "1")], Session::default().with_trace(true)),
+            (
+                &[(FAULT_SEED_ENV, "1")],
+                Session::default().with_fault_seed(1),
+            ),
+        ];
+        for (vars, expected) in legs {
+            assert_eq!(Session::from_lookup(lookup(vars)), expected, "leg {vars:?}");
+        }
+    }
+
+    #[test]
+    fn trace_accepts_one_and_true_case_insensitively() {
+        for v in ["1", "true", "TRUE", "True"] {
+            assert!(Session::from_lookup(lookup(&[(TRACE_ENV, v)])).trace(), "{v}");
+        }
+        for v in ["0", "", "yes", "on", "2"] {
+            assert!(!Session::from_lookup(lookup(&[(TRACE_ENV, v)])).trace(), "{v}");
+        }
+    }
+
+    #[test]
+    fn threads_must_be_a_positive_integer() {
+        assert_eq!(
+            Session::from_lookup(lookup(&[(THREADS_ENV, "8")])).threads(),
+            Some(8)
+        );
+        for v in ["0", "-3", "eight", "", "1.5"] {
+            assert_eq!(
+                Session::from_lookup(lookup(&[(THREADS_ENV, v)])).threads(),
+                None,
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_seed_falls_back_to_the_default_on_garbage() {
+        assert_eq!(
+            Session::from_lookup(lookup(&[(FAULT_SEED_ENV, "42")])).fault_seed(),
+            42
+        );
+        for v in ["", "-1", "0x10", "seed"] {
+            assert_eq!(
+                Session::from_lookup(lookup(&[(FAULT_SEED_ENV, v)])).fault_seed(),
+                DEFAULT_FAULT_SEED,
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn programmatic_overrides_win_over_the_environment() {
+        let env = lookup(&[(TRACE_ENV, "1"), (THREADS_ENV, "4"), (FAULT_SEED_ENV, "7")]);
+        let s = Session::from_lookup(&env)
+            .with_trace(false)
+            .with_threads(Some(2))
+            .with_fault_seed(99);
+        assert!(!s.trace());
+        assert_eq!(s.threads(), Some(2));
+        assert_eq!(s.fault_seed(), 99);
+        // And the un-overridden parse still reflects the environment.
+        let parsed = Session::from_lookup(&env);
+        assert!(parsed.trace());
+        assert_eq!(parsed.threads(), Some(4));
+        assert_eq!(parsed.fault_seed(), 7);
+    }
+
+    #[test]
+    fn zero_thread_override_is_rejected_like_the_env_value() {
+        assert_eq!(Session::default().with_threads(Some(0)).threads(), None);
+    }
+
+    #[test]
+    fn from_env_matches_a_manual_environment_lookup() {
+        // Whatever the ambient environment holds, from_env and from_lookup
+        // over the same source agree.
+        assert_eq!(
+            Session::from_env(),
+            Session::from_lookup(|k| std::env::var(k).ok())
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! train → predict → govern → account pipeline on the 14-application suite.
 
 use harmonia::dataset::TrainingSet;
-use harmonia::governor::{BaselineGovernor, HarmoniaConfig, HarmoniaGovernor, OracleGovernor};
+use harmonia::governor::{PolicyResources, PolicySpec};
 use harmonia::metrics::improvement;
 use harmonia::predictor::SensitivityPredictor;
 use harmonia::runtime::Runtime;
@@ -34,17 +34,22 @@ fn harness() -> &'static Harness {
     })
 }
 
+/// Registry resources over the shared harness models.
+fn resources() -> PolicyResources<'static> {
+    let h = harness();
+    PolicyResources::new(&h.predictor, &h.model, &h.power)
+}
+
 #[test]
 fn suite_wide_ed2_ordering_baseline_vs_harmonia_vs_oracle() {
     let h = harness();
     let rt = Runtime::new(&h.model, &h.power).without_trace();
+    let res = resources();
     let mut ratios_hm = Vec::new();
     for app in suite::all() {
-        let base = rt.run(&app, &mut BaselineGovernor::new());
-        let mut hm = HarmoniaGovernor::new(h.predictor.clone());
-        let harmonia = rt.run(&app, &mut hm);
-        let mut orc = OracleGovernor::new(&h.model, &h.power);
-        let oracle = rt.run(&app, &mut orc);
+        let base = rt.run(&app, &mut PolicySpec::Baseline.build(&res).governor);
+        let harmonia = rt.run(&app, &mut PolicySpec::Harmonia.build(&res).governor);
+        let oracle = rt.run(&app, &mut PolicySpec::Oracle.build(&res).governor);
 
         // The oracle never loses to the always-boost baseline.
         assert!(
@@ -73,10 +78,10 @@ fn suite_wide_ed2_ordering_baseline_vs_harmonia_vs_oracle() {
 fn harmonia_performance_loss_is_bounded() {
     let h = harness();
     let rt = Runtime::new(&h.model, &h.power).without_trace();
+    let res = resources();
     for app in suite::all() {
-        let base = rt.run(&app, &mut BaselineGovernor::new());
-        let mut hm = HarmoniaGovernor::new(h.predictor.clone());
-        let harmonia = rt.run(&app, &mut hm);
+        let base = rt.run(&app, &mut PolicySpec::Baseline.build(&res).governor);
+        let harmonia = rt.run(&app, &mut PolicySpec::Harmonia.build(&res).governor);
         let loss = 1.0 - base.total_time.value() / harmonia.total_time.value();
         assert!(
             loss < 0.12,
@@ -93,11 +98,11 @@ fn thrash_prone_apps_gain_performance() {
     // gating CUs reduces L2 interference.
     let h = harness();
     let rt = Runtime::new(&h.model, &h.power).without_trace();
+    let res = resources();
     for name in ["BPT", "XSBench", "CFD"] {
         let app = suite::by_name(name).expect("suite app");
-        let base = rt.run(&app, &mut BaselineGovernor::new());
-        let mut hm = HarmoniaGovernor::new(h.predictor.clone());
-        let harmonia = rt.run(&app, &mut hm);
+        let base = rt.run(&app, &mut PolicySpec::Baseline.build(&res).governor);
+        let harmonia = rt.run(&app, &mut PolicySpec::Harmonia.build(&res).governor);
         let perf = improvement(base.total_time.value(), harmonia.total_time.value());
         assert!(
             perf > 0.0,
@@ -112,8 +117,7 @@ fn run_reports_are_internally_consistent() {
     let h = harness();
     let rt = Runtime::new(&h.model, &h.power);
     let app = suite::sort();
-    let mut hm = HarmoniaGovernor::new(h.predictor.clone());
-    let report = rt.run(&app, &mut hm);
+    let report = rt.run(&app, &mut PolicySpec::Harmonia.build(&resources()).governor);
 
     // Per-kernel times sum to the total.
     let kernel_sum: f64 = report.per_kernel.iter().map(|k| k.total_time.value()).sum();
@@ -139,9 +143,10 @@ fn freq_only_ablation_touches_only_the_compute_clock() {
     let h = harness();
     let rt = Runtime::new(&h.model, &h.power);
     let app = suite::stencil();
-    let mut fo =
-        HarmoniaGovernor::with_config(h.predictor.clone(), HarmoniaConfig::freq_only());
-    let report = rt.run(&app, &mut fo);
+    let report = rt.run(
+        &app,
+        &mut PolicySpec::FreqOnly.build(&resources()).governor,
+    );
     for rec in &report.trace {
         assert_eq!(rec.cfg.compute.cu_count(), 32, "CU count must stay at 32");
         assert_eq!(
@@ -158,15 +163,13 @@ fn freq_only_gains_less_than_full_harmonia() {
     // beats compute-frequency scaling alone.
     let h = harness();
     let rt = Runtime::new(&h.model, &h.power).without_trace();
+    let res = resources();
     let mut full_ratios = Vec::new();
     let mut fo_ratios = Vec::new();
     for app in suite::all() {
-        let base = rt.run(&app, &mut BaselineGovernor::new());
-        let mut hm = HarmoniaGovernor::new(h.predictor.clone());
-        let full = rt.run(&app, &mut hm);
-        let mut fo =
-            HarmoniaGovernor::with_config(h.predictor.clone(), HarmoniaConfig::freq_only());
-        let fo = rt.run(&app, &mut fo);
+        let base = rt.run(&app, &mut PolicySpec::Baseline.build(&res).governor);
+        let full = rt.run(&app, &mut PolicySpec::Harmonia.build(&res).governor);
+        let fo = rt.run(&app, &mut PolicySpec::FreqOnly.build(&res).governor);
         full_ratios.push(full.ed2() / base.ed2());
         fo_ratios.push(fo.ed2() / base.ed2());
     }
@@ -182,7 +185,10 @@ fn freq_only_gains_less_than_full_harmonia() {
 fn baseline_is_always_boost() {
     let h = harness();
     let rt = Runtime::new(&h.model, &h.power);
-    let report = rt.run(&suite::maxflops(), &mut BaselineGovernor::new());
+    let report = rt.run(
+        &suite::maxflops(),
+        &mut PolicySpec::Baseline.build(&resources()).governor,
+    );
     for rec in &report.trace {
         assert_eq!(rec.cfg, HwConfig::max_hd7970());
     }

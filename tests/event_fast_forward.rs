@@ -9,7 +9,8 @@
 //! `crates/bench/benches/event.rs` (BENCH_event.json); these tests assert the
 //! same invariants at a wall-clock budget fit for the debug test suite.
 
-use harmonia::governor::BaselineGovernor;
+use harmonia::governor::{PolicyResources, PolicySpec};
+use harmonia::predictor::SensitivityPredictor;
 use harmonia::runtime::Runtime;
 use harmonia::telemetry::{self, TraceEvent, TraceHandle};
 use harmonia_power::{Activity, PowerModel};
@@ -184,9 +185,11 @@ fn traced_auto_run_replays_and_reports_fast_forwards() {
     let power = PowerModel::hd7970();
     let app = Application::new("FFTrace", vec![suite::maxflops().kernels[0].clone()], 4);
     let handle = TraceHandle::new();
+    let predictor = SensitivityPredictor::paper_table3();
+    let res = PolicyResources::new(&predictor, &model, &power);
     let run = Runtime::new(&model, &power)
         .with_telemetry(handle.clone())
-        .run(&app, &mut BaselineGovernor::new());
+        .run(&app, &mut PolicySpec::Baseline.build(&res).governor);
     let events = handle.events();
     assert!(
         telemetry::matches_run(&events, &run),
@@ -217,11 +220,13 @@ fn off_policy_traced_runs_are_byte_identical() {
     let model = EventModel::default();
     let power = PowerModel::hd7970();
     let app = Application::new("OffTrace", vec![suite::maxflops().kernels[0].clone()], 2);
+    let predictor = SensitivityPredictor::paper_table3();
+    let res = PolicyResources::new(&predictor, &model, &power);
     let jsonl = || {
         let handle = TraceHandle::new();
         Runtime::new(&model, &power)
             .with_telemetry(handle.clone())
-            .run(&app, &mut BaselineGovernor::new());
+            .run(&app, &mut PolicySpec::Baseline.build(&res).governor);
         telemetry::to_jsonl(&handle.events())
     };
     assert_eq!(jsonl(), jsonl(), "Off trace is not byte-stable");

@@ -11,7 +11,7 @@
 //!   falls back (hardening costs nothing when nothing is wrong).
 
 use harmonia::governor::{
-    safe_state, CappedGovernor, HarmoniaGovernor, Watchdog, WatchdogConfig, WatchdogTransition,
+    safe_state, PolicySpec, Watchdog, WatchdogConfig, WatchdogTransition,
 };
 use harmonia::runtime::Runtime;
 use harmonia::sanitize::{counters_plausible, CounterSanitizer, SanitizerConfig};
@@ -125,11 +125,13 @@ fn empty_fault_plan_is_bit_transparent_end_to_end() {
     assert!(plan.is_empty());
     let faulty = FaultyModel::new(ctx.model(), plan.clone());
     let handle = TraceHandle::new();
-    let mut hm = HarmoniaGovernor::new(ctx.predictor().clone());
     let run = Runtime::new(&faulty, ctx.power())
         .with_telemetry(handle.clone())
         .with_faults(&plan)
-        .run(&suite::graph500(), &mut hm);
+        .run(
+            &suite::graph500(),
+            &mut ctx.policy(PolicySpec::Harmonia).governor,
+        );
     let events = handle.events();
     assert_eq!(
         telemetry::to_jsonl(&events),
@@ -143,21 +145,16 @@ fn empty_fault_plan_is_bit_transparent_end_to_end() {
 fn hardened_clean_run_never_rejects_or_falls_back() {
     let ctx = Context::new();
     let handle = TraceHandle::new();
-    let inner = HarmoniaGovernor::new(ctx.predictor().clone())
-        .with_watchdog(WatchdogConfig::default());
-    let mut gov = CappedGovernor::new(inner, ctx.power(), Watts(185.0)).with_watchdog(
-        WatchdogConfig {
-            check_actuation: true,
-            ..WatchdogConfig::default()
-        },
-    );
+    let policy = ctx.policy(PolicySpec::HardenedCapped(Watts(185.0)));
+    let mut gov = policy.governor;
     let run = Runtime::new(ctx.model(), ctx.power())
         .with_telemetry(handle.clone())
-        .with_sanitizer(SanitizerConfig::default())
         .run(&suite::graph500(), &mut gov);
     let s = telemetry::summarize(&handle.events());
     assert_eq!(s.sanitizer_rejects, 0, "sanitizer rejected clean samples");
     assert_eq!(s.fallbacks_engaged, 0, "watchdog tripped on a clean run");
-    assert_eq!(gov.violations_while_fallback(), 0);
+    assert_eq!(policy.stats.sanitizer_rejects(), 0);
+    assert_eq!(policy.stats.fallback_engagements(), 0);
+    assert_eq!(policy.stats.violations_while_fallback(), 0);
     assert!(run.ed2().is_finite());
 }

@@ -8,12 +8,23 @@
 //! * a configuration observed to degrade performance is never probed
 //!   downward again within the same phase regime (known-bad list).
 
-use harmonia::governor::{FgState, FineGrain, Governor, HarmoniaGovernor};
+use harmonia::governor::{FgState, FineGrain, Governor, PolicyResources, PolicySpec};
 use harmonia::predictor::SensitivityPredictor;
 use harmonia::telemetry::{ConfigPoint, TraceEvent, TraceHandle};
-use harmonia_sim::{CounterSample, KernelProfile};
+use harmonia_power::PowerModel;
+use harmonia_sim::{CounterSample, IntervalModel, KernelProfile};
 use harmonia_types::{HwConfig, Seconds, Tunable};
 use proptest::prelude::*;
+
+/// Drives `f` with a registry-built full-Harmonia governor over the
+/// paper's Table 3 predictor.
+fn with_harmonia(f: impl FnOnce(harmonia::governor::BoxGovernor<'_>)) {
+    let predictor = SensitivityPredictor::paper_table3();
+    let model = IntervalModel::default();
+    let power = PowerModel::hd7970();
+    let res = PolicyResources::new(&predictor, &model, &power);
+    f(PolicySpec::Harmonia.build(&res).governor);
+}
 
 /// Mirrors `MAX_CONSECUTIVE_REVERTS` in `governor::harmonia`.
 const MAX_CONSECUTIVE_REVERTS: u64 = 2;
@@ -59,14 +70,15 @@ proptest! {
         seq in prop::collection::vec((0u32..3, 0.0f64..8.0, 10_000u64..2_000_000), 6..24)
     ) {
         let trace = TraceHandle::new();
-        let mut g = HarmoniaGovernor::new(SensitivityPredictor::paper_table3());
-        g.set_trace(trace.clone());
-        let k = KernelProfile::builder("prop").build();
-        for (i, &(mode, jitter, insts)) in seq.iter().enumerate() {
-            let i = i as u64;
-            let cfg = g.decide(&k, i);
-            g.observe(&k, i, cfg, &counters_for(mode, jitter, insts));
-        }
+        with_harmonia(|mut g| {
+            g.set_trace(trace.clone());
+            let k = KernelProfile::builder("prop").build();
+            for (i, &(mode, jitter, insts)) in seq.iter().enumerate() {
+                let i = i as u64;
+                let cfg = g.decide(&k, i);
+                g.observe(&k, i, cfg, &counters_for(mode, jitter, insts));
+            }
+        });
         let events = trace.events();
         let mut revert_iterations = Vec::new();
         for ev in &events {
@@ -178,18 +190,20 @@ proptest! {
 #[test]
 fn revert_event_restores_the_pre_change_configuration() {
     let trace = TraceHandle::new();
-    let mut g = HarmoniaGovernor::new(SensitivityPredictor::paper_table3());
-    g.set_trace(trace.clone());
-    let k = KernelProfile::builder("unit").build();
-    let mut cfgs = vec![g.decide(&k, 0)];
-    for i in 0..8u64 {
-        // Two compute-hot readings start the downward walk, then the
-        // kernel turns memory-hot; constant insts keep the FG rate flat so
-        // only the bin flip can trigger a restoration.
-        let s = counters_for(u32::from(i >= 2), 0.0, 1_000_000);
-        g.observe(&k, i, cfgs[i as usize], &s);
-        cfgs.push(g.decide(&k, i + 1));
-    }
+    let mut cfgs = Vec::new();
+    with_harmonia(|mut g| {
+        g.set_trace(trace.clone());
+        let k = KernelProfile::builder("unit").build();
+        cfgs.push(g.decide(&k, 0));
+        for i in 0..8u64 {
+            // Two compute-hot readings start the downward walk, then the
+            // kernel turns memory-hot; constant insts keep the FG rate flat
+            // so only the bin flip can trigger a restoration.
+            let s = counters_for(u32::from(i >= 2), 0.0, 1_000_000);
+            g.observe(&k, i, cfgs[i as usize], &s);
+            cfgs.push(g.decide(&k, i + 1));
+        }
+    });
     let events = trace.events();
     let (j, from, to) = events
         .iter()

@@ -2,9 +2,7 @@
 //! decorator) and out-of-distribution predictor behaviour.
 
 use harmonia::dataset::TrainingSet;
-use harmonia::governor::{
-    BaselineGovernor, CappedGovernor, HarmoniaGovernor, PowerTuneGovernor,
-};
+use harmonia::governor::{PolicyResources, PolicySpec};
 use harmonia::predictor::SensitivityPredictor;
 use harmonia::runtime::Runtime;
 use harmonia::sensitivity::Sensitivity;
@@ -25,14 +23,21 @@ fn harness() -> &'static (IntervalModel, PowerModel, SensitivityPredictor) {
     })
 }
 
+/// Registry resources over the shared harness models.
+fn resources() -> PolicyResources<'static> {
+    let (model, power, predictor) = harness();
+    PolicyResources::new(predictor, model, power)
+}
+
 #[test]
 fn powertune_with_headroom_equals_the_baseline() {
     let (model, power, _) = harness();
+    let res = resources();
     let rt = Runtime::new(model, power);
     for app in [suite::stencil(), suite::srad()] {
-        let base = rt.run(&app, &mut BaselineGovernor::new());
-        let mut pt = PowerTuneGovernor::new(power); // stock 250 W TDP
-        let pt_run = rt.run(&app, &mut pt);
+        let base = rt.run(&app, &mut PolicySpec::Baseline.build(&res).governor);
+        // Stock 250 W TDP.
+        let pt_run = rt.run(&app, &mut PolicySpec::PowerTune(Watts(250.0)).build(&res).governor);
         assert!(
             (pt_run.total_time.value() - base.total_time.value()).abs()
                 < 1e-9 * base.total_time.value().max(1.0),
@@ -44,15 +49,14 @@ fn powertune_with_headroom_equals_the_baseline() {
 
 #[test]
 fn capped_harmonia_dominates_powertune_under_the_same_envelope() {
-    let (model, power, predictor) = harness();
+    let (model, power, _) = harness();
+    let res = resources();
     let rt = Runtime::new(model, power).without_trace();
     let cap = Watts(185.0);
     for name in ["MaxFlops", "DeviceMemory", "CoMD", "Stencil"] {
         let app = suite::by_name(name).expect("suite app");
-        let mut pt = PowerTuneGovernor::with_tdp(power, cap);
-        let pt_run = rt.run(&app, &mut pt);
-        let mut hm = CappedGovernor::new(HarmoniaGovernor::new(predictor.clone()), power, cap);
-        let hm_run = rt.run(&app, &mut hm);
+        let pt_run = rt.run(&app, &mut PolicySpec::PowerTune(cap).build(&res).governor);
+        let hm_run = rt.run(&app, &mut PolicySpec::Capped(cap).build(&res).governor);
         assert!(
             hm_run.total_time.value() <= pt_run.total_time.value() * 1.02,
             "{name}: capped Harmonia {} vs PowerTune {}",
@@ -64,13 +68,13 @@ fn capped_harmonia_dominates_powertune_under_the_same_envelope() {
 
 #[test]
 fn capped_runs_respect_the_envelope_on_average() {
-    let (model, power, predictor) = harness();
+    let (model, power, _) = harness();
+    let res = resources();
     let rt = Runtime::new(model, power);
     let cap = Watts(185.0);
     for name in ["MaxFlops", "LUD", "DeviceMemory"] {
         let app = suite::by_name(name).expect("suite app");
-        let mut hm = CappedGovernor::new(HarmoniaGovernor::new(predictor.clone()), power, cap);
-        let run = rt.run(&app, &mut hm);
+        let run = rt.run(&app, &mut PolicySpec::Capped(cap).build(&res).governor);
         assert!(
             run.avg_power() <= cap + Watts(8.0),
             "{name}: avg power {} exceeds the {} envelope",
@@ -131,7 +135,8 @@ fn measured_probe_sensitivities_follow_their_dials() {
 fn harmonia_on_probe_applications_never_collapses() {
     // Governing out-of-distribution kernels must stay within a safe
     // performance envelope even when predictions are off.
-    let (model, power, predictor) = harness();
+    let (model, power, _) = harness();
+    let res = resources();
     let rt = Runtime::new(model, power).without_trace();
     for kernel in [
         probes::compute_probe(0.5),
@@ -140,9 +145,8 @@ fn harmonia_on_probe_applications_never_collapses() {
         probes::balance_probe(8.0),
     ] {
         let app = harmonia_workloads::Application::new(kernel.name.clone(), vec![kernel], 12);
-        let base = rt.run(&app, &mut BaselineGovernor::new());
-        let mut hm = HarmoniaGovernor::new(predictor.clone());
-        let run = rt.run(&app, &mut hm);
+        let base = rt.run(&app, &mut PolicySpec::Baseline.build(&res).governor);
+        let run = rt.run(&app, &mut PolicySpec::Harmonia.build(&res).governor);
         let loss = 1.0 - base.total_time.value() / run.total_time.value();
         assert!(
             loss < 0.15,

@@ -2,7 +2,7 @@
 //! never break the timing models, the power model, or the governors, and
 //! the documented monotonicity/consistency properties must hold.
 
-use harmonia::governor::{Governor, HarmoniaGovernor};
+use harmonia::governor::{Governor, PolicyResources, PolicySpec};
 use harmonia::predictor::SensitivityPredictor;
 use harmonia_power::{Activity, PowerModel};
 use harmonia_sim::{EventModel, IntervalModel, TimingModel};
@@ -82,8 +82,11 @@ proptest! {
     fn governor_decisions_stay_on_the_grid(seed in 0u64..100) {
         let kernel = random_profile(&mut StdRng::seed_from_u64(seed), "prop");
         let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let predictor = SensitivityPredictor::paper_table3();
         let space = harmonia_types::ConfigSpace::hd7970();
-        let mut g = HarmoniaGovernor::new(SensitivityPredictor::paper_table3());
+        let res = PolicyResources::new(&predictor, &model, &power);
+        let mut g = PolicySpec::Harmonia.build(&res).governor;
         for i in 0..12 {
             let cfg = g.decide(&kernel, i);
             prop_assert!(space.contains(cfg), "off-grid config {cfg}");
