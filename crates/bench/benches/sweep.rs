@@ -1,22 +1,31 @@
-//! Sweep-engine benchmarks: the serial reference loop vs the shared engine
-//! with a cold memoization cache vs a fully warm cache, plus the cost of
-//! oracle decisions before and after their exhaustive sweep is memoized.
+//! Sweep-engine benchmarks, in two tiers.
 //!
-//! The sweep comparison uses the event-driven timing model (wave cap lowered
-//! to keep wall-clock sane): it is phase-determined, so the engine
-//! deduplicates the `iterations` axis down to one simulation per distinct
-//! configuration — the same algorithmic win the training and oracle
-//! pipelines see. The oracle comparison uses the interval model, which is
-//! what those pipelines run by default.
+//! **Event-model engine tier** (cache dedup): the serial reference loop vs
+//! the shared engine with a cold memoization cache vs a fully warm cache.
+//! The event model (wave cap lowered to keep wall-clock sane) is
+//! phase-determined, so the engine deduplicates the `iterations` axis down
+//! to one simulation per distinct configuration.
+//!
+//! **Interval batched tier** (the sweep hot path): the pre-batching shape —
+//! 448 virtual `simulate` dispatches plus a `card_pwr` ED² fold per
+//! iteration, no memo — vs a [`SweepPlan`] driving
+//! `TimingModel::simulate_batch`: one struct-of-arrays cold pass, memo
+//! replay for repeated scales, and frontier-only incremental re-sweeps for
+//! new phase scales. The artifact records the two headline floors (batched
+//! ≥5× scalar, incremental ≥20× cold) and verifies the ED² argmin is
+//! unchanged on every scale.
 //!
 //! Running this bench also regenerates `BENCH_sweep.json` at the repository
 //! root with median wall-clock numbers and the derived speedups quoted in
-//! `README.md`.
+//! `README.md`; CI gates on the recorded floors.
 
 use criterion::{BatchSize, Criterion};
-use harmonia::governor::{Governor, OracleGovernor};
-use harmonia_power::PowerModel;
-use harmonia_sim::{sweep, EventModel, IntervalModel, KernelProfile, SimCache, TimingModel};
+use harmonia::governor::{Ed2Objective, Governor, OracleGovernor, PowerTable};
+use harmonia_power::{Activity, PowerModel};
+use harmonia_sim::{
+    sweep, EventModel, IntervalModel, KernelProfile, PhaseModulation, PhaseScale, SimCache,
+    SweepPlan, TimingModel,
+};
 use harmonia_types::{ConfigSpace, HwConfig};
 use harmonia_workloads::suite;
 use std::hint::black_box;
@@ -31,10 +40,31 @@ const ITERATIONS: u64 = 8;
 /// ratio while making every reader of this bench wait.
 const BENCH_WAVE_CAP: u64 = 256;
 
+/// Distinct phase scales the incremental-re-sweep measurement cycles
+/// through (each one forces a frontier re-evaluation on a warm plan).
+const RESWEEP_SCALES: usize = 64;
+
 fn bench_kernel() -> KernelProfile {
     // A phase-less suite kernel: the representative case for the cache's
     // cross-iteration dedup.
     suite::stencil().kernels[0].clone()
+}
+
+/// The bench kernel with a long deterministic scale ramp attached, so every
+/// iteration lands on a *new* phase scale and a warm plan must re-sweep.
+fn resweep_kernel() -> KernelProfile {
+    let mut k = bench_kernel();
+    let scales: Vec<PhaseScale> = (0..RESWEEP_SCALES)
+        .map(|i| {
+            let x = i as f64 / RESWEEP_SCALES as f64;
+            PhaseScale {
+                compute: 0.5 + 1.5 * x,
+                memory: 1.5 - x,
+            }
+        })
+        .collect();
+    k.phase = PhaseModulation::Cycle(scales);
+    k
 }
 
 /// The pre-engine pipeline: simulate every (configuration, iteration) point
@@ -78,12 +108,78 @@ fn engine_sweep<M: TimingModel>(
     .sum()
 }
 
+/// One pre-batching ED² decision: 448 virtual dispatches, per-config
+/// `card_pwr`, first-minimum fold — the oracle's inner loop before
+/// `SweepPlan` replaced it.
+fn scalar_decide(
+    model: &IntervalModel,
+    power: &PowerModel,
+    configs: &[HwConfig],
+    k: &KernelProfile,
+    iteration: u64,
+) -> HwConfig {
+    let mut best = HwConfig::max_hd7970();
+    let mut best_ed2 = f64::INFINITY;
+    for &cfg in configs {
+        let r = model.simulate(black_box(cfg), black_box(k), black_box(iteration));
+        let t = r.time.value();
+        let activity = Activity {
+            valu_activity: r.counters.valu_activity(),
+            dram_bytes_per_sec: r.counters.dram_bytes_per_sec(),
+            dram_traffic_fraction: r.counters.ic_activity,
+        };
+        let ed2 = power.card_pwr(cfg, &activity).value() * t * t * t;
+        if ed2 < best_ed2 {
+            best_ed2 = ed2;
+            best = cfg;
+        }
+    }
+    best
+}
+
+/// The scalar job shape: one full fold per iteration, no memoization.
+fn scalar_job(
+    model: &IntervalModel,
+    power: &PowerModel,
+    configs: &[HwConfig],
+    k: &KernelProfile,
+) -> u32 {
+    let mut acc = 0;
+    for i in 0..ITERATIONS {
+        acc += scalar_decide(model, power, configs, k, i).compute.cu_count();
+    }
+    acc
+}
+
+/// The batched job shape: a fresh plan decides the same iterations — one
+/// cold struct-of-arrays sweep, then memo replays.
+fn batched_job(
+    model: &IntervalModel,
+    objective: &Ed2Objective,
+    configs: &[HwConfig],
+    k: &KernelProfile,
+) -> u32 {
+    let mut plan = SweepPlan::new(configs.to_vec());
+    let mut acc = 0;
+    for i in 0..ITERATIONS {
+        acc += plan
+            .decide(model, black_box(k), black_box(i), objective)
+            .config
+            .compute
+            .cu_count();
+    }
+    acc
+}
+
 fn bench_sweep(c: &mut Criterion) {
     let model = EventModel::default().with_max_waves(BENCH_WAVE_CAP);
     let interval = IntervalModel::default();
     let power = PowerModel::hd7970();
     let configs: Vec<HwConfig> = ConfigSpace::hd7970().iter().collect();
+    let affine = PowerTable::probe(&power, &configs);
+    let objective = Ed2Objective::new(&power, &affine);
     let k = bench_kernel();
+    let cycler = resweep_kernel();
 
     c.bench_function("sweep/serial_448cfg_x8iter", |b| {
         b.iter(|| serial_sweep(&model, &configs, &k));
@@ -99,6 +195,31 @@ fn bench_sweep(c: &mut Criterion) {
     engine_sweep(&model, &warm, &configs, &k);
     c.bench_function("sweep/engine_warm_cache", |b| {
         b.iter(|| engine_sweep(&model, &warm, &configs, &k));
+    });
+
+    c.bench_function("sweep/scalar_ed2_448cfg_x8iter", |b| {
+        b.iter(|| scalar_job(&interval, &power, &configs, &k));
+    });
+    c.bench_function("sweep/batched_plan_x8iter", |b| {
+        b.iter(|| batched_job(&interval, &objective, &configs, &k));
+    });
+    c.bench_function("sweep/plan_cold_decide", |b| {
+        b.iter_batched(
+            || SweepPlan::new(configs.clone()),
+            |mut plan| plan.decide(&interval, &k, 0, &objective).config,
+            BatchSize::LargeInput,
+        );
+    });
+    c.bench_function("sweep/plan_incremental_redecide", |b| {
+        b.iter_batched(
+            || {
+                let mut plan = SweepPlan::new(configs.clone());
+                plan.decide(&interval, &cycler, 0, &objective);
+                plan
+            },
+            |mut plan| plan.decide(&interval, &cycler, 1, &objective).config,
+            BatchSize::LargeInput,
+        );
     });
 
     c.bench_function("oracle/cold_first_decision", |b| {
@@ -136,8 +257,12 @@ fn write_artifact() {
     let interval = IntervalModel::default();
     let power = PowerModel::hd7970();
     let configs: Vec<HwConfig> = ConfigSpace::hd7970().iter().collect();
+    let affine = PowerTable::probe(&power, &configs);
+    let objective = Ed2Objective::new(&power, &affine);
     let k = bench_kernel();
+    let cycler = resweep_kernel();
 
+    // --- Event-model engine tier -----------------------------------------
     let serial_s = median_secs(REPS, || serial_sweep(&model, &configs, &k));
     let cold_s = median_secs(REPS, || {
         let cache = SimCache::new();
@@ -147,10 +272,46 @@ fn write_artifact() {
     engine_sweep(&model, &warm_cache, &configs, &k);
     let warm_s = median_secs(REPS, || engine_sweep(&model, &warm_cache, &configs, &k));
 
-    let oracle_cold_s = median_secs(REPS, || {
-        let mut oracle = OracleGovernor::new(&interval, &power);
-        oracle.decide(&k, 0)
+    // --- Interval batched tier -------------------------------------------
+    let scalar_s = median_secs(REPS, || scalar_job(&interval, &power, &configs, &k));
+    let batched_s = median_secs(REPS, || batched_job(&interval, &objective, &configs, &k));
+    let plan_cold_s = median_secs(REPS, || {
+        let mut plan = SweepPlan::new(configs.clone());
+        plan.decide(&interval, &k, 0, &objective).config
     });
+    // Incremental re-sweeps: warm the plan once per rep (untimed), then
+    // time deciding every remaining (distinct) scale of the cycle and
+    // average per decision; the median rep is reported.
+    let incremental_s = {
+        let mut reps: Vec<f64> = (0..REPS)
+            .map(|_| {
+                let mut plan = SweepPlan::new(configs.clone());
+                plan.decide(&interval, &cycler, 0, &objective);
+                let start = Instant::now();
+                for i in 1..RESWEEP_SCALES as u64 {
+                    black_box(plan.decide(&interval, &cycler, i, &objective).config);
+                }
+                start.elapsed().as_secs_f64() / (RESWEEP_SCALES - 1) as f64
+            })
+            .collect();
+        reps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        reps[reps.len() / 2]
+    };
+
+    // Soundness: on every scale of the ramp, the plan's (cold or
+    // incremental) argmin must equal the naive scalar fold's.
+    let mut plan = SweepPlan::new(configs.clone());
+    let argmin_matches = (0..RESWEEP_SCALES as u64).all(|i| {
+        plan.decide(&interval, &cycler, i, &objective).config
+            == scalar_decide(&interval, &power, &configs, &cycler, i)
+    });
+
+    let mut cold_oracle = OracleGovernor::new(&interval, &power);
+    let oracle_cold_s = {
+        let start = Instant::now();
+        black_box(cold_oracle.decide(&k, 0));
+        start.elapsed().as_secs_f64()
+    };
     let mut oracle = OracleGovernor::new(&interval, &power);
     oracle.decide(&k, 0);
     // A warm re-decision is a memo lookup; time a batch for resolution.
@@ -161,19 +322,53 @@ fn write_artifact() {
         }
     }) / WARM_CALLS as f64;
 
-    let threads = sweep::pool_size(configs.len() * ITERATIONS as usize);
+    let threads = sweep::shared_pool_threads();
     let json = format!(
-        "{{\n  \"bench\": \"sweep\",\n  \"kernel\": {:?},\n  \"sweep_model\": \"event (max_waves={})\",\n  \"oracle_model\": \"interval\",\n  \"configs\": {},\n  \"iterations\": {},\n  \"pool_threads\": {},\n  \"serial_sweep_ms\": {:.3},\n  \"engine_cold_sweep_ms\": {:.3},\n  \"engine_warm_sweep_ms\": {:.3},\n  \"speedup_engine_cold_vs_serial\": {:.2},\n  \"speedup_engine_warm_vs_serial\": {:.2},\n  \"oracle_cold_decision_ms\": {:.3},\n  \"oracle_warm_redecision_us\": {:.3},\n  \"speedup_oracle_warm_redecision\": {:.1}\n}}\n",
+        concat!(
+            "{{\n",
+            "  \"bench\": \"sweep\",\n",
+            "  \"kernel\": {:?},\n",
+            "  \"configs\": {},\n",
+            "  \"iterations\": {},\n",
+            "  \"pool_threads\": {},\n",
+            "  \"event_model\": \"event (max_waves={})\",\n",
+            "  \"event_serial_sweep_ms\": {:.3},\n",
+            "  \"event_engine_cold_ms\": {:.3},\n",
+            "  \"event_engine_warm_ms\": {:.3},\n",
+            "  \"speedup_event_engine_cold_vs_serial\": {:.2},\n",
+            "  \"speedup_event_engine_warm_vs_serial\": {:.2},\n",
+            "  \"sweep_model\": \"interval\",\n",
+            "  \"scalar_sweep_ms\": {:.3},\n",
+            "  \"batched_sweep_ms\": {:.3},\n",
+            "  \"speedup_batched_vs_scalar\": {:.2},\n",
+            "  \"cold_sweep_us\": {:.3},\n",
+            "  \"incremental_resweep_us\": {:.3},\n",
+            "  \"speedup_incremental_vs_cold\": {:.1},\n",
+            "  \"resweep_scales\": {},\n",
+            "  \"ed2_argmin_matches\": {},\n",
+            "  \"oracle_cold_decision_ms\": {:.3},\n",
+            "  \"oracle_warm_redecision_us\": {:.3},\n",
+            "  \"speedup_oracle_warm_redecision\": {:.1}\n",
+            "}}\n",
+        ),
         k.name,
-        BENCH_WAVE_CAP,
         configs.len(),
         ITERATIONS,
         threads,
+        BENCH_WAVE_CAP,
         serial_s * 1e3,
         cold_s * 1e3,
         warm_s * 1e3,
         serial_s / cold_s,
         serial_s / warm_s,
+        scalar_s * 1e3,
+        batched_s * 1e3,
+        scalar_s / batched_s,
+        plan_cold_s * 1e6,
+        incremental_s * 1e6,
+        plan_cold_s / incremental_s,
+        RESWEEP_SCALES,
+        argmin_matches,
         oracle_cold_s * 1e3,
         oracle_warm_s * 1e6,
         oracle_cold_s / oracle_warm_s,

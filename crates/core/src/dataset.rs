@@ -150,10 +150,10 @@ impl TrainingSet {
     }
 
     /// Collects a training set for arbitrary kernels on the shared sweep
-    /// engine: one pool job per `(kernel, configuration)` point, each
-    /// simulating the averaged invocations through the memoization cache.
-    /// Row order, counter-sample order, and therefore every float sum match
-    /// [`TrainingSet::collect_serial`] exactly.
+    /// engine: one pool job per kernel, each sweeping the full grid with a
+    /// single batched call per averaged invocation through the memoization
+    /// cache. Row order, counter-sample order, and therefore every float
+    /// sum match [`TrainingSet::collect_serial`] exactly.
     pub fn collect_for<M: TimingModel>(
         model: &M,
         kernels: &[(String, KernelProfile)],
@@ -161,28 +161,30 @@ impl TrainingSet {
         let configs: Vec<_> = ConfigSpace::hd7970().iter().collect();
         let cache = SimCache::new();
         let cached = CachedModel::new(model, &cache);
-        // Kernel-major, configuration-minor job order; each job yields the
-        // samples of one configuration in iteration order, so flattening a
-        // kernel's chunk reproduces the serial sample sequence.
-        let samples: Vec<Vec<CounterSample>> =
-            sweep::run_indexed(kernels.len() * configs.len(), |j| {
-                let kernel = &kernels[j / configs.len()].1;
-                let cfg = configs[j % configs.len()];
-                (0..AVERAGED_ITERATIONS)
-                    .map(|i| cached.simulate(cfg, kernel, i).counters)
-                    .collect()
-            });
+        // Each job sweeps iteration-major (one cache-warm batch per
+        // invocation), then reassembles configuration-major /
+        // iteration-minor so the flattened sequence reproduces the serial
+        // sample order byte for byte.
+        let samples: Vec<Vec<CounterSample>> = sweep::run_indexed(kernels.len(), |k| {
+            let kernel = &kernels[k].1;
+            let per_iter: Vec<Vec<CounterSample>> = (0..AVERAGED_ITERATIONS)
+                .map(|i| {
+                    cached
+                        .simulate_batch(&configs, kernel, i)
+                        .into_iter()
+                        .map(|r| r.counters)
+                        .collect()
+                })
+                .collect();
+            (0..configs.len())
+                .flat_map(|c| per_iter.iter().map(move |it| it[c]))
+                .collect()
+        });
         let rows = kernels
             .iter()
-            .enumerate()
-            .map(|(k, (_, kernel))| {
-                let flat: Vec<CounterSample> = samples[k * configs.len()..(k + 1) * configs.len()]
-                    .iter()
-                    .flatten()
-                    .copied()
-                    .collect();
-                let counters =
-                    CounterSample::average(&flat).expect("config space is non-empty");
+            .zip(&samples)
+            .map(|((_, kernel), flat)| {
+                let counters = CounterSample::average(flat).expect("config space is non-empty");
                 TrainingRow {
                     kernel: kernel.name.clone(),
                     counters,

@@ -38,7 +38,7 @@ pub use capped::CappedGovernor;
 pub use coarse::{CoarseGrain, SensitivityBins};
 pub use fine::{FgState, FineGrain};
 pub use harmonia::{HarmoniaConfig, HarmoniaGovernor};
-pub use oracle::OracleGovernor;
+pub use oracle::{Ed2Objective, OracleGovernor, PowerAffine, PowerTable};
 pub use powertune::PowerTuneGovernor;
 pub use registry::{Policy, PolicyResources, PolicySpec, DEFAULT_CAP};
 pub use stack::{

@@ -6,7 +6,7 @@
 //! they are not the limiting factor. CU-count and CU-frequency sensitivities
 //! are aggregated into a single compute-throughput sensitivity.
 
-use harmonia_sim::{sweep, CachedModel, KernelProfile, SimCache, TimingModel};
+use harmonia_sim::{CachedModel, KernelProfile, SimCache, TimingModel};
 use harmonia_types::{ComputeConfig, HwConfig, MegaHertz, MemoryConfig};
 use serde::{Deserialize, Serialize};
 
@@ -54,10 +54,10 @@ impl Sensitivity {
     }
 
     /// [`Sensitivity::measure`] through a shared simulation cache: the four
-    /// probe configurations are pre-warmed on the sweep pool, then the
-    /// probe ratios are read back as pure cache hits. Callers that already
-    /// swept the configuration space (training collection) pass their cache
-    /// so every probe point is free.
+    /// probe configurations are pre-warmed with one batched sweep per
+    /// averaged invocation, then the probe ratios are read back as pure
+    /// cache hits. Callers that already swept the configuration space
+    /// (training collection) pass their cache so every probe point is free.
     pub fn measure_cached<M: TimingModel>(
         model: &M,
         cache: &SimCache,
@@ -69,12 +69,19 @@ impl Sensitivity {
         // tunable.
         const PROBES: [(u32, u32, u32); 4] =
             [(32, 1000, 1375), (16, 1000, 1375), (32, 500, 1375), (32, 1000, 475)];
+        let probe_cfgs: Vec<HwConfig> = PROBES
+            .iter()
+            .map(|&(cu, freq, mem)| {
+                HwConfig::new(
+                    ComputeConfig::new(cu, MegaHertz(freq)).expect("valid grid point"),
+                    MemoryConfig::new(MegaHertz(mem)).expect("valid grid point"),
+                )
+            })
+            .collect();
         let cached = CachedModel::new(model, cache);
-        sweep::run_indexed(PROBES.len() * ITERS as usize, |j| {
-            let (cu, freq, mem) = PROBES[j / ITERS as usize];
-            let iteration = (j % ITERS as usize) as u64;
-            time_at(&cached, kernel, iteration, cu, freq, mem);
-        });
+        for i in 0..ITERS {
+            cached.simulate_batch(&probe_cfgs, kernel, i);
+        }
         let mut acc = Sensitivity::default();
         for i in 0..ITERS {
             let s = Self::measure_at(&cached, kernel, i);

@@ -4,7 +4,7 @@ use crate::context::Context;
 use crate::report::{num, pct, Report};
 use harmonia::sensitivity;
 use harmonia_power::Activity;
-use harmonia_sim::{sweep, CounterSample, Occupancy, SimCache, TimingModel};
+use harmonia_sim::{CounterSample, Occupancy, SimCache, TimingModel};
 use harmonia_types::{ComputeConfig, ConfigSpace, HwConfig, MegaHertz, MemoryConfig};
 use harmonia_workloads::suite;
 
@@ -227,27 +227,33 @@ pub fn fig6(ctx: &Context) -> Report {
         "Energy- vs ED²- vs performance-optimal configurations",
         &["app", "optimized for", "perf", "energy", "ED²", "config"],
     );
+    let configs: Vec<HwConfig> = ConfigSpace::hd7970().iter().collect();
     for app in [suite::lud(), suite::devicememory()] {
-        // Exhaustive sweep: run the whole application pinned at each config,
-        // one pool job per configuration. The memoization cache collapses
-        // the iteration loop for phase-less kernels, and index-ordered
-        // results keep the CSV byte-identical to the serial loop.
-        let configs: Vec<HwConfig> = ConfigSpace::hd7970().iter().collect();
+        // Exhaustive sweep: one batched grid pass per (invocation, kernel)
+        // through the memoization cache (which collapses the iteration loop
+        // for phase-less kernels), accumulated per configuration in the
+        // same (invocation, kernel) order as the serial loop so the CSV
+        // stays byte-identical.
         let cache = SimCache::new();
-        let evals: Vec<(HwConfig, f64, f64)> = sweep::run_indexed(configs.len(), |ci| {
-            let cfg = configs[ci];
-            let mut time = 0.0;
-            let mut energy = 0.0;
-            for i in 0..app.iterations {
-                for k in &app.kernels {
-                    let sim = cache.simulate(ctx.model(), cfg, k, i);
-                    let p = ctx.power().card_pwr(cfg, &activity_of(&sim.counters));
-                    time += sim.time.value();
-                    energy += p.value() * sim.time.value();
+        let mut time = vec![0.0; configs.len()];
+        let mut energy = vec![0.0; configs.len()];
+        for i in 0..app.iterations {
+            for k in &app.kernels {
+                let sims = cache.simulate_batch(ctx.model(), &configs, k, i);
+                for (ci, sim) in sims.iter().enumerate() {
+                    let p = ctx
+                        .power()
+                        .card_pwr(configs[ci], &activity_of(&sim.counters));
+                    time[ci] += sim.time.value();
+                    energy[ci] += p.value() * sim.time.value();
                 }
             }
-            (cfg, time, energy)
-        });
+        }
+        let evals: Vec<(HwConfig, f64, f64)> = configs
+            .iter()
+            .zip(time.iter().zip(&energy))
+            .map(|(&cfg, (&t, &e))| (cfg, t, e))
+            .collect();
         let best_perf = *evals
             .iter()
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))

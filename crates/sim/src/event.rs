@@ -489,6 +489,19 @@ impl TimingModel for EventModel {
         self.run(cfg, kernel, iteration)
     }
 
+    /// Event-stepped lanes are independent and each costs orders of
+    /// magnitude more than an interval lane, so the batch fans out across
+    /// the shared sweep pool instead of a struct-of-arrays pass. Results
+    /// come back in lane order, bit-identical to the scalar loop.
+    fn simulate_batch(
+        &self,
+        cfgs: &[HwConfig],
+        kernel: &KernelProfile,
+        iteration: u64,
+    ) -> Vec<SimResult> {
+        crate::sweep::run_indexed(cfgs.len(), |i| self.run(cfgs[i], kernel, iteration))
+    }
+
     fn gpu(&self) -> &GpuDescriptor {
         &self.gpu
     }

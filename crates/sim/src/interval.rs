@@ -22,13 +22,31 @@
 //! * **CU-count-dependent L2 thrashing** (Section 7.1) via
 //!   [`KernelProfile::l2_hit_rate_at`].
 
+//!
+//! # Batched evaluation
+//!
+//! The timing expression factors cleanly by configuration axis, and the
+//! sweep hot path exploits that: the model's `simulate_batch` evaluates a
+//! whole config grid in one struct-of-arrays pass — per-kernel quantities
+//! (`KernelPre`) are computed once, per-CU-count quantities (`CuPre`,
+//! including the occupancy solve and L2-thrash hit rate) once per
+//! *distinct* CU count, per-memory-frequency quantities (`MemPre`) once per
+//! distinct bus clock, and the per-lane combine is a short branch-free
+//! max-of-rooflines over flat `f64` columns. The scalar
+//! [`TimingModel::simulate`] runs the identical helpers for a single lane,
+//! so batch and scalar results are bit-identical by construction, and
+//! [`TimingModel::sweep_terms`] exposes the per-lane scale factorization
+//! (`t_interval = max(A·s_c, B·s_c + C)` etc.) that powers incremental
+//! re-sweeps ([`SweepPlan`](crate::batch::SweepPlan)).
+
+use crate::batch::SweepTerms;
 use crate::counters::CounterSample;
 use crate::device::GpuDescriptor;
 use crate::model::{SimResult, TimingModel};
 use crate::occupancy::Occupancy;
-use crate::profile::KernelProfile;
+use crate::profile::{KernelProfile, PhaseScale};
 use harmonia_types::config::MEM_FREQ_MAX;
-use harmonia_types::{HwConfig, Seconds};
+use harmonia_types::{HwConfig, MemoryConfig, Seconds};
 
 /// Average L2 hit latency in compute cycles.
 const L2_HIT_LATENCY_CYCLES: f64 = 150.0;
@@ -54,8 +72,53 @@ impl Default for IntervalModel {
     }
 }
 
-/// Intermediate quantities shared by the timing computation and the counter
-/// synthesis (kept internal; exposed only through [`CounterSample`]).
+/// Per-kernel, per-phase-scale quantities — everything in the timing
+/// expression that is independent of the hardware configuration, computed
+/// once per sweep instead of once per config.
+struct KernelPre {
+    waves: f64,
+    cycles_per_wave: f64,
+    l2_bytes: f64,
+    write_share: f64,
+    blocks: f64,
+    has_mem: bool,
+    l1: f64,
+    miss_l1: f64,
+    overhead: f64,
+    valu_insts: f64,
+    vfetch_insts: f64,
+    vwrite_insts: f64,
+    valu_utilization_pct: f64,
+    norm_vgpr: f64,
+    norm_sgpr: f64,
+}
+
+/// Quantities that depend only on the active CU count — notably the
+/// occupancy solve and the thrash-adjusted L2 hit rate, which a naive sweep
+/// recomputes 56 times per distinct CU count on the 448-config grid.
+struct CuPre {
+    occupancy: Occupancy,
+    waves_per_simd: f64,
+    simds: f64,
+    /// `simds * waves_per_simd`, the SIMD wave capacity.
+    simd_waves: f64,
+    l2_hit: f64,
+    dram_bytes: f64,
+    write_bytes: f64,
+    resident_waves: f64,
+    rounds: f64,
+}
+
+/// Quantities that depend only on the memory configuration.
+struct MemPre {
+    peak_bw_theoretical: f64,
+    peak_bw: f64,
+    dram_latency: f64,
+}
+
+/// Per-lane intermediate quantities shared by the timing computation and
+/// the counter synthesis (kept internal; exposed only through
+/// [`CounterSample`]).
 struct Intermediates {
     t_total: f64,
     t_compute_busy: f64,
@@ -64,24 +127,13 @@ struct Intermediates {
     write_bytes: f64,
     l2_hit: f64,
     peak_bw_theoretical: f64,
-    valu_insts: f64,
-    vfetch_insts: f64,
-    vwrite_insts: f64,
-    occupancy: Occupancy,
+    occupancy_fraction: f64,
 }
 
 impl IntervalModel {
-    fn evaluate(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> Intermediates {
+    fn kernel_pre(&self, kernel: &KernelProfile, scale: PhaseScale) -> KernelPre {
         let gpu = &self.gpu;
-        let scale = kernel.phase.scale_for(iteration);
-
-        let n_cu = cfg.compute.cu_count();
-        let f_cu = cfg.compute.freq().as_hz();
-        let f_mem = cfg.memory.bus_freq().as_hz();
-        let occupancy = Occupancy::compute(gpu, kernel, n_cu);
-        let waves_per_simd = f64::from(occupancy.waves_per_simd);
         let waves = kernel.waves(gpu.wave_size) as f64;
-        let simds = f64::from(gpu.simds(n_cu));
         let items = kernel.workitems as f64;
 
         // --- Compute path -------------------------------------------------
@@ -89,7 +141,6 @@ impl IntervalModel {
         let cycles_per_inst = f64::from(gpu.wave_size) / f64::from(gpu.lanes_per_simd);
         let valu_per_item = kernel.valu_insts_per_item * scale.compute;
         let cycles_per_wave = cycles_per_inst * valu_per_item;
-        let t_compute_busy = waves * cycles_per_wave / (simds * f_cu);
 
         // --- Memory traffic ----------------------------------------------
         let fetch_bytes_item =
@@ -98,80 +149,119 @@ impl IntervalModel {
             kernel.vwrite_insts_per_item * kernel.bytes_per_write * kernel.mem_divergence;
         let l1_bytes = (fetch_bytes_item + write_bytes_item) * scale.memory * items;
         let l2_bytes = l1_bytes * (1.0 - kernel.l1_hit_rate);
-        let l2_hit = kernel.l2_hit_rate_at(n_cu, gpu.max_cu);
-        let dram_bytes = l2_bytes * (1.0 - l2_hit);
         let write_share = if fetch_bytes_item + write_bytes_item > 0.0 {
             write_bytes_item / (fetch_bytes_item + write_bytes_item)
         } else {
             0.0
         };
-        let write_bytes = dram_bytes * write_share;
+
+        KernelPre {
+            waves,
+            cycles_per_wave,
+            l2_bytes,
+            write_share,
+            blocks: f64::from(kernel.blocks_per_wave),
+            // A wave only waits if it touches memory at all.
+            has_mem: kernel.vfetch_insts_per_item + kernel.vwrite_insts_per_item > 0.0,
+            l1: kernel.l1_hit_rate,
+            miss_l1: 1.0 - kernel.l1_hit_rate,
+            overhead: kernel.launch_overhead_us * 1.0e-6,
+            valu_insts: valu_per_item * items,
+            vfetch_insts: kernel.vfetch_insts_per_item * scale.memory * items,
+            vwrite_insts: kernel.vwrite_insts_per_item * scale.memory * items,
+            valu_utilization_pct: kernel.valu_utilization_pct(),
+            norm_vgpr: f64::from(kernel.vgprs_per_item) / f64::from(gpu.vgprs_per_simd),
+            norm_sgpr: f64::from(kernel.sgprs_per_wave) / f64::from(gpu.max_sgprs_per_wave),
+        }
+    }
+
+    fn cu_pre(&self, kernel: &KernelProfile, kp: &KernelPre, n_cu: u32) -> CuPre {
+        let gpu = &self.gpu;
+        let occupancy = Occupancy::compute(gpu, kernel, n_cu);
+        let waves_per_simd = f64::from(occupancy.waves_per_simd);
+        let simds = f64::from(gpu.simds(n_cu));
+        let simd_waves = simds * waves_per_simd;
+        let l2_hit = kernel.l2_hit_rate_at(n_cu, gpu.max_cu);
+        let dram_bytes = kp.l2_bytes * (1.0 - l2_hit);
+        CuPre {
+            occupancy,
+            waves_per_simd,
+            simds,
+            simd_waves,
+            l2_hit,
+            dram_bytes,
+            write_bytes: dram_bytes * kp.write_share,
+            resident_waves: simd_waves.min(kp.waves.max(1.0)),
+            rounds: kp.waves / simd_waves,
+        }
+    }
+
+    fn mem_pre(&self, memory: MemoryConfig) -> MemPre {
+        let peak_bw_theoretical = memory.peak_bandwidth().as_bytes_per_sec();
+        MemPre {
+            peak_bw_theoretical,
+            peak_bw: peak_bw_theoretical * self.gpu.dram_efficiency,
+            dram_latency: self
+                .gpu
+                .dram_latency_s(memory.bus_freq().as_hz(), MEM_FREQ_MAX.as_hz()),
+        }
+    }
+
+    /// The per-lane combine: the branch-free max-of-rooflines over one
+    /// `(f_compute, CU-precomp, memory-precomp)` lane. Both the scalar
+    /// `simulate` and the batched sweep funnel through this single
+    /// function, which is what makes them bit-identical.
+    fn lane(&self, kp: &KernelPre, cu: &CuPre, mem: &MemPre, f_cu: f64) -> Intermediates {
+        let gpu = &self.gpu;
+        let t_compute_busy = kp.waves * kp.cycles_per_wave / (cu.simds * f_cu);
 
         // --- Bandwidth bounds ----------------------------------------------
-        let peak_bw_theoretical = cfg.memory.peak_bandwidth().as_bytes_per_sec();
-        let peak_bw = peak_bw_theoretical * gpu.dram_efficiency;
         // Clock-domain crossing: L2→MC requests are delivered at the compute
         // clock (Section 3.5 / Figure 9).
         let crossing_bw = f_cu * gpu.crossing_bytes_per_cu_cycle;
         // Little's law: resident waves bound the requests in flight and
         // therefore the bandwidth extractable at a given DRAM latency — this
         // is how low occupancy mutes bandwidth sensitivity (Figure 7).
-        let dram_latency_early = self.gpu.dram_latency_s(f_mem, MEM_FREQ_MAX.as_hz());
-        let resident_waves = (simds * waves_per_simd).min(waves.max(1.0));
-        let mlp_bw = resident_waves * gpu.outstanding_per_wave * f64::from(gpu.line_bytes)
-            / dram_latency_early;
-        let eff_bw = peak_bw.min(crossing_bw).min(mlp_bw);
-        let t_bw = dram_bytes / eff_bw;
+        let mlp_bw = cu.resident_waves * gpu.outstanding_per_wave * f64::from(gpu.line_bytes)
+            / mem.dram_latency;
+        let eff_bw = mem.peak_bw.min(crossing_bw).min(mlp_bw);
+        let t_bw = cu.dram_bytes / eff_bw;
 
         // L2 service bound (compute-clock domain).
         let l2_bw = f_cu * gpu.l2_bytes_per_cu_cycle;
-        let t_l2 = l2_bytes / l2_bw;
+        let t_l2 = kp.l2_bytes / l2_bw;
 
         // --- Latency/interval path -----------------------------------------
         // Average memory wait per block mixes L1/L2/DRAM latencies.
-        let dram_latency = dram_latency_early;
-        let l1 = kernel.l1_hit_rate;
-        let miss_l1 = 1.0 - l1;
-        let wait_s = l1 * (L1_HIT_LATENCY_CYCLES / f_cu)
-            + miss_l1 * l2_hit * (L2_HIT_LATENCY_CYCLES / f_cu)
-            + miss_l1 * (1.0 - l2_hit) * dram_latency;
-        // A wave only waits if it touches memory at all.
-        let blocks = f64::from(kernel.blocks_per_wave);
-        let has_mem = kernel.vfetch_insts_per_item + kernel.vwrite_insts_per_item > 0.0;
-        let c_block = (cycles_per_wave / blocks) / f_cu;
-        let l_block = if has_mem { wait_s } else { 0.0 };
-        let period = (waves_per_simd * c_block).max(c_block + l_block);
-        let rounds = waves / (simds * waves_per_simd);
-        let t_interval = blocks * rounds * period;
+        let wait_s = kp.l1 * (L1_HIT_LATENCY_CYCLES / f_cu)
+            + kp.miss_l1 * cu.l2_hit * (L2_HIT_LATENCY_CYCLES / f_cu)
+            + kp.miss_l1 * (1.0 - cu.l2_hit) * mem.dram_latency;
+        let c_block = (kp.cycles_per_wave / kp.blocks) / f_cu;
+        let l_block = if kp.has_mem { wait_s } else { 0.0 };
+        let period = (cu.waves_per_simd * c_block).max(c_block + l_block);
+        let t_interval = kp.blocks * cu.rounds * period;
 
         // --- Combine ---------------------------------------------------------
-        let overhead = kernel.launch_overhead_us * 1.0e-6;
-        let t_total = t_interval.max(t_bw).max(t_l2).max(t_compute_busy) + overhead;
+        let t_total = t_interval.max(t_bw).max(t_l2).max(t_compute_busy) + kp.overhead;
 
         // Memory-unit busy time: service plus exposed waits, per SIMD engine.
-        let total_wait = waves * blocks * l_block / (simds * waves_per_simd);
+        let total_wait = kp.waves * kp.blocks * l_block / cu.simd_waves;
         let t_mem_busy = (t_bw.max(t_l2) + 0.5 * total_wait).min(t_total);
 
         Intermediates {
             t_total,
             t_compute_busy: t_compute_busy.min(t_total),
             t_mem_busy,
-            dram_bytes,
-            write_bytes,
-
-            l2_hit,
-            peak_bw_theoretical,
-            valu_insts: valu_per_item * items,
-            vfetch_insts: kernel.vfetch_insts_per_item * scale.memory * items,
-            vwrite_insts: kernel.vwrite_insts_per_item * scale.memory * items,
-            occupancy,
+            dram_bytes: cu.dram_bytes,
+            write_bytes: cu.write_bytes,
+            l2_hit: cu.l2_hit,
+            peak_bw_theoretical: mem.peak_bw_theoretical,
+            occupancy_fraction: cu.occupancy.fraction,
         }
     }
-}
 
-impl TimingModel for IntervalModel {
-    fn simulate(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> SimResult {
-        let m = self.evaluate(cfg, kernel, iteration);
+    /// Synthesizes the counter sample for one evaluated lane.
+    fn result_from(&self, kp: &KernelPre, m: &Intermediates) -> SimResult {
         let t = m.t_total;
 
         let achieved_bw = m.dram_bytes / t;
@@ -192,19 +282,19 @@ impl TimingModel for IntervalModel {
         let counters = CounterSample {
             duration: Seconds(t),
             valu_busy_pct,
-            valu_utilization_pct: kernel.valu_utilization_pct(),
+            valu_utilization_pct: kp.valu_utilization_pct,
             mem_unit_busy_pct,
             mem_unit_stalled_pct,
             write_unit_stalled_pct,
-            norm_vgpr: f64::from(kernel.vgprs_per_item) / f64::from(self.gpu.vgprs_per_simd),
-            norm_sgpr: f64::from(kernel.sgprs_per_wave) / f64::from(self.gpu.max_sgprs_per_wave),
+            norm_vgpr: kp.norm_vgpr,
+            norm_sgpr: kp.norm_sgpr,
             ic_activity,
-            valu_insts: m.valu_insts as u64,
-            vfetch_insts: m.vfetch_insts as u64,
-            vwrite_insts: m.vwrite_insts as u64,
+            valu_insts: kp.valu_insts as u64,
+            vfetch_insts: kp.vfetch_insts as u64,
+            vwrite_insts: kp.vwrite_insts as u64,
             dram_bytes: m.dram_bytes,
             achieved_bw_gbps: achieved_bw / 1.0e9,
-            occupancy_fraction: m.occupancy.fraction,
+            occupancy_fraction: m.occupancy_fraction,
             l2_hit_rate: m.l2_hit,
         };
 
@@ -213,6 +303,147 @@ impl TimingModel for IntervalModel {
             counters,
             fast_forward: Default::default(),
         }
+    }
+}
+
+/// Deduplicated per-axis precomputations for one batch of configurations:
+/// the flat per-lane columns (`f_cu`, axis indices) plus one `CuPre` per
+/// distinct CU count and one `MemPre` per distinct bus clock.
+struct BatchColumns {
+    f_cu: Vec<f64>,
+    cu_ix: Vec<usize>,
+    mem_ix: Vec<usize>,
+    cu_pres: Vec<(u32, CuPre)>,
+    mem_pres: Vec<(u64, MemPre)>,
+}
+
+impl IntervalModel {
+    fn columns(&self, cfgs: &[HwConfig], kernel: &KernelProfile, kp: &KernelPre) -> BatchColumns {
+        let mut cols = BatchColumns {
+            f_cu: Vec::with_capacity(cfgs.len()),
+            cu_ix: Vec::with_capacity(cfgs.len()),
+            mem_ix: Vec::with_capacity(cfgs.len()),
+            cu_pres: Vec::new(),
+            mem_pres: Vec::new(),
+        };
+        for &cfg in cfgs {
+            let n_cu = cfg.compute.cu_count();
+            // The grid has ~8 distinct values per axis; a linear scan beats
+            // hashing at that size and keeps the path allocation-free after
+            // the first occurrence of each value.
+            let ci = match cols.cu_pres.iter().position(|(c, _)| *c == n_cu) {
+                Some(i) => i,
+                None => {
+                    cols.cu_pres.push((n_cu, self.cu_pre(kernel, kp, n_cu)));
+                    cols.cu_pres.len() - 1
+                }
+            };
+            let mem_key = cfg.memory.bus_freq().as_hz().to_bits();
+            let mi = match cols.mem_pres.iter().position(|(m, _)| *m == mem_key) {
+                Some(i) => i,
+                None => {
+                    cols.mem_pres.push((mem_key, self.mem_pre(cfg.memory)));
+                    cols.mem_pres.len() - 1
+                }
+            };
+            cols.f_cu.push(cfg.compute.freq().as_hz());
+            cols.cu_ix.push(ci);
+            cols.mem_ix.push(mi);
+        }
+        cols
+    }
+}
+
+impl TimingModel for IntervalModel {
+    fn simulate(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> SimResult {
+        let kp = self.kernel_pre(kernel, kernel.phase.scale_for(iteration));
+        let cu = self.cu_pre(kernel, &kp, cfg.compute.cu_count());
+        let mem = self.mem_pre(cfg.memory);
+        let m = self.lane(&kp, &cu, &mem, cfg.compute.freq().as_hz());
+        self.result_from(&kp, &m)
+    }
+
+    /// One cache-warm struct-of-arrays pass over the whole batch: kernel
+    /// quantities once, occupancy/L2-thrash once per distinct CU count,
+    /// bandwidth/latency once per distinct bus clock, then a short
+    /// branch-free per-lane combine. Bit-identical to the scalar path for
+    /// every lane (they share `lane` and `result_from`).
+    fn simulate_batch(
+        &self,
+        cfgs: &[HwConfig],
+        kernel: &KernelProfile,
+        iteration: u64,
+    ) -> Vec<SimResult> {
+        let kp = self.kernel_pre(kernel, kernel.phase.scale_for(iteration));
+        let cols = self.columns(cfgs, kernel, &kp);
+        (0..cfgs.len())
+            .map(|i| {
+                let m = self.lane(
+                    &kp,
+                    &cols.cu_pres[cols.cu_ix[i]].1,
+                    &cols.mem_pres[cols.mem_ix[i]].1,
+                    cols.f_cu[i],
+                );
+                self.result_from(&kp, &m)
+            })
+            .collect()
+    }
+
+    /// The interval expression factors by phase scale: `t_interval =
+    /// max(A·s_c, B·s_c + C)`, the compute roofline is linear in `s_c`, and
+    /// the bandwidth/L2 rooflines and DRAM traffic are linear in `s_m`.
+    /// This returns those per-lane coefficients at unit scale, enabling
+    /// [`SweepPlan`](crate::batch::SweepPlan)'s incremental re-sweep.
+    fn sweep_terms(&self, cfgs: &[HwConfig], kernel: &KernelProfile) -> Option<SweepTerms> {
+        let unit = PhaseScale {
+            compute: 1.0,
+            memory: 1.0,
+        };
+        let kp = self.kernel_pre(kernel, unit);
+        let cols = self.columns(cfgs, kernel, &kp);
+        let gpu = &self.gpu;
+        let n = cfgs.len();
+        let mut terms = SweepTerms {
+            interval_wave: Vec::with_capacity(n),
+            interval_base: Vec::with_capacity(n),
+            interval_wait: Vec::with_capacity(n),
+            compute_busy: Vec::with_capacity(n),
+            mem_bound: Vec::with_capacity(n),
+            dram_bytes: Vec::with_capacity(n),
+            peak_bw: Vec::with_capacity(n),
+            inv_peak_bw: Vec::with_capacity(n),
+            overhead: kp.overhead,
+            valu_utilization: kp.valu_utilization_pct / 100.0,
+        };
+        for i in 0..n {
+            let cu = &cols.cu_pres[cols.cu_ix[i]].1;
+            let mem = &cols.mem_pres[cols.mem_ix[i]].1;
+            let f_cu = cols.f_cu[i];
+
+            let t_compute_busy = kp.waves * kp.cycles_per_wave / (cu.simds * f_cu);
+            let crossing_bw = f_cu * gpu.crossing_bytes_per_cu_cycle;
+            let mlp_bw = cu.resident_waves * gpu.outstanding_per_wave * f64::from(gpu.line_bytes)
+                / mem.dram_latency;
+            let eff_bw = mem.peak_bw.min(crossing_bw).min(mlp_bw);
+            let t_bw = cu.dram_bytes / eff_bw;
+            let t_l2 = kp.l2_bytes / (f_cu * gpu.l2_bytes_per_cu_cycle);
+            let wait_s = kp.l1 * (L1_HIT_LATENCY_CYCLES / f_cu)
+                + kp.miss_l1 * cu.l2_hit * (L2_HIT_LATENCY_CYCLES / f_cu)
+                + kp.miss_l1 * (1.0 - cu.l2_hit) * mem.dram_latency;
+            let c_block = (kp.cycles_per_wave / kp.blocks) / f_cu;
+            let l_block = if kp.has_mem { wait_s } else { 0.0 };
+            let per_kernel = kp.blocks * cu.rounds;
+
+            terms.interval_wave.push(per_kernel * (cu.waves_per_simd * c_block));
+            terms.interval_base.push(per_kernel * c_block);
+            terms.interval_wait.push(per_kernel * l_block);
+            terms.compute_busy.push(t_compute_busy);
+            terms.mem_bound.push(t_bw.max(t_l2));
+            terms.dram_bytes.push(cu.dram_bytes);
+            terms.peak_bw.push(mem.peak_bw_theoretical);
+            terms.inv_peak_bw.push(mem.peak_bw_theoretical.recip());
+        }
+        Some(terms)
     }
 
     fn gpu(&self) -> &GpuDescriptor {

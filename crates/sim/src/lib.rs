@@ -22,8 +22,14 @@
 //! * [`event`] — a discrete-event queueing model of the same machine
 //!   (SIMD issue arbitration, memory-channel servers, crossing server),
 //!   used to cross-validate the interval model.
-//! * [`model`] — the [`TimingModel`] trait unifying the two.
-//! * [`sweep`] — the shared sweep engine: a bounded worker pool with
+//! * [`model`] — the [`TimingModel`] trait unifying the two, including the
+//!   batched `simulate_batch` entry point.
+//! * [`batch`] — batched config-grid sweeps: [`SweepPlan`] with per-scale
+//!   decision memoization and incremental (frontier-only) re-sweeps driven
+//!   by the interval model's phase-scale factorization ([`SweepTerms`]).
+//! * [`pool`] — the shared, lazily-initialized sweep worker pool
+//!   ([`SweepPool`]), so nested sweeps never oversubscribe the machine.
+//! * [`sweep`] — the sweep engine façade: [`sweep::run_indexed`] with
 //!   deterministic index-ordered results plus the sharded [`SimCache`]
 //!   memoizing simulations across iterations, governors, and figures.
 //!
@@ -45,6 +51,7 @@
 //! assert!(result.counters.mem_unit_busy_pct >= 0.0);
 //! ```
 
+pub mod batch;
 pub mod calendar;
 pub mod counters;
 pub mod device;
@@ -54,11 +61,13 @@ pub mod interval;
 pub mod model;
 pub mod noise;
 pub mod occupancy;
+pub mod pool;
 pub mod profile;
 pub mod servers;
 pub mod sweep;
 pub mod trace;
 
+pub use batch::{Decision, DecisionKind, PlanStats, SweepObjective, SweepPlan, SweepPoint, SweepTerms};
 pub use calendar::CalendarQueue;
 pub use counters::CounterSample;
 pub use device::GpuDescriptor;
@@ -68,6 +77,7 @@ pub use interval::IntervalModel;
 pub use model::{FastForwardStats, SimResult, TimingModel};
 pub use noise::NoisyModel;
 pub use occupancy::{Occupancy, OccupancyLimiter};
+pub use pool::SweepPool;
 pub use profile::{KernelProfile, KernelProfileBuilder, PhaseModulation, PhaseScale};
 pub use sweep::{CacheStats, CachedModel, SimCache};
 pub use trace::{TraceGenerator, TraceModel, TraceOp, WaveTrace};

@@ -1,5 +1,6 @@
 //! The timing-model abstraction.
 
+use crate::batch::SweepTerms;
 use crate::counters::CounterSample;
 use crate::device::GpuDescriptor;
 use crate::profile::KernelProfile;
@@ -84,6 +85,41 @@ pub trait TimingModel: Send + Sync {
     /// Simulates invocation `iteration` of `kernel` at `cfg`.
     fn simulate(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> SimResult;
 
+    /// Simulates invocation `iteration` of `kernel` at every configuration
+    /// in `cfgs`, in order.
+    ///
+    /// The contract is **bit-identity with the scalar path**: lane `i` of
+    /// the returned vector must equal `self.simulate(cfgs[i], kernel,
+    /// iteration)` byte for byte, for any subset and ordering of
+    /// configurations. The default implementation is the scalar loop;
+    /// models with batch structure override it — the interval model
+    /// evaluates the whole grid in one struct-of-arrays pass
+    /// ([`IntervalModel::simulate_batch`](crate::interval::IntervalModel)),
+    /// and the event model fans the loop out across the shared sweep pool.
+    fn simulate_batch(
+        &self,
+        cfgs: &[HwConfig],
+        kernel: &KernelProfile,
+        iteration: u64,
+    ) -> Vec<SimResult> {
+        cfgs.iter()
+            .map(|&cfg| self.simulate(cfg, kernel, iteration))
+            .collect()
+    }
+
+    /// Per-configuration sweep terms for incremental re-sweeps, when the
+    /// model can factor its timing expression by phase scale (see
+    /// [`SweepTerms`]); `None` (the default) disables the incremental path
+    /// and every new phase scale costs a full batch.
+    ///
+    /// Only phase-determined, analytically-factorable models should return
+    /// terms — the interval model does; event, trace, noise, and fault
+    /// models keep the default.
+    fn sweep_terms(&self, cfgs: &[HwConfig], kernel: &KernelProfile) -> Option<SweepTerms> {
+        let _ = (cfgs, kernel);
+        None
+    }
+
     /// The device being simulated.
     fn gpu(&self) -> &GpuDescriptor;
 
@@ -121,6 +157,21 @@ pub trait TimingModel: Send + Sync {
 impl<T: TimingModel + ?Sized> TimingModel for &T {
     fn simulate(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> SimResult {
         (**self).simulate(cfg, kernel, iteration)
+    }
+
+    // Forwarded explicitly: the default would re-dispatch to the scalar
+    // loop and silently drop the inner model's batch implementation.
+    fn simulate_batch(
+        &self,
+        cfgs: &[HwConfig],
+        kernel: &KernelProfile,
+        iteration: u64,
+    ) -> Vec<SimResult> {
+        (**self).simulate_batch(cfgs, kernel, iteration)
+    }
+
+    fn sweep_terms(&self, cfgs: &[HwConfig], kernel: &KernelProfile) -> Option<SweepTerms> {
+        (**self).sweep_terms(cfgs, kernel)
     }
 
     fn gpu(&self) -> &GpuDescriptor {

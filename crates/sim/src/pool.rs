@@ -1,0 +1,390 @@
+//! The shared sweep worker pool.
+//!
+//! [`run_indexed`](crate::sweep::run_indexed) used to spawn a fresh set of
+//! scoped `std::thread` workers per call, sized independently of its
+//! callers. That is correct for a single flat sweep, but Harmonia's
+//! pipelines nest: a figure sweep runs one oracle per application, each
+//! oracle sweeps the config grid, and training collection runs sensitivity
+//! probes (them&shy;selves pooled sweeps) inside a pooled kernel loop. With
+//! per-call spawning an N-way outer sweep of N-way inner sweeps briefly
+//! runs N² threads — oversubscription that both slows the sweep down and
+//! makes wall-clock benchmarks noisy.
+//!
+//! [`SweepPool`] replaces that with one lazily-initialized, process-wide
+//! pool ([`shared`]) of persistent workers, sized by
+//! [`Session::threads`](harmonia_types::Session::threads) (the
+//! `HARMONIA_THREADS` knob) or the machine's available parallelism:
+//!
+//! * **Chunked self-scheduling.** A submitted batch is an atomic cursor
+//!   over `0..n`; executors claim chunks with `fetch_add`, so a worker
+//!   stuck on an expensive item never blocks the others (the same cheap
+//!   work-stealing discipline the per-call pool used).
+//! * **The caller always participates.** [`SweepPool::run`] drives the
+//!   batch on the calling thread too, and a nested submission is driven by
+//!   the submitting executor even when every worker is busy — so nested
+//!   sweeps make progress with zero idle workers and the process never
+//!   holds more than `workers + callers` running threads. A waiting caller
+//!   does *not* steal chunks from unrelated batches (that would nest
+//!   arbitrary stack frames); it only drives its own batch, then blocks on
+//!   the batch's completion latch.
+//! * **Per-batch caps.** Each submission carries its own width cap, so
+//!   `run_indexed_with(threads, …)` keeps its contract: at most `threads`
+//!   executors (the caller plus `threads − 1` joining workers) ever touch
+//!   one batch.
+//! * **Panic isolation.** A panicking item poisons its batch — remaining
+//!   chunks are drained without running the closure — and the first panic
+//!   payload is re-raised on the calling thread, preserving the
+//!   `run_indexed` contract that worker panics propagate to the caller.
+//!
+//! The pool width is read through [`Session`](harmonia_types::Session)
+//! exactly once, when the shared pool is first used; per-call overrides
+//! (`run_indexed_with`) can only narrow a batch, never widen the pool.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// An indexed job: the pool calls it once for every `i` in `0..n`.
+type Job<'a> = &'a (dyn Fn(usize) + Sync);
+
+/// One submitted batch: a self-scheduling cursor over `0..n` plus the
+/// completion latch the submitting caller waits on.
+struct Batch {
+    /// The job, with its borrow lifetime erased. SAFETY: [`SweepPool::run`]
+    /// does not return until `pending` reaches zero, which requires every
+    /// claimed index to have finished executing — so the borrow outlives
+    /// every dereference despite the `'static` lie.
+    job: Job<'static>,
+    /// Total number of indices.
+    n: usize,
+    /// Indices claimed per `fetch_add` on `next`.
+    chunk: usize,
+    /// Claim cursor; `>= n` means no work remains to claim.
+    next: AtomicUsize,
+    /// Indices not yet completed (initially `n`); the last decrement to
+    /// zero trips the `done` latch.
+    pending: AtomicUsize,
+    /// Remaining worker join slots (the submission cap minus the caller).
+    joiners: AtomicUsize,
+    /// First panic payload raised by the job, if any. A non-empty slot
+    /// poisons the batch: later chunks are drained without running the job.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Completion latch (`pending == 0`).
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Batch {
+    /// Tries to reserve one worker join slot.
+    fn try_join(&self) -> bool {
+        self.joiners
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |j| j.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Whether unclaimed work remains (racy, but claiming re-checks).
+    fn has_work(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.n
+    }
+
+    /// Claims and executes chunks until the cursor is exhausted.
+    fn execute(&self) {
+        loop {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.n {
+                return;
+            }
+            let end = (start + self.chunk).min(self.n);
+            let poisoned = self.panic.lock().expect("panic slot poisoned").is_some();
+            if !poisoned {
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    for i in start..end {
+                        (self.job)(i);
+                    }
+                }));
+                if let Err(payload) = run {
+                    let mut slot = self.panic.lock().expect("panic slot poisoned");
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+            let before = self.pending.fetch_sub(end - start, Ordering::AcqRel);
+            if before == end - start {
+                *self.done.lock().expect("done latch poisoned") = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// State shared between the pool handle and its worker threads.
+struct Shared {
+    /// Batches with (potentially) unclaimed work, oldest first.
+    queue: Mutex<Vec<Arc<Batch>>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A pool of persistent worker threads executing indexed batches.
+///
+/// Production code uses the process-wide [`shared`] pool through
+/// [`sweep::run_indexed`](crate::sweep::run_indexed); constructing private
+/// pools ([`SweepPool::with_workers`]) is intended for tests that need a
+/// deterministic worker count.
+pub struct SweepPool {
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+impl SweepPool {
+    /// Creates a pool with exactly `workers` persistent worker threads
+    /// (zero is valid: every batch then runs inline on its caller).
+    pub fn with_workers(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Vec::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("harmonia-sweep-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawning a sweep worker must succeed");
+        }
+        Self { shared, workers }
+    }
+
+    /// Number of persistent worker threads (the pool's callers add one
+    /// executor each on top of this).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `job(0), …, job(n-1)` across at most `cap` executors (the
+    /// calling thread plus up to `cap − 1` pool workers) and returns when
+    /// every index has finished.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic the job raised on any executor.
+    pub fn run(&self, cap: usize, n: usize, job: Job<'_>) {
+        if n == 0 {
+            return;
+        }
+        // SAFETY: see `Batch::job` — this call blocks until every claimed
+        // index has completed and no executor can claim another, so the
+        // erased borrow never escapes this frame.
+        let job: Job<'static> = unsafe {
+            std::mem::transmute::<Job<'_>, Job<'static>>(job)
+        };
+        let cap = cap.clamp(1, n);
+        let batch = Arc::new(Batch {
+            job,
+            n,
+            chunk: chunk_for(n, cap),
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(n),
+            joiners: AtomicUsize::new(cap - 1),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        let announced = self.workers > 0 && cap > 1;
+        if announced {
+            self.shared
+                .queue
+                .lock()
+                .expect("pool queue poisoned")
+                .push(Arc::clone(&batch));
+            self.shared.ready.notify_all();
+        }
+        // Drive the batch from this thread — guarantees progress even when
+        // every worker is busy (nested sweeps).
+        batch.execute();
+        let mut done = batch.done.lock().expect("done latch poisoned");
+        while !*done {
+            done = batch.done_cv.wait(done).expect("done latch poisoned");
+        }
+        drop(done);
+        if announced {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            if let Some(pos) = queue.iter().position(|b| Arc::ptr_eq(b, &batch)) {
+                queue.remove(pos);
+            }
+        }
+        let payload = batch.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for SweepPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.ready.notify_all();
+    }
+}
+
+impl std::fmt::Debug for SweepPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                let claimed = queue
+                    .iter()
+                    .find(|b| b.has_work() && b.try_join())
+                    .cloned();
+                match claimed {
+                    Some(b) => break b,
+                    None => queue = shared.ready.wait(queue).expect("pool queue poisoned"),
+                }
+            }
+        };
+        batch.execute();
+    }
+}
+
+/// Chunk width for a batch of `n` indices over `width` executors: small
+/// enough that stragglers rebalance (≈8 claims per executor), large enough
+/// that the atomic cursor is not contended per item.
+fn chunk_for(n: usize, width: usize) -> usize {
+    (n / (width * 8)).max(1)
+}
+
+/// The process-wide pool, created on first use with
+/// `Session::threads() − 1` workers (`HARMONIA_THREADS` wins over the
+/// machine's available parallelism; the caller of every sweep is the extra
+/// executor). With `HARMONIA_THREADS=1` the pool has zero workers and every
+/// sweep runs inline on its calling thread.
+pub fn shared() -> &'static SweepPool {
+    static SHARED: OnceLock<SweepPool> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let width = harmonia_types::Session::from_env()
+            .threads()
+            .unwrap_or_else(default_parallelism)
+            .max(1);
+        SweepPool::with_workers(width - 1)
+    })
+}
+
+pub(crate) fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
+
+    fn thread_ids_of_nested_run(pool: &SweepPool, outer: usize, inner: usize) -> HashSet<ThreadId> {
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        pool.run(outer, outer, &|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            pool.run(inner, inner, &|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::yield_now();
+            });
+        });
+        seen.into_inner().unwrap()
+    }
+
+    #[test]
+    fn nested_sweeps_never_exceed_the_pool_width() {
+        // 3 workers + the calling thread = at most 4 executing threads,
+        // no matter how the 8×8 nested batches interleave.
+        let pool = SweepPool::with_workers(3);
+        for _ in 0..4 {
+            let ids = thread_ids_of_nested_run(&pool, 8, 8);
+            assert!(
+                ids.len() <= pool.workers() + 1,
+                "nested sweeps ran on {} threads, pool allows {}",
+                ids.len(),
+                pool.workers() + 1
+            );
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = SweepPool::with_workers(0);
+        let ids = thread_ids_of_nested_run(&pool, 8, 8);
+        assert_eq!(ids.len(), 1, "a zero-worker pool must stay on the caller");
+        assert!(ids.contains(&std::thread::current().id()));
+    }
+
+    #[test]
+    fn per_batch_cap_limits_executors_below_the_pool_width() {
+        let pool = SweepPool::with_workers(7);
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        pool.run(2, 64, &|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::yield_now();
+        });
+        assert!(
+            seen.into_inner().unwrap().len() <= 2,
+            "a cap-2 batch must use at most 2 executors"
+        );
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let pool = SweepPool::with_workers(3);
+        for n in [1usize, 2, 7, 64, 1000] {
+            let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(4, n, &|i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "n={n}: some index ran zero or multiple times"
+            );
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_poisons_the_batch_and_reraises_on_the_caller() {
+        let pool = SweepPool::with_workers(2);
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(3, 100, &|i| {
+                if i == 0 {
+                    panic!("sweep item exploded");
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err(), "the caller must observe the panic");
+        // The pool stays usable after a poisoned batch.
+        let after = AtomicUsize::new(0);
+        pool.run(3, 10, &|_| {
+            after.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(after.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn chunks_rebalance_but_never_vanish() {
+        assert_eq!(chunk_for(448, 8), 7);
+        assert_eq!(chunk_for(8, 8), 1);
+        assert_eq!(chunk_for(1, 1), 1);
+        assert_eq!(chunk_for(100_000, 4), 3125);
+    }
+}

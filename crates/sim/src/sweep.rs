@@ -7,11 +7,13 @@
 //! over a batch of `(configuration, kernel, iteration)` points. This module
 //! centralizes that pattern:
 //!
-//! * [`run_indexed`] evaluates an indexed batch on a bounded pool of
-//!   `std::thread` workers that self-schedule through an atomic counter.
-//!   Results are returned **in index order** regardless of which worker
-//!   computed them, so parallel callers produce byte-identical output to a
-//!   serial loop.
+//! * [`run_indexed`] evaluates an indexed batch on the process-wide
+//!   [`SweepPool`](crate::pool::SweepPool) — persistent workers that
+//!   self-schedule through an atomic chunk cursor. Results are returned
+//!   **in index order** regardless of which worker computed them, so
+//!   parallel callers produce byte-identical output to a serial loop, and
+//!   nested sweeps (a figure sweep driving per-kernel oracle sweeps)
+//!   share one pool instead of oversubscribing the machine.
 //! * [`SimCache`] memoizes [`TimingModel::simulate`] results behind sharded
 //!   `RwLock`s. For models that declare [`TimingModel::phase_determined`]
 //!   (the analytic interval and event models), the key exploits the fact
@@ -32,10 +34,13 @@
 //! [`PhaseModulation::scale_for`]: crate::profile::PhaseModulation::scale_for
 //! [`PhaseModulation::Constant`]: crate::profile::PhaseModulation::Constant
 
+use crate::batch::SweepTerms;
 use crate::device::GpuDescriptor;
 use crate::model::{SimResult, TimingModel};
+use crate::pool;
 use crate::profile::KernelProfile;
 use harmonia_types::HwConfig;
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::RwLock;
@@ -56,13 +61,13 @@ const SHARDS: usize = 16;
 /// clamped to the batch size, and always at least 1.
 pub fn pool_size(batch: usize) -> usize {
     let available = harmonia_types::Session::from_env().threads();
-    pool_size_with(batch, available, default_parallelism())
+    pool_size_with(batch, available, pool::default_parallelism())
 }
 
-fn default_parallelism() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+/// Total executor budget of the shared pool: its persistent workers plus
+/// the calling thread. Nested sweeps never run on more threads than this.
+pub fn shared_pool_threads() -> usize {
+    pool::shared().workers() + 1
 }
 
 /// Pure clamp logic behind [`pool_size`], separated for testing: an explicit
@@ -75,16 +80,19 @@ pub fn pool_size_with(batch: usize, override_threads: Option<usize>, available: 
         .min(batch.max(1))
 }
 
-/// Evaluates `f(0), f(1), …, f(n-1)` across a bounded worker pool and
+/// Evaluates `f(0), f(1), …, f(n-1)` across the shared worker pool and
 /// returns the results **in index order**.
 ///
-/// Workers self-schedule by fetching indices from a shared atomic counter
-/// (cheap work stealing: a worker stuck on an expensive item does not block
-/// the others), and each worker tags its results with their index so the
-/// final vector is identical to what a serial `(0..n).map(f).collect()`
-/// would produce. With a pool of one (single-core machines, one-item
-/// batches, or `HARMONIA_THREADS=1`) the batch runs inline on the calling
-/// thread with no spawns at all.
+/// Executors self-schedule by fetching index chunks from a shared atomic
+/// cursor (cheap work stealing: a worker stuck on an expensive item does
+/// not block the others), and each result is stored in its index's slot so
+/// the final vector is identical to what a serial `(0..n).map(f).collect()`
+/// would produce. The calling thread always participates, so nested sweeps
+/// make progress even when every pool worker is busy — and the process
+/// never runs more sweep threads than the configured pool width. With a
+/// pool of one (single-core machines, one-item batches, or
+/// `HARMONIA_THREADS=1`) the batch runs inline on the calling thread with
+/// no cross-thread handoff at all.
 ///
 /// # Panics
 ///
@@ -97,45 +105,60 @@ where
     run_indexed_with(pool_size(n), n, f)
 }
 
-/// [`run_indexed`] with an explicit worker count (callers normally want the
-/// [`pool_size`] default).
+/// [`run_indexed`] with an explicit executor cap for this batch (callers
+/// normally want the [`pool_size`] default). The cap can narrow a batch
+/// below the shared pool's width but never widens the pool.
 pub fn run_indexed_with<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    if threads <= 1 || n <= 1 {
+    let pool = if threads <= 1 || n <= 1 {
+        None
+    } else {
+        Some(pool::shared()).filter(|p| p.workers() > 0)
+    };
+    let Some(pool) = pool else {
         return (0..n).map(f).collect();
-    }
-    let threads = threads.min(n);
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut produced = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        produced.push((i, f(i)));
-                    }
-                    produced
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, value) in handle.join().expect("sweep worker must not panic") {
-                slots[i] = Some(value);
-            }
-        }
+    };
+    let slots: Vec<Slot<T>> = (0..n).map(|_| Slot::empty()).collect();
+    pool.run(threads.min(n), n, &|i| {
+        let value = f(i);
+        // SAFETY: the pool claims each index exactly once, so no two
+        // executors ever write the same slot, and the pool's completion
+        // latch sequences every write before the reads below.
+        unsafe { slots[i].put(value) };
     });
     slots
         .into_iter()
-        .map(|s| s.expect("every index scheduled exactly once"))
+        .map(|s| s.take().expect("every index scheduled exactly once"))
         .collect()
+}
+
+/// A write-once result slot; `Sync` because the pool guarantees exclusive
+/// one-shot access per index (see the safety comment at the write site).
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: slot access is externally synchronized by the pool — exactly one
+// executor writes each slot, and the completion latch orders the writes
+// before the caller's reads.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+impl<T> Slot<T> {
+    fn empty() -> Self {
+        Self(UnsafeCell::new(None))
+    }
+
+    /// # Safety
+    ///
+    /// Callers must guarantee no concurrent access to this slot.
+    unsafe fn put(&self, value: T) {
+        *self.0.get() = Some(value);
+    }
+
+    fn take(self) -> Option<T> {
+        self.0.into_inner()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -237,6 +260,60 @@ impl SimCache {
         r
     }
 
+    /// Simulates a whole batch through the cache: one lookup per lane (so
+    /// the hit/miss accounting is identical to a scalar loop over
+    /// [`SimCache::simulate`], including in-batch duplicate points, which
+    /// hit the entry their first occurrence produces), with every genuine
+    /// miss evaluated in a single [`TimingModel::simulate_batch`] call.
+    pub fn simulate_batch<M: TimingModel + ?Sized>(
+        &self,
+        model: &M,
+        cfgs: &[HwConfig],
+        kernel: &KernelProfile,
+        iteration: u64,
+    ) -> Vec<SimResult> {
+        let mut out: Vec<Option<SimResult>> = vec![None; cfgs.len()];
+        let mut miss_lanes: Vec<usize> = Vec::new();
+        let mut pending: HashMap<CacheKey, usize> = HashMap::new();
+        let mut duplicates: Vec<(usize, usize)> = Vec::new();
+        for (i, &cfg) in cfgs.iter().enumerate() {
+            let key = CacheKey::new(cfg, kernel, iteration, model);
+            if let Some(r) = self.shards[key.shard()]
+                .read()
+                .expect("cache shard poisoned")
+                .get(&key)
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                out[i] = Some(*r);
+            } else if let Some(&pos) = pending.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                duplicates.push((i, pos));
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                pending.insert(key, miss_lanes.len());
+                miss_lanes.push(i);
+            }
+        }
+        if !miss_lanes.is_empty() {
+            let miss_cfgs: Vec<HwConfig> = miss_lanes.iter().map(|&i| cfgs[i]).collect();
+            let results = model.simulate_batch(&miss_cfgs, kernel, iteration);
+            for (&lane, &r) in miss_lanes.iter().zip(&results) {
+                let key = CacheKey::new(cfgs[lane], kernel, iteration, model);
+                self.shards[key.shard()]
+                    .write()
+                    .expect("cache shard poisoned")
+                    .insert(key, r);
+                out[lane] = Some(r);
+            }
+            for (lane, pos) in duplicates {
+                out[lane] = Some(results[pos]);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every lane resolved to a hit, miss, or duplicate"))
+            .collect()
+    }
+
     /// Number of distinct simulation points stored.
     pub fn len(&self) -> usize {
         self.shards
@@ -326,6 +403,25 @@ impl<'a, M: TimingModel + ?Sized> CachedModel<'a, M> {
 impl<M: TimingModel + ?Sized> TimingModel for CachedModel<'_, M> {
     fn simulate(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> SimResult {
         self.cache.simulate(self.inner, cfg, kernel, iteration)
+    }
+
+    /// Batch through the cache: one lookup per lane (the same accounting a
+    /// scalar loop produces), with all misses evaluated in a single
+    /// `simulate_batch` call on the inner model — so a cold grid sweep is
+    /// still one cache-warm batched pass, and the cached entries are the
+    /// batch kernel's bytes.
+    fn simulate_batch(
+        &self,
+        cfgs: &[HwConfig],
+        kernel: &KernelProfile,
+        iteration: u64,
+    ) -> Vec<SimResult> {
+        self.cache
+            .simulate_batch(self.inner, cfgs, kernel, iteration)
+    }
+
+    fn sweep_terms(&self, cfgs: &[HwConfig], kernel: &KernelProfile) -> Option<SweepTerms> {
+        self.inner.sweep_terms(cfgs, kernel)
     }
 
     fn gpu(&self) -> &GpuDescriptor {

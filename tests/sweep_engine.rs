@@ -75,6 +75,36 @@ fn cached_sensitivity_matches_direct_measurement() {
     }
 }
 
+/// Nested sweeps share one global worker pool: however deep the nesting,
+/// the number of threads simultaneously executing jobs never exceeds the
+/// configured sweep width (workers + the caller), and every job still runs
+/// exactly once with index-ordered results.
+#[test]
+fn nested_sweeps_never_oversubscribe_the_shared_pool() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let width = sweep::shared_pool_threads();
+    let live = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let outer: Vec<Vec<usize>> = sweep::run_indexed(8, |o| {
+        sweep::run_indexed(64, |i| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            live.fetch_sub(1, Ordering::SeqCst);
+            o * 64 + i
+        })
+    });
+    assert!(
+        peak.load(Ordering::SeqCst) <= width,
+        "nested sweeps ran {} jobs at once on a {width}-thread pool",
+        peak.load(Ordering::SeqCst)
+    );
+    for (o, inner) in outer.iter().enumerate() {
+        let expected: Vec<usize> = (0..64).map(|i| o * 64 + i).collect();
+        assert_eq!(*inner, expected, "outer job {o} lost or reordered work");
+    }
+}
+
 /// The pool produces index-ordered output for arbitrary worker counts, and
 /// a cached model shared across the pool stays consistent.
 #[test]
