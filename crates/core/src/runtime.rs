@@ -10,6 +10,7 @@ use crate::governor::Governor;
 use crate::metrics::{InvocationRecord, KernelReport, Residency, RunReport};
 use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_power::{Activity, PowerModel, PowerTrace};
+use harmonia_rr::{Recorder, Replayer, SessionEvent};
 use harmonia_sim::faults::FaultPlan;
 use harmonia_sim::TimingModel;
 use harmonia_types::{HwConfig, Joules, Seconds, Session};
@@ -29,6 +30,12 @@ pub struct Runtime<'a> {
     /// Actuator-fault plan: DVFS denials/delays/neighbor transitions and
     /// thermal throttling applied between the decision and the invocation.
     faults: Option<&'a FaultPlan>,
+    /// Session recorder: decisions, actuation outcomes, raw samples,
+    /// sanitizer substitutions, and run totals, in execution order.
+    recorder: Option<Recorder>,
+    /// Session replayer: actuation outcomes come from the trace instead of
+    /// the fault plan (samples are served by a `ReplayModel`).
+    replay: Option<Replayer>,
 }
 
 impl<'a> Runtime<'a> {
@@ -57,6 +64,8 @@ impl<'a> Runtime<'a> {
                 TraceHandle::disabled()
             },
             faults: None,
+            recorder: None,
+            replay: None,
         }
     }
 
@@ -74,6 +83,28 @@ impl<'a> Runtime<'a> {
     /// ([`FaultyModel`](harmonia_sim::FaultyModel), same plan).
     pub fn with_faults(mut self, plan: &'a FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Records the session into `recorder`: every governor decision,
+    /// actuator-fault outcome, raw composite sample, sanitizer substitution,
+    /// and the run totals, in execution order — the full-nondeterminism
+    /// record a [`Replayer`] re-executes bit-exactly. The caller typically
+    /// records the `SessionStart` header itself before running (the runtime
+    /// does not know the registry policy name). Zero-cost when absent.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Replays actuator-fault outcomes from a recorded session instead of
+    /// rolling them from a fault plan; takes precedence over
+    /// [`with_faults`](Self::with_faults). Counter samples are replayed on
+    /// the model side: pair this with a
+    /// [`ReplayModel`](harmonia_rr::ReplayModel) sharing the same
+    /// [`Replayer`] cursor.
+    pub fn with_replay(mut self, replay: Replayer) -> Self {
+        self.replay = Some(replay);
         self
     }
 
@@ -133,24 +164,50 @@ impl<'a> Runtime<'a> {
         for iteration in 0..app.iterations {
             for (kernel, name) in app.kernels.iter().zip(&names) {
                 let decided = governor.decide(kernel, iteration);
-                let cfg = match self.faults {
-                    Some(plan) if !plan.is_empty() => {
+                if let Some(rec) = &self.recorder {
+                    rec.record(SessionEvent::Decision {
+                        kernel: kernel.name.clone(),
+                        iteration,
+                        cfg: decided.into(),
+                    });
+                }
+                // Between decision and invocation sits the only actuation
+                // nondeterminism: either a replayed outcome (trace playback)
+                // or a fault-plan roll (live). Both paths record and emit
+                // identically, so a replayed session re-produces the
+                // recording bit for bit.
+                let actuation = match (&self.replay, self.faults) {
+                    (Some(rep), _) => rep
+                        .actuation_for(&kernel.name, iteration)
+                        .filter(|&(_, actual)| actual != decided),
+                    (None, Some(plan)) if !plan.is_empty() => {
                         let previous = last_actual.get(name).copied();
-                        match plan.actuate(&kernel.name, decided, previous, iteration) {
-                            Some((kind, actual)) if actual != decided => {
-                                self.telemetry.emit(|| TraceEvent::FaultInjected {
-                                    kernel: kernel.name.clone(),
-                                    iteration,
-                                    kind: kind.label().to_string(),
-                                    wanted: decided.into(),
-                                    actual: actual.into(),
-                                });
-                                actual
-                            }
-                            _ => decided,
-                        }
+                        plan.actuate(&kernel.name, decided, previous, iteration)
+                            .filter(|&(_, actual)| actual != decided)
                     }
-                    _ => decided,
+                    _ => None,
+                };
+                let cfg = match actuation {
+                    Some((kind, actual)) => {
+                        self.telemetry.emit(|| TraceEvent::FaultInjected {
+                            kernel: kernel.name.clone(),
+                            iteration,
+                            kind: kind.label().to_string(),
+                            wanted: decided.into(),
+                            actual: actual.into(),
+                        });
+                        if let Some(rec) = &self.recorder {
+                            rec.record(SessionEvent::Actuation {
+                                kernel: kernel.name.clone(),
+                                iteration,
+                                kind,
+                                wanted: decided.into(),
+                                actual: actual.into(),
+                            });
+                        }
+                        actual
+                    }
+                    None => decided,
                 };
                 if self.faults.is_some() {
                     last_actual.insert(name.clone(), cfg);
@@ -161,12 +218,38 @@ impl<'a> Runtime<'a> {
                     cfg: cfg.into(),
                 });
                 let result = self.model.simulate(cfg, kernel, iteration);
+                if let Some(rec) = &self.recorder {
+                    rec.record(SessionEvent::Sample {
+                        kernel: kernel.name.clone(),
+                        iteration,
+                        cfg: cfg.into(),
+                        time_s: result.time.value(),
+                        counters: result.counters,
+                        stepped_waves: result.fast_forward.stepped_waves,
+                        fast_forwarded_waves: result.fast_forward.fast_forwarded_waves,
+                    });
+                }
                 // The governor stack conditions the raw measurement first
                 // (identity unless a sanitize layer is stacked): power and
                 // energy are accounted from what the stack accepted, never
                 // from readings it rejected.
                 let (time, counters) =
                     governor.condition(kernel, iteration, cfg, result.time, result.counters);
+                if let Some(rec) = &self.recorder {
+                    // Sanitizer substitutions are part of the session record;
+                    // bitwise comparison so a NaN-for-NaN identity pass
+                    // records nothing.
+                    if time.value().to_bits() != result.time.value().to_bits()
+                        || !harmonia_rr::counters_eq(&counters, &result.counters)
+                    {
+                        rec.record(SessionEvent::Conditioned {
+                            kernel: kernel.name.clone(),
+                            iteration,
+                            time_s: time.value(),
+                            counters,
+                        });
+                    }
+                }
                 let activity = Activity {
                     valu_activity: counters.valu_activity(),
                     dram_bytes_per_sec: counters.dram_bytes_per_sec(),
@@ -247,6 +330,14 @@ impl<'a> Runtime<'a> {
             total_time_s: total_time.value(),
             card_energy_j: card_energy.value(),
         });
+        if let Some(rec) = &self.recorder {
+            rec.record(SessionEvent::SessionEnd {
+                total_time_s: total_time.value(),
+                card_energy_j: card_energy.value(),
+                gpu_energy_j: gpu_energy.value(),
+                mem_energy_j: mem_energy.value(),
+            });
+        }
 
         RunReport {
             app: app.name.clone(),

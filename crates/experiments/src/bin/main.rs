@@ -8,6 +8,9 @@
 //! harmonia-experiments list
 //! harmonia-experiments trace <APP> [POLICY]
 //! harmonia-experiments chaos <APP>
+//! harmonia-experiments rr record <APP> [POLICY] [--chaos]
+//! harmonia-experiments rr replay <FILE>
+//! harmonia-experiments rr diff <A> <B>
 //! ```
 //!
 //! With no arguments, runs everything. CSVs land in `results/` (or `--out`).
@@ -20,16 +23,32 @@
 //! hardened vs unhardened pipeline per fault class — and prints the
 //! resilience table (seeded via `HARMONIA_FAULT_SEED`, so the table is
 //! exactly repeatable).
+//! `rr record <APP> [POLICY] [--chaos]` records a full session — every
+//! stochastic draw the run consumed — into a versioned binary trace
+//! (`results/rr_<app>_<policy>[_chaos].hrr`); `rr replay <FILE>`
+//! re-executes the session from the trace alone and exits nonzero unless
+//! the replay is bit-exact; `rr diff <A> <B>` prints the first divergent
+//! event between two traces.
 
 use harmonia::governor::PolicySpec;
-use harmonia_experiments::{chaos_cmd, run, trace_cmd, Context, ALL_EXPERIMENTS};
+use harmonia_experiments::{chaos_cmd, rr_cmd, run, trace_cmd, Context, ALL_EXPERIMENTS};
+use harmonia_rr::differ;
+use harmonia_sim::FaultPlan;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// One parsed `rr` subcommand.
+enum RrCmd {
+    Record { app: String, spec: PolicySpec, chaos: bool },
+    Replay { file: PathBuf },
+    Diff { a: PathBuf, b: PathBuf },
+}
 
 fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut traces: Vec<(String, PolicySpec)> = Vec::new();
     let mut chaos: Vec<String> = Vec::new();
+    let mut rr: Vec<RrCmd> = Vec::new();
     let mut out_dir = PathBuf::from("results");
     let mut write_csv = true;
     let mut write_json = false;
@@ -60,6 +79,50 @@ fn main() -> ExitCode {
                 };
                 chaos.push(app);
             }
+            "rr" => {
+                let Some(mode) = args.next() else {
+                    eprintln!("rr requires a mode: record | replay | diff");
+                    return ExitCode::FAILURE;
+                };
+                match mode.as_str() {
+                    "record" => {
+                        let Some(app) = args.next() else {
+                            eprintln!("rr record requires an application name (e.g. `rr record Graph500`)");
+                            return ExitCode::FAILURE;
+                        };
+                        let spec = match args.peek().map(|next| next.parse::<PolicySpec>()) {
+                            Some(Ok(spec)) => {
+                                args.next();
+                                spec
+                            }
+                            _ => PolicySpec::Harmonia,
+                        };
+                        let chaos = args.peek().map(String::as_str) == Some("--chaos");
+                        if chaos {
+                            args.next();
+                        }
+                        rr.push(RrCmd::Record { app, spec, chaos });
+                    }
+                    "replay" => {
+                        let Some(file) = args.next() else {
+                            eprintln!("rr replay requires a trace file");
+                            return ExitCode::FAILURE;
+                        };
+                        rr.push(RrCmd::Replay { file: PathBuf::from(file) });
+                    }
+                    "diff" => {
+                        let (Some(a), Some(b)) = (args.next(), args.next()) else {
+                            eprintln!("rr diff requires two trace files");
+                            return ExitCode::FAILURE;
+                        };
+                        rr.push(RrCmd::Diff { a: PathBuf::from(a), b: PathBuf::from(b) });
+                    }
+                    other => {
+                        eprintln!("unknown rr mode: {other} (record | replay | diff)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--out" => {
                 let Some(dir) = args.next() else {
                     eprintln!("--out requires a directory");
@@ -83,7 +146,7 @@ fn main() -> ExitCode {
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() && traces.is_empty() && chaos.is_empty() {
+    if ids.is_empty() && traces.is_empty() && chaos.is_empty() && rr.is_empty() {
         ids.extend(ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()));
     }
 
@@ -165,6 +228,65 @@ fn main() -> ExitCode {
             None => {
                 eprintln!("unknown application: {app} (not in the 14-app suite)");
                 failed = true;
+            }
+        }
+    }
+    for cmd in &rr {
+        match cmd {
+            RrCmd::Record { app, spec, chaos } => {
+                let plan = chaos.then(|| rr_cmd::chaos_plan(FaultPlan::seed_from_env()));
+                match rr_cmd::record_session(&ctx, app, *spec, plan.as_ref()) {
+                    Some(recorded) => {
+                        println!("{}", recorded.report);
+                        let filename = rr_cmd::trace_filename(&recorded.app, *spec, *chaos);
+                        match rr_cmd::write_trace(&out_dir, &filename, &recorded.bytes) {
+                            Ok(path) => println!("  → {}", path.display()),
+                            Err(err) => {
+                                eprintln!("failed to write trace for {app}: {err}");
+                                failed = true;
+                            }
+                        }
+                        println!();
+                    }
+                    None => {
+                        eprintln!("unknown application: {app} (not in the 14-app suite)");
+                        failed = true;
+                    }
+                }
+            }
+            RrCmd::Replay { file } => {
+                let outcome = rr_cmd::read_trace(file)
+                    .and_then(|events| rr_cmd::replay_session(&ctx, &events).map(|r| (events, r)));
+                match outcome {
+                    Ok((events, replayed)) => {
+                        println!("{}", replayed.report);
+                        println!("{}", differ::diff_report(&events, &replayed.events));
+                        if replayed.divergence.is_some() {
+                            failed = true;
+                        }
+                        println!();
+                    }
+                    Err(err) => {
+                        eprintln!("rr replay failed: {err}");
+                        failed = true;
+                    }
+                }
+            }
+            RrCmd::Diff { a, b } => {
+                match (rr_cmd::read_trace(a), rr_cmd::read_trace(b)) {
+                    (Ok(left), Ok(right)) => {
+                        let report = differ::diff_report(&left, &right);
+                        println!("{report}");
+                        if differ::first_divergence(&left, &right).is_some() {
+                            failed = true;
+                        }
+                        println!();
+                    }
+                    (Err(err), _) | (_, Err(err)) => {
+                        eprintln!("rr diff failed: {err}");
+                        failed = true;
+                    }
+                }
             }
         }
     }

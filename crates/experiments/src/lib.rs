@@ -39,6 +39,7 @@
 //! | `appendix` / `appendix-<app>` | per-application deep dives |
 //! | `trace-<app>` | decision-trace summary (the `trace <app>` subcommand) |
 //! | `chaos-<app>` | fault-matrix resilience table (the `chaos <app>` subcommand) |
+//! | `rr-record-<app>-<policy>` | recorded-session summary (the `rr` subcommand) |
 
 pub mod appendix;
 pub mod chaos_cmd;
@@ -46,6 +47,7 @@ pub mod context;
 pub mod evaluation;
 pub mod figures;
 pub mod report;
+pub mod rr_cmd;
 pub mod tables;
 pub mod trace_cmd;
 

@@ -1,0 +1,594 @@
+//! The versioned binary session-trace format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic     8 bytes   b"HRRTRACE"
+//! version   u16       FORMAT_VERSION; readers reject anything newer
+//! count     varint    number of events
+//! events    count ×   tag u8 + variant payload
+//! ```
+//!
+//! Scalars: `u64`/`u32` as LEB128 varints, `f64` as its raw 8-byte bit
+//! pattern (NaN payloads survive — power-glitch samples must round-trip
+//! bit-exactly). Kernel names are interned: a name reference equal to the
+//! running table size introduces a new name inline (varint length + UTF-8);
+//! smaller references index the table. Encoding is canonical, so
+//! `encode(decode(bytes)) == bytes` for any valid stream.
+//!
+//! The format is strict: decoding validates tags, fault-kind codes, name
+//! references, and stream length, and every failure is a typed
+//! [`CodecError`] with the byte offset it was detected at.
+
+use crate::{CfgPoint, SessionEvent};
+use harmonia_sim::{CounterSample, FaultKind};
+use harmonia_types::Seconds;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// The 8-byte stream magic.
+pub const MAGIC: [u8; 8] = *b"HRRTRACE";
+
+/// Current format version. Bump on any layout change; readers reject
+/// streams written by a newer version with
+/// [`CodecError::UnsupportedVersion`].
+pub const FORMAT_VERSION: u16 = 1;
+
+const TAG_SESSION_START: u8 = 0;
+const TAG_DECISION: u8 = 1;
+const TAG_ACTUATION: u8 = 2;
+const TAG_SAMPLE: u8 = 3;
+const TAG_CONDITIONED: u8 = 4;
+const TAG_SESSION_END: u8 = 5;
+
+/// A malformed or unsupported session-trace stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream does not start with [`MAGIC`].
+    BadMagic,
+    /// The stream was written by a newer format version than this reader
+    /// understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Newest version this reader supports.
+        supported: u16,
+    },
+    /// The stream ended in the middle of a value.
+    Truncated {
+        /// Byte offset the read started at.
+        offset: usize,
+    },
+    /// An unknown event tag.
+    BadTag {
+        /// The offending tag byte.
+        tag: u8,
+        /// Byte offset of the tag.
+        offset: usize,
+    },
+    /// A kernel-name reference beyond the intern table.
+    BadKernelRef {
+        /// The offending reference.
+        reference: u64,
+        /// Byte offset of the reference.
+        offset: usize,
+    },
+    /// A value failed validation (non-UTF-8 string, varint overflow,
+    /// unknown fault-kind code).
+    Malformed {
+        /// Byte offset of the value.
+        offset: usize,
+        /// What failed.
+        what: &'static str,
+    },
+    /// Bytes remain after the declared event count.
+    TrailingBytes {
+        /// Byte offset of the first unread byte.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a session trace (bad magic)"),
+            CodecError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "session trace format v{found} is newer than the supported v{supported}"
+            ),
+            CodecError::Truncated { offset } => {
+                write!(f, "session trace truncated at byte {offset}")
+            }
+            CodecError::BadTag { tag, offset } => {
+                write!(f, "unknown event tag {tag} at byte {offset}")
+            }
+            CodecError::BadKernelRef { reference, offset } => {
+                write!(f, "kernel-name reference {reference} out of range at byte {offset}")
+            }
+            CodecError::Malformed { offset, what } => {
+                write!(f, "malformed {what} at byte {offset}")
+            }
+            CodecError::TrailingBytes { offset } => {
+                write!(f, "trailing bytes after the last event (byte {offset})")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_cfg(out: &mut Vec<u8>, c: CfgPoint) {
+    put_varint(out, u64::from(c.cu));
+    put_varint(out, u64::from(c.cu_mhz));
+    put_varint(out, u64::from(c.mem_mhz));
+}
+
+fn put_counters(out: &mut Vec<u8>, c: &CounterSample) {
+    put_f64(out, c.duration.value());
+    put_f64(out, c.valu_busy_pct);
+    put_f64(out, c.valu_utilization_pct);
+    put_f64(out, c.mem_unit_busy_pct);
+    put_f64(out, c.mem_unit_stalled_pct);
+    put_f64(out, c.write_unit_stalled_pct);
+    put_f64(out, c.norm_vgpr);
+    put_f64(out, c.norm_sgpr);
+    put_f64(out, c.ic_activity);
+    put_varint(out, c.valu_insts);
+    put_varint(out, c.vfetch_insts);
+    put_varint(out, c.vwrite_insts);
+    put_f64(out, c.dram_bytes);
+    put_f64(out, c.achieved_bw_gbps);
+    put_f64(out, c.occupancy_fraction);
+    put_f64(out, c.l2_hit_rate);
+}
+
+struct Interner<'a> {
+    ids: HashMap<&'a str, u64>,
+}
+
+impl<'a> Interner<'a> {
+    fn put_kernel(&mut self, out: &mut Vec<u8>, name: &'a str) {
+        match self.ids.get(name) {
+            Some(&id) => put_varint(out, id),
+            None => {
+                let id = self.ids.len() as u64;
+                self.ids.insert(name, id);
+                put_varint(out, id);
+                put_str(out, name);
+            }
+        }
+    }
+}
+
+/// Encodes a session into the versioned binary format. The encoding is
+/// canonical: the same events always produce the same bytes.
+pub fn encode(events: &[SessionEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + events.len() * 64);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    put_varint(&mut out, events.len() as u64);
+    let mut interner = Interner { ids: HashMap::new() };
+    for event in events {
+        match event {
+            SessionEvent::SessionStart { app, policy, fault_seed } => {
+                out.push(TAG_SESSION_START);
+                put_str(&mut out, app);
+                put_str(&mut out, policy);
+                put_varint(&mut out, *fault_seed);
+            }
+            SessionEvent::Decision { kernel, iteration, cfg } => {
+                out.push(TAG_DECISION);
+                interner.put_kernel(&mut out, kernel);
+                put_varint(&mut out, *iteration);
+                put_cfg(&mut out, *cfg);
+            }
+            SessionEvent::Actuation { kernel, iteration, kind, wanted, actual } => {
+                out.push(TAG_ACTUATION);
+                interner.put_kernel(&mut out, kernel);
+                put_varint(&mut out, *iteration);
+                out.push(kind.code());
+                put_cfg(&mut out, *wanted);
+                put_cfg(&mut out, *actual);
+            }
+            SessionEvent::Sample {
+                kernel,
+                iteration,
+                cfg,
+                time_s,
+                counters,
+                stepped_waves,
+                fast_forwarded_waves,
+            } => {
+                out.push(TAG_SAMPLE);
+                interner.put_kernel(&mut out, kernel);
+                put_varint(&mut out, *iteration);
+                put_cfg(&mut out, *cfg);
+                put_f64(&mut out, *time_s);
+                put_counters(&mut out, counters);
+                put_varint(&mut out, *stepped_waves);
+                put_varint(&mut out, *fast_forwarded_waves);
+            }
+            SessionEvent::Conditioned { kernel, iteration, time_s, counters } => {
+                out.push(TAG_CONDITIONED);
+                interner.put_kernel(&mut out, kernel);
+                put_varint(&mut out, *iteration);
+                put_f64(&mut out, *time_s);
+                put_counters(&mut out, counters);
+            }
+            SessionEvent::SessionEnd {
+                total_time_s,
+                card_energy_j,
+                gpu_energy_j,
+                mem_energy_j,
+            } => {
+                out.push(TAG_SESSION_END);
+                put_f64(&mut out, *total_time_s);
+                put_f64(&mut out, *card_energy_j);
+                put_f64(&mut out, *gpu_energy_j);
+                put_f64(&mut out, *mem_energy_j);
+            }
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let start = self.pos;
+        let end = start
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(CodecError::Truncated { offset: start })?;
+        self.pos = end;
+        Ok(&self.bytes[start..end])
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, CodecError> {
+        let offset = self.pos;
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            let part = u64::from(byte & 0x7f);
+            if shift == 63 && part > 1 {
+                return Err(CodecError::Malformed { offset, what: "varint (overflow)" });
+            }
+            v |= part << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::Malformed { offset, what: "varint (too long)" })
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let offset = self.pos;
+        u32::try_from(self.varint()?)
+            .map_err(|_| CodecError::Malformed { offset, what: "u32 out of range" })
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        let raw = self.take(8)?;
+        Ok(f64::from_bits(u64::from_le_bytes(raw.try_into().expect("8 bytes"))))
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        let len_offset = self.pos;
+        let len = self.varint()?;
+        let len = usize::try_from(len)
+            .map_err(|_| CodecError::Malformed { offset: len_offset, what: "string length" })?;
+        let offset = self.pos;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| CodecError::Malformed { offset, what: "string (invalid UTF-8)" })
+    }
+
+    fn kernel(&mut self, table: &mut Vec<String>) -> Result<String, CodecError> {
+        let offset = self.pos;
+        let reference = self.varint()?;
+        if reference == table.len() as u64 {
+            let name = self.string()?;
+            table.push(name.clone());
+            Ok(name)
+        } else if reference < table.len() as u64 {
+            Ok(table[reference as usize].clone())
+        } else {
+            Err(CodecError::BadKernelRef { reference, offset })
+        }
+    }
+
+    fn cfg(&mut self) -> Result<CfgPoint, CodecError> {
+        Ok(CfgPoint {
+            cu: self.u32()?,
+            cu_mhz: self.u32()?,
+            mem_mhz: self.u32()?,
+        })
+    }
+
+    fn counters(&mut self) -> Result<CounterSample, CodecError> {
+        Ok(CounterSample {
+            duration: Seconds(self.f64()?),
+            valu_busy_pct: self.f64()?,
+            valu_utilization_pct: self.f64()?,
+            mem_unit_busy_pct: self.f64()?,
+            mem_unit_stalled_pct: self.f64()?,
+            write_unit_stalled_pct: self.f64()?,
+            norm_vgpr: self.f64()?,
+            norm_sgpr: self.f64()?,
+            ic_activity: self.f64()?,
+            valu_insts: self.varint()?,
+            vfetch_insts: self.varint()?,
+            vwrite_insts: self.varint()?,
+            dram_bytes: self.f64()?,
+            achieved_bw_gbps: self.f64()?,
+            occupancy_fraction: self.f64()?,
+            l2_hit_rate: self.f64()?,
+        })
+    }
+
+    fn fault_kind(&mut self) -> Result<FaultKind, CodecError> {
+        let offset = self.pos;
+        let code = self.u8()?;
+        FaultKind::from_code(code)
+            .ok_or(CodecError::Malformed { offset, what: "fault-kind code" })
+    }
+}
+
+/// Decodes a session trace, validating the header, every event, and the
+/// total stream length.
+///
+/// # Errors
+///
+/// Any structural problem is a typed [`CodecError`]; in particular a
+/// stream written by a future format version fails with
+/// [`CodecError::UnsupportedVersion`] instead of being misparsed.
+pub fn decode(bytes: &[u8]) -> Result<Vec<SessionEvent>, CodecError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(MAGIC.len()).map_err(|_| CodecError::BadMagic)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes(
+        r.take(2)
+            .map_err(|_| CodecError::Truncated { offset: MAGIC.len() })?
+            .try_into()
+            .expect("2 bytes"),
+    );
+    if version > FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let count = r.varint()?;
+    let count = usize::try_from(count)
+        .map_err(|_| CodecError::Malformed { offset: 10, what: "event count" })?;
+    let mut table: Vec<String> = Vec::new();
+    let mut events = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let tag_offset = r.pos;
+        let tag = r.u8()?;
+        let event = match tag {
+            TAG_SESSION_START => SessionEvent::SessionStart {
+                app: r.string()?,
+                policy: r.string()?,
+                fault_seed: r.varint()?,
+            },
+            TAG_DECISION => SessionEvent::Decision {
+                kernel: r.kernel(&mut table)?,
+                iteration: r.varint()?,
+                cfg: r.cfg()?,
+            },
+            TAG_ACTUATION => SessionEvent::Actuation {
+                kernel: r.kernel(&mut table)?,
+                iteration: r.varint()?,
+                kind: r.fault_kind()?,
+                wanted: r.cfg()?,
+                actual: r.cfg()?,
+            },
+            TAG_SAMPLE => SessionEvent::Sample {
+                kernel: r.kernel(&mut table)?,
+                iteration: r.varint()?,
+                cfg: r.cfg()?,
+                time_s: r.f64()?,
+                counters: r.counters()?,
+                stepped_waves: r.varint()?,
+                fast_forwarded_waves: r.varint()?,
+            },
+            TAG_CONDITIONED => SessionEvent::Conditioned {
+                kernel: r.kernel(&mut table)?,
+                iteration: r.varint()?,
+                time_s: r.f64()?,
+                counters: r.counters()?,
+            },
+            TAG_SESSION_END => SessionEvent::SessionEnd {
+                total_time_s: r.f64()?,
+                card_energy_j: r.f64()?,
+                gpu_energy_j: r.f64()?,
+                mem_energy_j: r.f64()?,
+            },
+            tag => return Err(CodecError::BadTag { tag, offset: tag_offset }),
+        };
+        events.push(event);
+    }
+    if r.pos != bytes.len() {
+        return Err(CodecError::TrailingBytes { offset: r.pos });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events() -> Vec<SessionEvent> {
+        let cfg = CfgPoint { cu: 32, cu_mhz: 1000, mem_mhz: 1375 };
+        vec![
+            SessionEvent::SessionStart {
+                app: "Graph500".into(),
+                policy: "hardened:capped".into(),
+                fault_seed: 0xFA17,
+            },
+            SessionEvent::Decision { kernel: "BFS".into(), iteration: 0, cfg },
+            SessionEvent::Actuation {
+                kernel: "BFS".into(),
+                iteration: 0,
+                kind: FaultKind::ThermalThrottle,
+                wanted: cfg,
+                actual: CfgPoint { cu: 32, cu_mhz: 500, mem_mhz: 1375 },
+            },
+            SessionEvent::Sample {
+                kernel: "BFS".into(),
+                iteration: 0,
+                cfg,
+                time_s: 1.25e-3,
+                counters: CounterSample {
+                    duration: Seconds(f64::NAN),
+                    achieved_bw_gbps: f64::NAN,
+                    valu_insts: 1 << 40,
+                    ..CounterSample::default()
+                },
+                stepped_waves: 7,
+                fast_forwarded_waves: 123_456,
+            },
+            SessionEvent::Conditioned {
+                kernel: "BFS".into(),
+                iteration: 0,
+                time_s: 1.25e-3,
+                counters: CounterSample::default(),
+            },
+            SessionEvent::SessionEnd {
+                total_time_s: 0.5,
+                card_energy_j: 99.0,
+                gpu_energy_j: 60.0,
+                mem_energy_j: 20.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_including_nan_payloads() {
+        let evs = events();
+        let bytes = encode(&evs);
+        let back = decode(&bytes).expect("decodes");
+        assert_eq!(back, evs);
+        assert_eq!(encode(&back), bytes, "canonical re-encode");
+    }
+
+    #[test]
+    fn empty_session_round_trips() {
+        let bytes = encode(&[]);
+        assert_eq!(decode(&bytes).expect("decodes"), Vec::<SessionEvent>::new());
+    }
+
+    #[test]
+    fn future_version_is_rejected_with_typed_error() {
+        let mut bytes = encode(&events());
+        bytes[8..10].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        match decode(&bytes) {
+            Err(CodecError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode(&events());
+        bytes[0] ^= 0xff;
+        assert_eq!(decode(&bytes), Err(CodecError::BadMagic));
+        assert_eq!(decode(b"HRR"), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = encode(&events());
+        for cut in [bytes.len() - 1, bytes.len() / 2, 11] {
+            let err = decode(&bytes[..cut]).expect_err("truncated stream must fail");
+            assert!(
+                matches!(err, CodecError::Truncated { .. } | CodecError::Malformed { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&events());
+        bytes.push(0);
+        assert!(matches!(decode(&bytes), Err(CodecError::TrailingBytes { .. })));
+    }
+
+    #[test]
+    fn interning_pays_off_for_repeated_kernels() {
+        let cfg = CfgPoint { cu: 32, cu_mhz: 1000, mem_mhz: 1375 };
+        let repeated: Vec<SessionEvent> = (0..64)
+            .map(|i| SessionEvent::Decision {
+                kernel: "a-rather-long-kernel-name".into(),
+                iteration: i,
+                cfg,
+            })
+            .collect();
+        let unique: Vec<SessionEvent> = (0..64)
+            .map(|i| SessionEvent::Decision {
+                kernel: format!("a-rather-long-kernel-name{i:03}"),
+                iteration: i,
+                cfg,
+            })
+            .collect();
+        let a = encode(&repeated);
+        assert_eq!(decode(&a).expect("decodes"), repeated);
+        assert!(
+            a.len() + 1000 < encode(&unique).len(),
+            "interning saved nothing: {} vs {}",
+            a.len(),
+            encode(&unique).len()
+        );
+    }
+
+    #[test]
+    fn bad_kernel_reference_is_rejected() {
+        // Hand-build a Decision whose kernel reference skips ahead.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.push(1); // one event
+        bytes.push(TAG_DECISION);
+        bytes.push(5); // reference 5 into an empty table
+        assert!(matches!(
+            decode(&bytes),
+            Err(CodecError::BadKernelRef { reference: 5, .. })
+        ));
+    }
+}

@@ -1,0 +1,182 @@
+//! [`TimingModel`] adapters for record and replay.
+//!
+//! [`RecordingModel`] taps the output of any model stack — wrap the
+//! *outermost* wrapper (Event/Cached/Noisy/Faulty) so the recorded sample
+//! is exactly the composite the monitoring block saw, with every
+//! stochastic perturbation baked in. [`ReplayModel`] is the other side: it
+//! has no inner model at all and serves recorded samples from a
+//! [`Replayer`], which is what "the model's stochastic sources swapped for
+//! trace playback" means mechanically.
+
+use crate::{Recorder, Replayer, SessionEvent};
+use harmonia_sim::model::SimResult;
+use harmonia_sim::{GpuDescriptor, KernelProfile, TimingModel};
+use harmonia_types::HwConfig;
+
+/// Wraps a [`TimingModel`] and records every composite sample it produces
+/// into a [`Recorder`]. Bit-transparent: the returned results are exactly
+/// the inner model's.
+#[derive(Debug, Clone)]
+pub struct RecordingModel<M> {
+    inner: M,
+    recorder: Recorder,
+}
+
+impl<M: TimingModel> RecordingModel<M> {
+    /// Taps `inner`'s output into `recorder`.
+    pub fn new(inner: M, recorder: Recorder) -> Self {
+        Self { inner, recorder }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The recorder receiving the samples.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+}
+
+impl<M: TimingModel> TimingModel for RecordingModel<M> {
+    fn simulate(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> SimResult {
+        let result = self.inner.simulate(cfg, kernel, iteration);
+        self.recorder.record(SessionEvent::Sample {
+            kernel: kernel.name.clone(),
+            iteration,
+            cfg: cfg.into(),
+            time_s: result.time.value(),
+            counters: result.counters,
+            stepped_waves: result.fast_forward.stepped_waves,
+            fast_forwarded_waves: result.fast_forward.fast_forwarded_waves,
+        });
+        result
+    }
+
+    // The default batch loop calls `simulate` per lane in order, recording
+    // each sample — intentionally not forwarded to the inner batch path,
+    // which would bypass the tap.
+
+    fn gpu(&self) -> &GpuDescriptor {
+        self.inner.gpu()
+    }
+
+    fn phase_determined(&self) -> bool {
+        // Recording is order- and call-sensitive: memoization collapsing
+        // iterations would skip taps, so stay conservative.
+        false
+    }
+
+    fn fidelity_key(&self) -> u64 {
+        self.inner.fidelity_key()
+    }
+}
+
+/// A [`TimingModel`] with no simulation inside: every `simulate` call is
+/// answered from the recorded session via a [`Replayer`]. An exhausted or
+/// mismatched trace is retained as a [`ReplayError`](crate::ReplayError)
+/// (and an all-zero result is returned) so the run completes and the
+/// differ can localize the damage.
+pub struct ReplayModel {
+    replayer: Replayer,
+    gpu: GpuDescriptor,
+}
+
+impl ReplayModel {
+    /// A playback model over `replayer`, describing `gpu`.
+    pub fn new(replayer: Replayer, gpu: GpuDescriptor) -> Self {
+        Self { replayer, gpu }
+    }
+
+    /// The shared replay cursor.
+    pub fn replayer(&self) -> &Replayer {
+        &self.replayer
+    }
+}
+
+impl TimingModel for ReplayModel {
+    fn simulate(&self, cfg: HwConfig, kernel: &KernelProfile, iteration: u64) -> SimResult {
+        self.replayer
+            .sample_for(cfg, &kernel.name, iteration)
+            .unwrap_or_default()
+    }
+
+    fn gpu(&self) -> &GpuDescriptor {
+        &self.gpu
+    }
+
+    fn phase_determined(&self) -> bool {
+        false
+    }
+
+    fn fidelity_key(&self) -> u64 {
+        // Playback results must never alias a live model's in a shared
+        // sweep cache.
+        harmonia_sim::faults::mix_fidelity(0, 0x5e55_0000_0000_0001)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_sim::{FaultKind, FaultPlan, FaultSpec, FaultyModel, IntervalModel, NoisyModel};
+
+    fn kernel() -> KernelProfile {
+        KernelProfile::builder("rr-model").workitems(1 << 18).build()
+    }
+
+    /// The full stochastic stack — noise under counter faults — recorded
+    /// once and replayed bit-exactly without consulting any seed.
+    #[test]
+    fn record_then_replay_reproduces_a_noisy_faulty_stack() {
+        let plan = FaultPlan::new(0xFA17)
+            .with(FaultSpec::new(FaultKind::CounterSpike, 0.5).with_magnitude(4.0))
+            .with(FaultSpec::new(FaultKind::PowerGlitch, 0.3));
+        let stack = FaultyModel::new(NoisyModel::new(IntervalModel::default(), 0.05, 7), plan);
+        let recorder = Recorder::new();
+        let recording = RecordingModel::new(&stack, recorder.clone());
+
+        let k = kernel();
+        let cfg = HwConfig::max_hd7970();
+        let low = cfg.step_down(harmonia_types::Tunable::CuFreq).unwrap();
+        let live: Vec<SimResult> = (0..8)
+            .map(|i| recording.simulate(if i % 2 == 0 { cfg } else { low }, &k, i))
+            .collect();
+        assert_eq!(recorder.len(), 8);
+
+        let replay = ReplayModel::new(Replayer::new(recorder.events()), stack.gpu().clone());
+        for (i, expected) in live.iter().enumerate() {
+            let got = replay.simulate(if i % 2 == 0 { cfg } else { low }, &k, i as u64);
+            assert_eq!(
+                got.time.value().to_bits(),
+                expected.time.value().to_bits(),
+                "invocation {i} time"
+            );
+            assert!(
+                crate::counters_eq(&got.counters, &expected.counters),
+                "invocation {i} counters"
+            );
+            assert_eq!(got.fast_forward, expected.fast_forward);
+        }
+        assert!(replay.replayer().error().is_none());
+    }
+
+    #[test]
+    fn recording_is_bit_transparent() {
+        let base = IntervalModel::default();
+        let recording = RecordingModel::new(&base, Recorder::new());
+        let k = kernel();
+        let cfg = HwConfig::max_hd7970();
+        assert_eq!(recording.simulate(cfg, &k, 3), base.simulate(cfg, &k, 3));
+        assert_eq!(recording.fidelity_key(), base.fidelity_key());
+    }
+
+    #[test]
+    fn exhausted_replay_returns_default_and_flags() {
+        let replay = ReplayModel::new(Replayer::new(vec![]), IntervalModel::default().gpu().clone());
+        let r = replay.simulate(HwConfig::max_hd7970(), &kernel(), 0);
+        assert_eq!(r.time.value(), 0.0);
+        assert!(replay.replayer().error().is_some());
+    }
+}

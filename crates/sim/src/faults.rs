@@ -85,6 +85,31 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// Every fault kind, in declaration order. The index of a kind in this
+    /// array is its stable wire code ([`code`](Self::code)).
+    pub const ALL: [FaultKind; 9] = [
+        FaultKind::CounterDropout,
+        FaultKind::CounterStuck,
+        FaultKind::CounterSpike,
+        FaultKind::SensorBias,
+        FaultKind::PowerGlitch,
+        FaultKind::DvfsDeny,
+        FaultKind::DvfsDelay,
+        FaultKind::DvfsNeighbor,
+        FaultKind::ThermalThrottle,
+    ];
+
+    /// Stable single-byte wire code, used by the session-trace codec. The
+    /// mapping is append-only: existing codes never change meaning.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The kind for a wire code; `None` for codes this build does not know.
+    pub fn from_code(code: u8) -> Option<FaultKind> {
+        Self::ALL.get(usize::from(code)).copied()
+    }
+
     /// Short stable label used in trace events and chaos tables.
     pub fn label(self) -> &'static str {
         match self {

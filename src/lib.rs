@@ -8,6 +8,7 @@
 pub use harmonia;
 pub use harmonia_experiments as experiments;
 pub use harmonia_power as power;
+pub use harmonia_rr as rr;
 pub use harmonia_sim as sim;
 pub use harmonia_stats as stats;
 pub use harmonia_types as types;

@@ -8,6 +8,7 @@
 use harmonia::telemetry;
 use harmonia_experiments::report::pct;
 use harmonia_experiments::{run, trace_cmd, Context};
+use harmonia_rr::differ;
 use harmonia_types::Tunable;
 use harmonia_workloads::suite;
 
@@ -17,11 +18,24 @@ const GOLDEN: &str = include_str!("golden/trace_graph500.jsonl");
 fn graph500_trace_matches_the_committed_golden_file() {
     let ctx = Context::new();
     let traced = trace_cmd::trace_app(&ctx, "Graph500").expect("Graph500 in suite");
-    assert_eq!(
-        traced.jsonl, GOLDEN,
-        "decision trace drifted from tests/golden/trace_graph500.jsonl; if the \
-         change is intended, regenerate with `harmonia-experiments trace Graph500`"
-    );
+    if traced.jsonl == GOLDEN {
+        return;
+    }
+    // One JSONL line per event: diff through the semantic differ so the
+    // failure names the first divergent *event*, not a byte offset.
+    let golden_lines: Vec<&str> = GOLDEN.lines().collect();
+    let live_lines: Vec<&str> = traced.jsonl.lines().collect();
+    match differ::first_divergence(&golden_lines, &live_lines) {
+        Some(div) => panic!(
+            "decision trace drifted from tests/golden/trace_graph500.jsonl; if the \
+             change is intended, regenerate with `harmonia-experiments trace Graph500`\n{div}"
+        ),
+        None => panic!(
+            "decision trace drifted from tests/golden/trace_graph500.jsonl in \
+             whitespace only (trailing newline?); regenerate with \
+             `harmonia-experiments trace Graph500` if intended"
+        ),
+    }
 }
 
 #[test]
