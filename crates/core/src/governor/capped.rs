@@ -37,6 +37,9 @@ pub struct CappedGovernor<'a, G> {
     /// Cap-violation accounting (shared with the stack's stats handle when
     /// registry-built).
     stats: PolicyStats,
+    /// Sanitizer reject total at the previous observation (shared stats) —
+    /// a rising count means current telemetry is being substituted.
+    last_rejects: u64,
 }
 
 impl<'a, G: Governor> CappedGovernor<'a, G> {
@@ -52,6 +55,7 @@ impl<'a, G: Governor> CappedGovernor<'a, G> {
             trace: TraceHandle::disabled(),
             ledger: None,
             stats: PolicyStats::new(),
+            last_rejects: 0,
         }
     }
 
@@ -168,14 +172,32 @@ impl<G: Governor> Governor for CappedGovernor<'_, G> {
             dram_bytes_per_sec: counters.dram_bytes_per_sec(),
             dram_traffic_fraction: counters.ic_activity,
         };
+        // An interval under sanitizer pressure (rejects were recorded since
+        // the last observation) did not produce a usable measurement: the
+        // sample in hand is a substituted stand-in recorded at an *earlier*
+        // operating point. Projecting stand-in activity at this interval's
+        // configuration manufactures phantom violations (and can equally
+        // hide real ones), so the accounting only trusts quiet intervals.
+        let rejects = self.stats.sanitizer_rejects();
+        let pressure = rejects > self.last_rejects;
+        self.last_rejects = rejects;
         // NaN projections (glitched telemetry) fail the comparison and are
         // not counted — a stacked counter watchdog catches implausible
-        // samples.
+        // samples, and a stacked sanitizer rejects physically impossible
+        // ones before they reach this accounting.
         let over = self.power.card_pwr(cfg, &activity).value() > self.cap.value() * 1.05;
-        if over {
+        if over && !pressure {
             self.stats.count_cap_violation();
         }
-        self.activity.insert(kernel.name.clone(), activity);
+        // A dead read (timer ran, every dynamic counter zero) is a failed
+        // measurement, not an idle kernel: learning "zero activity" from it
+        // would un-clamp the next grant to full boost and break the cap for
+        // real. Likewise a substituted sample: it describes another
+        // interval's activity. Only samples from quiet intervals may teach
+        // the clamp.
+        if !pressure && !crate::sanitize::dead_sample(counters) {
+            self.activity.insert(kernel.name.clone(), activity);
+        }
         self.inner.observe(kernel, iteration, cfg, counters);
     }
 }

@@ -16,8 +16,9 @@
 //!   minimization over all ~450 configurations ("impractical to implement",
 //!   but the paper's upper bound).
 //!
-//! Cross-cutting concerns — safe-state watchdogs, counter sanitization,
-//! trace taps — are *not* baked into the governors. They are
+//! Cross-cutting concerns — safe-state watchdogs, the graceful-degradation
+//! ladder ([`DegradeLayer`]), counter sanitization, trace taps — are *not*
+//! baked into the governors. They are
 //! [`GovernorLayer`] decorators composed into a stack, and named stacks
 //! are built from one place by the [`PolicySpec`] registry.
 
@@ -27,6 +28,7 @@ mod coarse;
 mod fine;
 #[allow(clippy::module_inception)]
 mod harmonia;
+mod ladder;
 mod oracle;
 mod powertune;
 mod registry;
@@ -38,6 +40,9 @@ pub use capped::CappedGovernor;
 pub use coarse::{CoarseGrain, SensitivityBins};
 pub use fine::{FgState, FineGrain};
 pub use harmonia::{HarmoniaConfig, HarmoniaGovernor};
+pub use ladder::{
+    DegradeGovernor, DegradeLayer, Ladder, LadderConfig, LadderSignal, LadderTransition, Rung,
+};
 pub use oracle::{Ed2Objective, OracleGovernor, PowerAffine, PowerTable};
 pub use powertune::PowerTuneGovernor;
 pub use registry::{Policy, PolicyResources, PolicySpec, DEFAULT_CAP};

@@ -16,6 +16,7 @@
 //! | `capped[@W]` | [`CappedGovernor`] over `harmonia` (default 185 W) |
 //! | `hardened:harmonia` | sanitize → counter watchdog → `harmonia` |
 //! | `hardened:capped[@W]` | cap clamp → cap watchdog → counter watchdog → sanitize → `harmonia` |
+//! | `hardened:ladder[@W]` | cap clamp → sanitize → degradation ladder (`harmonia` → `cg` → `freq-only` → safe state) |
 //!
 //! Specs parse from their registry names (`"hardened:capped@185"
 //! .parse::<PolicySpec>()`), so CLI surfaces and config files share the
@@ -28,6 +29,7 @@
 //! history, watchdog backoff), exactly like the pre-stack code built fresh
 //! shims per run — build one `Policy` per run and the bytes match.
 
+use crate::governor::ladder::{DegradeLayer, LadderConfig};
 use crate::governor::stack::{
     BoxGovernor, GovernorLayer, PolicyStats, SanitizeLayer, WatchdogLayer,
 };
@@ -128,6 +130,10 @@ pub enum PolicySpec {
     /// The full hardened capped stack: cap clamp, cap watchdog (with
     /// actuation check), counter watchdog, sanitizer, Harmonia.
     HardenedCapped(Watts),
+    /// Graceful degradation under a cap: instead of the watchdog's
+    /// all-or-nothing park, a ladder steps `harmonia` → `cg` →
+    /// `freq-only` → safe state and climbs back with hysteresis.
+    HardenedLadder(Watts),
 }
 
 impl PolicySpec {
@@ -143,6 +149,7 @@ impl PolicySpec {
             "capped",
             "hardened:harmonia",
             "hardened:capped",
+            "hardened:ladder",
         ]
     }
 
@@ -166,6 +173,7 @@ impl PolicySpec {
             Self::Capped(cap) => budget("capped", *cap, DEFAULT_CAP),
             Self::HardenedHarmonia => "hardened:harmonia".to_string(),
             Self::HardenedCapped(cap) => budget("hardened:capped", *cap, DEFAULT_CAP),
+            Self::HardenedLadder(cap) => budget("hardened:ladder", *cap, DEFAULT_CAP),
         }
     }
 
@@ -215,6 +223,37 @@ impl PolicySpec {
                         .with_ledger(ledger),
                 )
             }
+            Self::HardenedLadder(cap) => {
+                // Sanitize sits *outside* the ladder so measurements are
+                // conditioned on every rung; the ladder's own CounterCheck
+                // (plus sanitizer-reject pressure through the shared stats)
+                // drives demotion. The outer clamp grants post-clamp
+                // configurations into the ladder's ledger so its actuation
+                // check compares against what was actually granted.
+                let degrade = DegradeLayer::new(
+                    LadderConfig::default(),
+                    Box::new(HarmoniaGovernor::with_config(
+                        res.predictor.clone(),
+                        HarmoniaConfig::cg_only(),
+                    )),
+                    Box::new(HarmoniaGovernor::with_config(
+                        res.predictor.clone(),
+                        HarmoniaConfig::freq_only(),
+                    )),
+                )
+                .with_stats(&stats);
+                let ledger = degrade.ledger();
+                let core = degrade.layer(Box::new(HarmoniaGovernor::new(res.predictor.clone())));
+                let sanitized = SanitizeLayer::new(SanitizerConfig::default())
+                    .with_stats(&stats)
+                    .with_power(res.power)
+                    .layer(core);
+                Box::new(
+                    CappedGovernor::new(sanitized, res.power, cap)
+                        .with_stats(&stats)
+                        .with_ledger(ledger),
+                )
+            }
         };
         Policy { governor, stats }
     }
@@ -224,6 +263,7 @@ impl PolicySpec {
 fn hardened_core<'a>(res: &PolicyResources<'a>, stats: &PolicyStats) -> BoxGovernor<'a> {
     let sanitized = SanitizeLayer::new(SanitizerConfig::default())
         .with_stats(stats)
+        .with_power(res.power)
         .layer(Box::new(HarmoniaGovernor::new(res.predictor.clone())));
     WatchdogLayer::counters(WatchdogConfig::default())
         .with_stats(stats)
@@ -273,6 +313,7 @@ impl FromStr for PolicySpec {
             "capped" => Ok(Self::Capped(parse_budget(suffix, DEFAULT_CAP, s)?)),
             "hardened:harmonia" => reject_budget(Self::HardenedHarmonia),
             "hardened:capped" => Ok(Self::HardenedCapped(parse_budget(suffix, DEFAULT_CAP, s)?)),
+            "hardened:ladder" => Ok(Self::HardenedLadder(parse_budget(suffix, DEFAULT_CAP, s)?)),
             _ => Err(format!(
                 "unknown policy {s:?}; expected one of: {}",
                 Self::names().join(", ")
@@ -317,6 +358,7 @@ mod tests {
                 (PolicySpec::Capped(DEFAULT_CAP), "harmonia@185W"),
                 (PolicySpec::HardenedHarmonia, "harmonia"),
                 (PolicySpec::HardenedCapped(DEFAULT_CAP), "harmonia@185W"),
+                (PolicySpec::HardenedLadder(DEFAULT_CAP), "harmonia@185W"),
             ];
             for (spec, expected) in cases {
                 assert_eq!(spec.build(&res).governor.name(), expected, "{spec:?}");
@@ -342,6 +384,8 @@ mod tests {
             PolicySpec::Capped(Watts(200.0)),
             PolicySpec::Capped(DEFAULT_CAP),
             PolicySpec::HardenedCapped(Watts(150.0)),
+            PolicySpec::HardenedLadder(Watts(200.0)),
+            PolicySpec::HardenedLadder(DEFAULT_CAP),
             PolicySpec::PowerTune(DEFAULT_TDP),
         ] {
             assert_eq!(spec.name().parse::<PolicySpec>().unwrap(), spec);
@@ -375,6 +419,36 @@ mod tests {
             }
             assert!(policy.stats.sanitizer_rejects() > 0);
             assert_eq!(policy.stats.fallback_engagements(), 1);
+        });
+    }
+
+    #[test]
+    fn ladder_stack_demotes_stepwise_instead_of_parking() {
+        with_resources(|res| {
+            let policy = PolicySpec::HardenedLadder(DEFAULT_CAP).build(&res);
+            let mut governor = policy.governor;
+            let k = harmonia_sim::KernelProfile::builder("k").build();
+            let garbage = harmonia_sim::CounterSample {
+                duration: harmonia_types::Seconds(0.01),
+                valu_busy_pct: f64::NAN,
+                ..harmonia_sim::CounterSample::default()
+            };
+            // Three anomalous intervals demote exactly one rung — the
+            // parked watchdog would already be pinned at the safe state.
+            for i in 0..3 {
+                let cfg = governor.decide(&k, i);
+                governor.condition(&k, i, cfg, harmonia_types::Seconds(0.01), garbage);
+                governor.observe(&k, i, cfg, &garbage);
+            }
+            assert_eq!(policy.stats.rung_demotions(), 1);
+            assert_eq!(policy.stats.fallback_engagements(), 0, "not parked yet");
+            assert_eq!(policy.stats.rung_residency()[0], 3);
+            assert!(policy.stats.sanitizer_rejects() > 0);
+            assert_ne!(
+                governor.decide(&k, 3),
+                crate::governor::safe_state(),
+                "cg-only rung still governs"
+            );
         });
     }
 }

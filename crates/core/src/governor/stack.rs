@@ -100,6 +100,11 @@ pub struct PolicyStats {
     violations_while_fallback: Arc<AtomicU64>,
     fallback_engagements: Arc<AtomicU64>,
     sanitizer_rejects: Arc<AtomicU64>,
+    /// Observation intervals spent on each degradation-ladder rung, indexed
+    /// by `Rung::index()` (full / cg-only / freq-only / safe-state).
+    rung_residency: Arc<[AtomicU64; 4]>,
+    rung_demotions: Arc<AtomicU64>,
+    rung_promotions: Arc<AtomicU64>,
 }
 
 impl PolicyStats {
@@ -129,20 +134,54 @@ impl PolicyStats {
         self.sanitizer_rejects.load(Ordering::Relaxed)
     }
 
+    /// Observation intervals spent on each ladder rung, indexed by
+    /// `Rung::index()`. All zero for stacks without a
+    /// [`DegradeLayer`](super::DegradeLayer).
+    pub fn rung_residency(&self) -> [u64; 4] {
+        [
+            self.rung_residency[0].load(Ordering::Relaxed),
+            self.rung_residency[1].load(Ordering::Relaxed),
+            self.rung_residency[2].load(Ordering::Relaxed),
+            self.rung_residency[3].load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Total ladder demotions (one rung down each).
+    pub fn rung_demotions(&self) -> u64 {
+        self.rung_demotions.load(Ordering::Relaxed)
+    }
+
+    /// Total ladder promotions (one rung up each).
+    pub fn rung_promotions(&self) -> u64 {
+        self.rung_promotions.load(Ordering::Relaxed)
+    }
+
     pub(crate) fn count_cap_violation(&self) {
         self.cap_violations.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn count_violation_while_fallback(&self) {
+    pub(crate) fn count_violation_while_fallback(&self) {
         self.violations_while_fallback.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn count_fallback_engagement(&self) {
+    pub(crate) fn count_fallback_engagement(&self) {
         self.fallback_engagements.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn record_sanitizer_rejects(&self, total: u64) {
+    pub(crate) fn record_sanitizer_rejects(&self, total: u64) {
         self.sanitizer_rejects.store(total, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_rung_residency(&self, index: usize) {
+        self.rung_residency[index].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_rung_demotion(&self) {
+        self.rung_demotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_rung_promotion(&self) {
+        self.rung_promotions.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -474,17 +513,19 @@ impl Governor for WatchdogGovernor<'_> {
 /// before any inner governor observes it (the [`Governor::condition`]
 /// hook).
 #[derive(Debug, Clone, Default)]
-pub struct SanitizeLayer {
+pub struct SanitizeLayer<'a> {
     config: SanitizerConfig,
     stats: PolicyStats,
+    power: Option<&'a PowerModel>,
 }
 
-impl SanitizeLayer {
+impl<'a> SanitizeLayer<'a> {
     /// A sanitize layer with the given tuning.
     pub fn new(config: SanitizerConfig) -> Self {
         Self {
             config,
             stats: PolicyStats::new(),
+            power: None,
         }
     }
 
@@ -493,13 +534,24 @@ impl SanitizeLayer {
         self.stats = stats.clone();
         self
     }
+
+    /// Arms the sanitizer's power-aware plausibility check (see
+    /// [`CounterSanitizer::with_power`]).
+    pub fn with_power(mut self, power: &'a PowerModel) -> Self {
+        self.power = Some(power);
+        self
+    }
 }
 
-impl<'a> GovernorLayer<'a> for SanitizeLayer {
+impl<'a> GovernorLayer<'a> for SanitizeLayer<'a> {
     fn layer(self, inner: BoxGovernor<'a>) -> BoxGovernor<'a> {
+        let mut sanitizer = CounterSanitizer::new(self.config);
+        if let Some(power) = self.power {
+            sanitizer = sanitizer.with_power(power);
+        }
         Box::new(SanitizeGovernor {
             inner,
-            sanitizer: CounterSanitizer::new(self.config),
+            sanitizer,
             stats: self.stats,
             trace: TraceHandle::disabled(),
         })
@@ -509,7 +561,7 @@ impl<'a> GovernorLayer<'a> for SanitizeLayer {
 /// The decorator produced by [`SanitizeLayer`].
 struct SanitizeGovernor<'a> {
     inner: BoxGovernor<'a>,
-    sanitizer: CounterSanitizer,
+    sanitizer: CounterSanitizer<'a>,
     stats: PolicyStats,
     trace: TraceHandle,
 }

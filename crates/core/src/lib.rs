@@ -72,7 +72,7 @@ pub use dataset::DatasetError;
 pub use governor::{BaselineGovernor, Governor, HarmoniaGovernor, OracleGovernor};
 pub use metrics::{InvocationRecord, KernelReport, Residency, RunReport};
 pub use predictor::{FitError, SensitivityPredictor};
-pub use runtime::Runtime;
+pub use runtime::{RetryPolicy, Runtime};
 pub use sanitize::{CounterSanitizer, SanitizerConfig};
 pub use sensitivity::Sensitivity;
 pub use telemetry::{TraceEvent, TraceHandle, TraceSummary};

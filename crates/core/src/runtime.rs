@@ -10,8 +10,8 @@ use crate::governor::Governor;
 use crate::metrics::{InvocationRecord, KernelReport, Residency, RunReport};
 use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_power::{Activity, PowerModel, PowerTrace};
-use harmonia_rr::{Recorder, Replayer, SessionEvent};
-use harmonia_sim::faults::FaultPlan;
+use harmonia_rr::{Recorder, ReplayedActuation, Replayer, SessionEvent};
+use harmonia_sim::faults::{ActuationOutcome, FaultKind, FaultPlan};
 use harmonia_sim::TimingModel;
 use harmonia_types::{HwConfig, Joules, Seconds, Session};
 use harmonia_workloads::Application;
@@ -20,6 +20,57 @@ use std::sync::Arc;
 
 /// DAQ sampling rate for the telemetry power trace (the paper's 1 kHz).
 const POWER_SAMPLE_HZ: f64 = 1000.0;
+
+/// Retry/backoff policy for the reliable-actuation shim
+/// ([`Runtime::with_actuator`]).
+///
+/// Transient DPM faults (denied or delayed DVFS requests) are retried with
+/// exponential backoff: retry *k* (1-based) waits `base_backoff_us << (k-1)`
+/// virtual microseconds. The shim times out when either the retry count or
+/// the cumulative backoff budget is exhausted, holding the last-known-good
+/// configuration. The backoff delays are bookkeeping for the timeout
+/// budget, not simulated time — DPM transition latency sits far below the
+/// kernel-boundary granularity the runtime models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the initial attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in virtual microseconds.
+    pub base_backoff_us: u64,
+    /// Cumulative backoff budget; exceeding it is a timeout.
+    pub timeout_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            base_backoff_us: 50,
+            timeout_us: 2_000,
+        }
+    }
+}
+
+/// Terminal verdict of the retry shim for one invocation, when at least
+/// one attempt was perturbed.
+struct ResolvedActuation {
+    outcome: ActuationOutcome,
+    attempts: u32,
+    kinds: Vec<FaultKind>,
+    actual: HwConfig,
+}
+
+/// What the actuation stage decided for one invocation.
+enum Actuation {
+    /// No fault fired; the decided configuration took effect.
+    Clean,
+    /// Single-shot fault path (no retry shim): one fault perturbed the
+    /// transition.
+    Fault { kind: FaultKind, actual: HwConfig },
+    /// Retry-shim path: a terminal outcome after one or more perturbed
+    /// attempts.
+    Resolved(ResolvedActuation),
+}
 
 /// Executes applications on a timing model and power model under a governor.
 pub struct Runtime<'a> {
@@ -36,6 +87,9 @@ pub struct Runtime<'a> {
     /// Session replayer: actuation outcomes come from the trace instead of
     /// the fault plan (samples are served by a `ReplayModel`).
     replay: Option<Replayer>,
+    /// Reliable-actuation shim: retry transient DPM faults with backoff
+    /// instead of accepting the first perturbed outcome.
+    actuator: Option<RetryPolicy>,
 }
 
 impl<'a> Runtime<'a> {
@@ -66,6 +120,7 @@ impl<'a> Runtime<'a> {
             faults: None,
             recorder: None,
             replay: None,
+            actuator: None,
         }
     }
 
@@ -108,6 +163,24 @@ impl<'a> Runtime<'a> {
         self
     }
 
+    /// Turns DPM faults into a deterministic retry-with-backoff state
+    /// machine instead of accepting the first perturbed outcome. Transient
+    /// faults (denied/delayed requests) are retried under `policy` and
+    /// resolve to [`ActuationOutcome::Retried`] on success or
+    /// [`ActuationOutcome::TimedOut`] (configuration held at last-good)
+    /// when the budget runs out; a partial transition (neighbor landing)
+    /// is rolled back to last-good
+    /// ([`ActuationOutcome::RolledBack`]); a thermal clamp is terminal and
+    /// resolves [`ActuationOutcome::Applied`] at the clamped point. Every
+    /// perturbed attempt emits telemetry, and the terminal verdict is
+    /// recorded in the session trace (v2 vocabulary). Without
+    /// [`with_faults`](Self::with_faults) the shim never engages, keeping
+    /// default-path traces byte-identical.
+    pub fn with_actuator(mut self, policy: RetryPolicy) -> Self {
+        self.actuator = Some(policy);
+        self
+    }
+
     /// Installs an explicit decision-telemetry handle. The same handle is
     /// passed to the governor of every subsequent [`run`](Self::run), so
     /// runtime events (kernel boundaries, power samples) and governor events
@@ -130,6 +203,93 @@ impl<'a> Runtime<'a> {
     /// The power model in use.
     pub fn power(&self) -> &PowerModel {
         self.power
+    }
+
+    /// Drives one invocation's configuration transition through the retry
+    /// state machine. `None` when the first attempt applied cleanly — the
+    /// overwhelmingly common case, and the one that must leave the session
+    /// trace untouched.
+    fn resolve_actuation(
+        &self,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+        kernel: &str,
+        decided: HwConfig,
+        previous: Option<HwConfig>,
+        iteration: u64,
+    ) -> Option<ResolvedActuation> {
+        let mut kinds: Vec<FaultKind> = Vec::new();
+        let mut attempts: u32 = 0;
+        let mut backoff_spent: u64 = 0;
+        loop {
+            let ordinal = attempts;
+            attempts += 1;
+            let Some((kind, actual)) =
+                plan.actuate_attempt(kernel, decided, previous, iteration, ordinal)
+            else {
+                // This attempt went through cleanly.
+                return (!kinds.is_empty()).then(|| ResolvedActuation {
+                    outcome: ActuationOutcome::Retried(attempts - 1),
+                    attempts,
+                    kinds,
+                    actual: decided,
+                });
+            };
+            kinds.push(kind);
+            self.telemetry.emit(|| TraceEvent::ActuationAttempt {
+                kernel: kernel.to_string(),
+                iteration,
+                attempt: ordinal,
+                kind: kind.label().to_string(),
+                wanted: decided.into(),
+                actual: actual.into(),
+            });
+            match kind {
+                // A thermal clamp is the platform's last word: the
+                // transition completed, at the ceiling it imposed.
+                FaultKind::ThermalThrottle => {
+                    return Some(ResolvedActuation {
+                        outcome: ActuationOutcome::Applied,
+                        attempts,
+                        kinds,
+                        actual,
+                    });
+                }
+                // A neighbor landing is a *partial* application: part of
+                // the multi-tunable transition applied, part did not.
+                // Retrying from an unknown intermediate state is worse
+                // than restoring a coherent one, so roll back to the
+                // last-known-good configuration. At session start there
+                // is no last-good anchor and the partial point stands.
+                FaultKind::DvfsNeighbor => {
+                    return Some(ResolvedActuation {
+                        outcome: ActuationOutcome::RolledBack,
+                        attempts,
+                        kinds,
+                        actual: previous.unwrap_or(actual),
+                    });
+                }
+                // Denied or delayed requests are transient: back off and
+                // retry until either budget runs dry.
+                _ => {
+                    let retries = attempts - 1;
+                    // Delay before retry k (1-based) is base << (k-1); the
+                    // next retry is number `retries + 1`.
+                    let delay = policy.base_backoff_us.checked_shl(retries).unwrap_or(u64::MAX);
+                    let over_budget = retries >= policy.max_retries
+                        || backoff_spent.saturating_add(delay) > policy.timeout_us;
+                    if over_budget {
+                        return Some(ResolvedActuation {
+                            outcome: ActuationOutcome::TimedOut,
+                            attempts,
+                            kinds,
+                            actual,
+                        });
+                    }
+                    backoff_spent = backoff_spent.saturating_add(delay);
+                }
+            }
+        }
     }
 
     /// Runs `app` to completion under `governor` and reports.
@@ -173,22 +333,51 @@ impl<'a> Runtime<'a> {
                 }
                 // Between decision and invocation sits the only actuation
                 // nondeterminism: either a replayed outcome (trace playback)
-                // or a fault-plan roll (live). Both paths record and emit
+                // or a fault-plan roll (live) — single-shot, or driven
+                // through the retry shim. Both paths record and emit
                 // identically, so a replayed session re-produces the
                 // recording bit for bit.
                 let actuation = match (&self.replay, self.faults) {
-                    (Some(rep), _) => rep
-                        .actuation_for(&kernel.name, iteration)
-                        .filter(|&(_, actual)| actual != decided),
+                    (Some(rep), _) => match rep.actuation_event_for(&kernel.name, iteration) {
+                        Some(ReplayedActuation::Fault { kind, actual }) if actual != decided => {
+                            Actuation::Fault { kind, actual }
+                        }
+                        Some(ReplayedActuation::Resolved { outcome, attempts, kinds, actual }) => {
+                            Actuation::Resolved(ResolvedActuation {
+                                outcome,
+                                attempts,
+                                kinds,
+                                actual,
+                            })
+                        }
+                        _ => Actuation::Clean,
+                    },
                     (None, Some(plan)) if !plan.is_empty() => {
                         let previous = last_actual.get(name).copied();
-                        plan.actuate(&kernel.name, decided, previous, iteration)
-                            .filter(|&(_, actual)| actual != decided)
+                        match self.actuator {
+                            Some(policy) => self
+                                .resolve_actuation(
+                                    plan,
+                                    policy,
+                                    &kernel.name,
+                                    decided,
+                                    previous,
+                                    iteration,
+                                )
+                                .map_or(Actuation::Clean, Actuation::Resolved),
+                            None => plan
+                                .actuate(&kernel.name, decided, previous, iteration)
+                                .filter(|&(_, actual)| actual != decided)
+                                .map_or(Actuation::Clean, |(kind, actual)| Actuation::Fault {
+                                    kind,
+                                    actual,
+                                }),
+                        }
                     }
-                    _ => None,
+                    _ => Actuation::Clean,
                 };
                 let cfg = match actuation {
-                    Some((kind, actual)) => {
+                    Actuation::Fault { kind, actual } => {
                         self.telemetry.emit(|| TraceEvent::FaultInjected {
                             kernel: kernel.name.clone(),
                             iteration,
@@ -207,7 +396,29 @@ impl<'a> Runtime<'a> {
                         }
                         actual
                     }
-                    None => decided,
+                    Actuation::Resolved(res) => {
+                        self.telemetry.emit(|| TraceEvent::ActuationResolved {
+                            kernel: kernel.name.clone(),
+                            iteration,
+                            outcome: res.outcome.label().to_string(),
+                            attempts: res.attempts,
+                            wanted: decided.into(),
+                            actual: res.actual.into(),
+                        });
+                        if let Some(rec) = &self.recorder {
+                            rec.record(SessionEvent::ActuationResolved {
+                                kernel: kernel.name.clone(),
+                                iteration,
+                                outcome: res.outcome,
+                                attempts: res.attempts,
+                                kinds: res.kinds.clone(),
+                                wanted: decided.into(),
+                                actual: res.actual.into(),
+                            });
+                        }
+                        res.actual
+                    }
+                    Actuation::Clean => decided,
                 };
                 if self.faults.is_some() {
                     last_actual.insert(name.clone(), cfg);
@@ -434,6 +645,80 @@ mod tests {
                 base.ed2()
             );
         }
+    }
+
+    #[test]
+    fn retry_actuator_resolves_transient_faults_and_replays_bit_exactly() {
+        use harmonia_rr::{decode, Recorder, ReplayModel, Replayer};
+        use harmonia_sim::faults::FaultSpec;
+
+        let (model, power) = harness();
+        let app = suite::sort();
+        // Heavy transient pressure plus occasional partial transitions so
+        // every outcome class shows up deterministically from the seed.
+        let plan = FaultPlan::new(0xACDC)
+            .with(FaultSpec::new(FaultKind::DvfsDeny, 0.4))
+            .with(FaultSpec::new(FaultKind::DvfsNeighbor, 0.1));
+        let recorder = Recorder::new();
+        let rt = Runtime::new(&model, &power)
+            .with_faults(&plan)
+            .with_actuator(RetryPolicy::default())
+            .with_recorder(recorder.clone());
+        let live = rt.run(&app, &mut BaselineGovernor::new());
+        let events = recorder.events();
+        let resolved: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, SessionEvent::ActuationResolved { .. }))
+            .collect();
+        assert!(
+            !resolved.is_empty(),
+            "a 40% transient fault rate must engage the retry shim"
+        );
+        // The v2 stream round-trips through the codec.
+        let bytes = recorder.encode();
+        assert_eq!(decode(&bytes).expect("decodes"), events);
+
+        // Replay: resolved actuations come from the trace, samples from a
+        // replay model, and the re-recording matches bit for bit.
+        let replayer = Replayer::new(events.clone());
+        let replay_model = ReplayModel::new(replayer.clone(), *model.gpu());
+        let re_recorder = Recorder::new();
+        let rt2 = Runtime::new(&replay_model, &power)
+            .with_replay(replayer.clone())
+            .with_recorder(re_recorder.clone());
+        let replayed = rt2.run(&app, &mut BaselineGovernor::new());
+        assert!(replayer.error().is_none(), "{:?}", replayer.error());
+        assert_eq!(re_recorder.events(), events, "replay must re-record bit-exactly");
+        assert_eq!(
+            replayed.card_energy.value().to_bits(),
+            live.card_energy.value().to_bits()
+        );
+    }
+
+    #[test]
+    fn retry_actuator_times_out_deterministically_under_a_sure_deny() {
+        use harmonia_sim::faults::FaultSpec;
+
+        let (model, power) = harness();
+        let app = suite::stencil();
+        let plan = FaultPlan::new(7).with(FaultSpec::new(FaultKind::DvfsDeny, 1.0));
+        let recorder = harmonia_rr::Recorder::new();
+        let policy = RetryPolicy { max_retries: 2, base_backoff_us: 50, timeout_us: 2_000 };
+        let rt = Runtime::new(&model, &power)
+            .with_faults(&plan)
+            .with_actuator(policy)
+            .with_recorder(recorder.clone());
+        rt.run(&app, &mut BaselineGovernor::new());
+        let mut timed_out = 0;
+        for e in recorder.events() {
+            if let SessionEvent::ActuationResolved { outcome, attempts, kinds, .. } = e {
+                assert_eq!(outcome, ActuationOutcome::TimedOut);
+                assert_eq!(attempts, 1 + policy.max_retries);
+                assert_eq!(kinds.len(), attempts as usize);
+                timed_out += 1;
+            }
+        }
+        assert!(timed_out > 0, "p=1.0 denial must time out every invocation");
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!    below the bus limit, DRAM traffic below `bandwidth × duration`).
 //! 2. **Dead-sample detection** — a sample whose dynamic counters are all
 //!    zero while the timer ran is a failed read, not an idle kernel.
+//!    Partial dropouts are caught per channel: a dynamic counter latched
+//!    at exactly zero while the kernel's last good sample was active on
+//!    that channel is substituted even when the rest of the sample looks
+//!    healthy.
 //! 3. **EWMA outlier rejection** — per-kernel, per-field running mean and
 //!    absolute deviation (reset on configuration change, armed only after a
 //!    warmup) catch in-range spikes. Thresholds are deliberately generous:
@@ -23,6 +27,13 @@
 //!    most recent sanitized sample; when two or more fields of one sample
 //!    are rejected the whole sample is deemed corrupt and replaced
 //!    wholesale (keeping the independently-sanitized timer).
+//! 5. **Bounded holding** — wholesale substitution is a bridge, not a
+//!    destination: after [`SanitizerConfig::hold_bound`] *consecutive*
+//!    wholesale holds the sanitizer stops serving stale counters and
+//!    escalates, passing a recognizably dead (but finite and in-range)
+//!    sample downstream so the watchdog / degradation ladder trips instead
+//!    of being masked forever by a permanently stuck counter block. Each
+//!    escalation emits [`TraceEvent::SanitizerEscalated`].
 //!
 //! Every substitution emits [`TraceEvent::SanitizerReject`] so chaos runs
 //! can count what the sanitizer absorbed. The stage is opt-in — stack a
@@ -33,6 +44,7 @@
 //! default path is byte-identical to previous behaviour.
 
 use crate::telemetry::{TraceEvent, TraceHandle};
+use harmonia_power::{Activity, PowerModel};
 use harmonia_sim::CounterSample;
 use harmonia_types::{HwConfig, Seconds};
 use std::collections::HashMap;
@@ -60,6 +72,11 @@ pub struct SanitizerConfig {
     pub outlier_floor: f64,
     /// EWMA smoothing factor for the running mean/deviation.
     pub ewma_alpha: f64,
+    /// Consecutive wholesale last-good holds tolerated before the
+    /// sanitizer escalates (serves a dead sample the watchdog can see)
+    /// instead of masking a stuck counter block forever. `0` disables the
+    /// bound (the pre-escalation behaviour).
+    pub hold_bound: u32,
 }
 
 impl Default for SanitizerConfig {
@@ -70,6 +87,7 @@ impl Default for SanitizerConfig {
             outlier_k: 8.0,
             outlier_floor: 0.35,
             ewma_alpha: 0.3,
+            hold_bound: 6,
         }
     }
 }
@@ -218,24 +236,39 @@ struct KernelState {
     samples: u32,
     stats: [Option<FieldStats>; OUTLIER_FIELDS],
     last_good: Option<(Seconds, CounterSample)>,
+    /// Consecutive wholesale last-good holds served (escalation trigger).
+    held: u32,
 }
 
 /// Stateful per-kernel counter sanitizer (see module docs).
 #[derive(Debug)]
-pub struct CounterSanitizer {
+pub struct CounterSanitizer<'a> {
     config: SanitizerConfig,
     kernels: HashMap<String, KernelState>,
     rejects: u64,
+    /// Optional power model for the physics check: a sample whose implied
+    /// card power exceeds its configuration's fully-busy ceiling is a
+    /// lying sensor, whatever the per-field ranges say.
+    power: Option<&'a PowerModel>,
 }
 
-impl CounterSanitizer {
+impl<'a> CounterSanitizer<'a> {
     /// A sanitizer with the given tuning.
     pub fn new(config: SanitizerConfig) -> Self {
         Self {
             config,
             kernels: HashMap::new(),
             rejects: 0,
+            power: None,
         }
+    }
+
+    /// Arms the power-aware plausibility check: samples whose implied card
+    /// power exceeds the physical ceiling of the configuration they ran
+    /// under (fully busy card, saturated bus) are rejected wholesale.
+    pub fn with_power(mut self, power: &'a PowerModel) -> Self {
+        self.power = Some(power);
+        self
     }
 
     /// Total field/sample rejections so far.
@@ -337,14 +370,79 @@ impl CounterSanitizer {
                 });
         }
 
-        // Cross-field corruption: a dead read, or two-plus rejected fields
-        // in one sample, invalidates the whole reading — substitute the
-        // last good sample wholesale (keeping the sanitized timer).
+        // Partial dropout: a dynamic channel latched at *exactly* zero
+        // while the kernel's last good sample was active on it is a dropped
+        // read, not a phase change — activity never snaps to a perfect zero
+        // on hardware that is still executing the same kernel. The EWMA
+        // stage catches this at a settled operating point, but it is
+        // disarmed right after a configuration move, which is exactly when
+        // a half-zeroed sample would otherwise teach the power-cap clamp a
+        // fictitious idle and un-clamp the next grant.
+        if !dead {
+            if let Some((_, g)) = ks.last_good {
+                if c.valu_busy_pct == 0.0 && g.valu_busy_pct > 0.0 {
+                    rejected.push(("valu_busy_pct", 0.0));
+                    c.valu_busy_pct = g.valu_busy_pct;
+                }
+                if c.dram_bytes == 0.0 && g.dram_bytes > 0.0 {
+                    rejected.push(("dram_bytes", 0.0));
+                    c.dram_bytes = g.dram_bytes;
+                }
+                if c.achieved_bw_gbps == 0.0 && g.achieved_bw_gbps > 0.0 {
+                    rejected.push(("achieved_bw_gbps", 0.0));
+                    c.achieved_bw_gbps = g.achieved_bw_gbps;
+                }
+                if c.valu_insts == 0 && g.valu_insts > 0 {
+                    rejected.push(("valu_insts", 0.0));
+                    c.valu_insts = g.valu_insts;
+                }
+                if c.vfetch_insts == 0 && g.vfetch_insts > 0 {
+                    rejected.push(("vfetch_insts", 0.0));
+                    c.vfetch_insts = g.vfetch_insts;
+                }
+                if c.vwrite_insts == 0 && g.vwrite_insts > 0 {
+                    rejected.push(("vwrite_insts", 0.0));
+                    c.vwrite_insts = g.vwrite_insts;
+                }
+            }
+        }
+
+        // Physics check: after per-field repair, the sample's *implied*
+        // card power at the configuration it ran under must not exceed
+        // that configuration's physical ceiling (fully busy card,
+        // saturated bus). Each field can be individually in range while
+        // the combination claims more power than the silicon can draw at
+        // those clocks — the signature of a coordinated counter spike,
+        // which would otherwise be booked as a phantom cap violation and
+        // poison the clamp's activity learning.
+        let impossible = !dead
+            && self.power.is_some_and(|power| {
+                let implied = Activity {
+                    valu_activity: c.valu_activity(),
+                    dram_bytes_per_sec: c.dram_bytes_per_sec(),
+                    dram_traffic_fraction: c.ic_activity,
+                };
+                let projected = power.card_pwr(cfg, &implied).value();
+                let ceiling = power.card_pwr(cfg, &Activity::streaming(1.0, 1.0)).value();
+                // Per-field repair above guarantees finite inputs, so a
+                // plain comparison is NaN-safe here.
+                projected > ceiling * 1.01
+            });
+        if impossible {
+            rejected.push(("sample_power", 0.0));
+        }
+
+        // Cross-field corruption: a dead read, a physically impossible
+        // reading, or two-plus rejected fields in one sample, invalidates
+        // the whole reading — substitute the last good sample wholesale
+        // (keeping the sanitized timer).
         let counter_rejects = rejected
             .iter()
             .filter(|(n, _)| *n != "time_s" && *n != "duration")
             .count();
-        if dead || counter_rejects >= 2 {
+        let mut escalated = false;
+        let mut quarantined = false;
+        if dead || impossible || counter_rejects >= 2 {
             if let Some((_, good)) = ks.last_good {
                 if dead {
                     rejected.push(("sample", 0.0));
@@ -352,7 +450,38 @@ impl CounterSanitizer {
                 let keep = c.duration;
                 c = good;
                 c.duration = keep;
+                ks.held = ks.held.saturating_add(1);
+                if self.config.hold_bound > 0 && ks.held >= self.config.hold_bound {
+                    // The counter block has been wrong for `held` straight
+                    // samples: stop bridging. Serve a finite, in-range but
+                    // recognizably dead sample so downstream anomaly checks
+                    // ([`dead_sample`]) trip and the watchdog / ladder takes
+                    // over instead of learning from fiction.
+                    escalated = true;
+                    c.valu_insts = 0;
+                    c.vfetch_insts = 0;
+                    c.vwrite_insts = 0;
+                    c.valu_busy_pct = 0.0;
+                    c.valu_utilization_pct = 0.0;
+                    c.dram_bytes = 0.0;
+                    c.achieved_bw_gbps = 0.0;
+                }
+            } else if impossible {
+                // A physically impossible *first* sample: nothing to bridge
+                // from, so serve a recognizably dead reading instead — the
+                // clamp and the anomaly checks both know to distrust it —
+                // and learn nothing from the interval.
+                quarantined = true;
+                c.valu_insts = 0;
+                c.vfetch_insts = 0;
+                c.vwrite_insts = 0;
+                c.valu_busy_pct = 0.0;
+                c.valu_utilization_pct = 0.0;
+                c.dram_bytes = 0.0;
+                c.achieved_bw_gbps = 0.0;
             }
+        } else {
+            ks.held = 0;
         }
 
         for (field, raw) in &rejected {
@@ -376,6 +505,21 @@ impl CounterSanitizer {
                         }),
                 },
             });
+        }
+
+        if escalated {
+            let held = ks.held;
+            trace.emit(|| TraceEvent::SanitizerEscalated {
+                kernel: kernel.to_string(),
+                iteration,
+                held,
+            });
+            // Nothing about this interval is trustworthy: no EWMA learning,
+            // and the dead substitute must not become the next "last good".
+            return (t, c);
+        }
+        if quarantined {
+            return (t, c);
         }
 
         // Learn from what was accepted (post-substitution values keep the
@@ -565,6 +709,59 @@ mod tests {
         let mut glitch = good();
         glitch.duration = Seconds(f64::NAN);
         assert!(!counters_plausible(&glitch));
+    }
+
+    fn dead() -> CounterSample {
+        CounterSample {
+            duration: Seconds(0.01),
+            norm_vgpr: 0.4,
+            norm_sgpr: 0.3,
+            occupancy_fraction: 0.8,
+            ..CounterSample::default()
+        }
+    }
+
+    #[test]
+    fn persistent_dead_counters_escalate_after_hold_bound() {
+        let mut s = sanitizer();
+        let cfg = HwConfig::max_hd7970();
+        let trace = TraceHandle::new();
+        s.sanitize("k", 0, cfg, Seconds(0.01), good(), &trace);
+        // The first hold_bound-1 consecutive holds bridge from last-good...
+        for i in 1..6 {
+            let (_, c) = s.sanitize("k", i, cfg, Seconds(0.01), dead(), &trace);
+            assert!(!dead_sample(&c), "sample {i} bridged from last-good");
+        }
+        // ...then the sanitizer stops masking: the substitute is finite and
+        // in-range but recognizably dead, so the watchdog can trip.
+        let (_, c) = s.sanitize("k", 6, cfg, Seconds(0.01), dead(), &trace);
+        assert!(dead_sample(&c), "escalated sample reads as dead");
+        assert!(counters_plausible(&c), "escalated sample stays in range");
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::SanitizerEscalated { held: 6, .. })));
+        // The fault persists: escalation continues, it does not re-bridge.
+        let (_, c) = s.sanitize("k", 7, cfg, Seconds(0.01), dead(), &trace);
+        assert!(dead_sample(&c));
+    }
+
+    #[test]
+    fn clean_sample_resets_the_hold_streak() {
+        let mut s = sanitizer();
+        let cfg = HwConfig::max_hd7970();
+        let trace = TraceHandle::disabled();
+        s.sanitize("k", 0, cfg, Seconds(0.01), good(), &trace);
+        for i in 1..5 {
+            s.sanitize("k", i, cfg, Seconds(0.01), dead(), &trace);
+        }
+        // Recovery: one clean sample resets the streak...
+        s.sanitize("k", 5, cfg, Seconds(0.01), good(), &trace);
+        // ...so five more holds still bridge instead of escalating.
+        for i in 6..11 {
+            let (_, c) = s.sanitize("k", i, cfg, Seconds(0.01), dead(), &trace);
+            assert!(!dead_sample(&c), "sample {i} bridged after reset");
+        }
     }
 
     #[test]

@@ -328,6 +328,66 @@ pub enum TraceEvent {
         /// Outer application iteration.
         iteration: u64,
     },
+    /// The degradation ladder moved between rungs (demotion on sustained
+    /// anomalies, promotion after a clean hold).
+    RungShift {
+        /// Kernel whose observation drove the shift.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// Rung label before the shift (see `governor::Rung::label`).
+        from: String,
+        /// Rung label after the shift.
+        to: String,
+        /// Clean intervals required at the new rung before promotion is
+        /// tried (the backoff hold); zero on promotions.
+        hold: u64,
+    },
+    /// One attempt of the runtime's retrying actuator shim: the requested
+    /// DPM transition was perturbed and the shim re-issued (or gave up on)
+    /// the request.
+    ActuationAttempt {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// Attempt ordinal (0 = the original request).
+        attempt: u32,
+        /// Fault-kind label that perturbed this attempt.
+        kind: String,
+        /// The configuration the governor decided on.
+        wanted: ConfigPoint,
+        /// The configuration this attempt landed on.
+        actual: ConfigPoint,
+    },
+    /// The retrying actuator shim resolved one invocation's actuation with
+    /// a terminal outcome (see `harmonia_sim::faults::ActuationOutcome`).
+    ActuationResolved {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// Outcome label (`applied` / `retried` / `timed-out` /
+        /// `rolled-back`).
+        outcome: String,
+        /// Total attempts consumed (1 = clean first try).
+        attempts: u32,
+        /// The configuration the governor decided on.
+        wanted: ConfigPoint,
+        /// The configuration the invocation actually ran at.
+        actual: ConfigPoint,
+    },
+    /// The counter sanitizer escalated: it served held (last-good) samples
+    /// for too many consecutive invocations and stopped masking, so the
+    /// watchdog sees the failed reads.
+    SanitizerEscalated {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// Consecutive wholesale holds served before escalation.
+        held: u32,
+    },
     /// Sweep-engine cache statistics, emitted after an exhaustive sweep.
     CacheStats {
         /// Lookups served from memory.
@@ -386,6 +446,10 @@ impl TraceEvent {
             TraceEvent::FaultDetected { .. } => "FaultDetected",
             TraceEvent::FallbackEngaged { .. } => "FallbackEngaged",
             TraceEvent::FallbackReleased { .. } => "FallbackReleased",
+            TraceEvent::RungShift { .. } => "RungShift",
+            TraceEvent::ActuationAttempt { .. } => "ActuationAttempt",
+            TraceEvent::ActuationResolved { .. } => "ActuationResolved",
+            TraceEvent::SanitizerEscalated { .. } => "SanitizerEscalated",
             TraceEvent::CacheStats { .. } => "CacheStats",
             TraceEvent::PowerSample { .. } => "PowerSample",
             TraceEvent::RunEnd { .. } => "RunEnd",
@@ -412,7 +476,11 @@ impl TraceEvent {
             | TraceEvent::SanitizerReject { kernel, .. }
             | TraceEvent::FaultDetected { kernel, .. }
             | TraceEvent::FallbackEngaged { kernel, .. }
-            | TraceEvent::FallbackReleased { kernel, .. } => Some(kernel),
+            | TraceEvent::FallbackReleased { kernel, .. }
+            | TraceEvent::RungShift { kernel, .. }
+            | TraceEvent::ActuationAttempt { kernel, .. }
+            | TraceEvent::ActuationResolved { kernel, .. }
+            | TraceEvent::SanitizerEscalated { kernel, .. } => Some(kernel),
             _ => None,
         }
     }
@@ -437,7 +505,11 @@ impl TraceEvent {
             | TraceEvent::SanitizerReject { iteration, .. }
             | TraceEvent::FaultDetected { iteration, .. }
             | TraceEvent::FallbackEngaged { iteration, .. }
-            | TraceEvent::FallbackReleased { iteration, .. } => Some(*iteration),
+            | TraceEvent::FallbackReleased { iteration, .. }
+            | TraceEvent::RungShift { iteration, .. }
+            | TraceEvent::ActuationAttempt { iteration, .. }
+            | TraceEvent::ActuationResolved { iteration, .. }
+            | TraceEvent::SanitizerEscalated { iteration, .. } => Some(*iteration),
             _ => None,
         }
     }
@@ -731,6 +803,26 @@ pub fn to_csv(events: &[TraceEvent]) -> String {
                 (Some(*safe), format!("hold={hold}"))
             }
             TraceEvent::FallbackReleased { .. } => (None, String::new()),
+            TraceEvent::RungShift { from, to, hold, .. } => {
+                (None, format!("from={from} to={to} hold={hold}"))
+            }
+            TraceEvent::ActuationAttempt { attempt, kind, wanted, actual, .. } => (
+                Some(*actual),
+                format!(
+                    "attempt={attempt} kind={kind} wanted={}/{}/{}",
+                    wanted.cu, wanted.cu_mhz, wanted.mem_mhz
+                ),
+            ),
+            TraceEvent::ActuationResolved { outcome, attempts, wanted, actual, .. } => (
+                Some(*actual),
+                format!(
+                    "outcome={outcome} attempts={attempts} wanted={}/{}/{}",
+                    wanted.cu, wanted.cu_mhz, wanted.mem_mhz
+                ),
+            ),
+            TraceEvent::SanitizerEscalated { held, .. } => {
+                (None, format!("held={held}"))
+            }
             TraceEvent::CacheStats { hits, misses, entries, .. } => {
                 (None, format!("hits={hits} misses={misses} entries={entries}"))
             }
@@ -832,6 +924,15 @@ pub struct TraceSummary {
     pub fallbacks_engaged: u64,
     /// Safe-state fallback releases.
     pub fallbacks_released: u64,
+    /// Degradation-ladder rung shifts (demotions + promotions).
+    pub rung_shifts: u64,
+    /// Individual retry attempts made by the retrying actuator shim.
+    pub actuation_attempts: u64,
+    /// Invocations whose actuation the retrying shim resolved with a
+    /// non-clean outcome (retried / timed out / rolled back).
+    pub actuations_resolved: u64,
+    /// Sanitizer hold-bound escalations (stale-sample masking stopped).
+    pub sanitizer_escalations: u64,
     /// Kernel invocations completed while a fallback was engaged
     /// (safe-state residency in invocation counts).
     pub fallback_invocations: u64,
@@ -903,6 +1004,10 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
                 s.fallbacks_released += 1;
                 fallback_active = false;
             }
+            TraceEvent::RungShift { .. } => s.rung_shifts += 1,
+            TraceEvent::ActuationAttempt { .. } => s.actuation_attempts += 1,
+            TraceEvent::ActuationResolved { .. } => s.actuations_resolved += 1,
+            TraceEvent::SanitizerEscalated { .. } => s.sanitizer_escalations += 1,
             TraceEvent::PowerSample { .. } => s.power_samples += 1,
             TraceEvent::CacheStats { hits, misses, entries, .. } => {
                 s.cache_hits = *hits;

@@ -8,6 +8,7 @@
 //! harmonia-experiments list
 //! harmonia-experiments trace <APP> [POLICY]
 //! harmonia-experiments chaos <APP>
+//! harmonia-experiments chaos-campaign [--seeds N]
 //! harmonia-experiments rr record <APP> [POLICY] [--chaos]
 //! harmonia-experiments rr replay <FILE>
 //! harmonia-experiments rr diff <A> <B>
@@ -23,6 +24,12 @@
 //! hardened vs unhardened pipeline per fault class — and prints the
 //! resilience table (seeded via `HARMONIA_FAULT_SEED`, so the table is
 //! exactly repeatable).
+//! `chaos-campaign [--seeds N]` fuzzes N (default 8) generated fault plans
+//! across the app × hardened-policy grid with the retry actuator and the
+//! session recorder engaged, checks every case against the robustness
+//! invariants (cap honored while parked, grid-valid configurations, finite
+//! accounting, bit-exact replay), shrinks any failing plan to a minimal
+//! reproducer, and exits nonzero on violations.
 //! `rr record <APP> [POLICY] [--chaos]` records a full session — every
 //! stochastic draw the run consumed — into a versioned binary trace
 //! (`results/rr_<app>_<policy>[_chaos].hrr`); `rr replay <FILE>`
@@ -31,7 +38,7 @@
 //! event between two traces.
 
 use harmonia::governor::PolicySpec;
-use harmonia_experiments::{chaos_cmd, rr_cmd, run, trace_cmd, Context, ALL_EXPERIMENTS};
+use harmonia_experiments::{campaign_cmd, chaos_cmd, rr_cmd, run, trace_cmd, Context, ALL_EXPERIMENTS};
 use harmonia_rr::differ;
 use harmonia_sim::FaultPlan;
 use std::path::PathBuf;
@@ -48,6 +55,7 @@ fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut traces: Vec<(String, PolicySpec)> = Vec::new();
     let mut chaos: Vec<String> = Vec::new();
+    let mut campaign: Option<u32> = None;
     let mut rr: Vec<RrCmd> = Vec::new();
     let mut out_dir = PathBuf::from("results");
     let mut write_csv = true;
@@ -78,6 +86,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 chaos.push(app);
+            }
+            "chaos-campaign" => {
+                let seeds = match args.peek().map(String::as_str) {
+                    Some("--seeds") => {
+                        args.next();
+                        let Some(n) = args.next().and_then(|n| n.parse::<u32>().ok()) else {
+                            eprintln!("--seeds requires a positive integer");
+                            return ExitCode::FAILURE;
+                        };
+                        n
+                    }
+                    _ => 8,
+                };
+                campaign = Some(seeds);
             }
             "rr" => {
                 let Some(mode) = args.next() else {
@@ -146,7 +168,8 @@ fn main() -> ExitCode {
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() && traces.is_empty() && chaos.is_empty() && rr.is_empty() {
+    if ids.is_empty() && traces.is_empty() && chaos.is_empty() && campaign.is_none() && rr.is_empty()
+    {
         ids.extend(ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()));
     }
 
@@ -229,6 +252,24 @@ fn main() -> ExitCode {
                 eprintln!("unknown application: {app} (not in the 14-app suite)");
                 failed = true;
             }
+        }
+    }
+    if let Some(seeds) = campaign {
+        let run = campaign_cmd::chaos_campaign(&ctx, seeds);
+        println!("{}", run.report);
+        if write_csv {
+            match run.report.write_csv(&out_dir) {
+                Ok(path) => println!("  → {}", path.display()),
+                Err(err) => {
+                    eprintln!("failed to write CSV for chaos-campaign: {err}");
+                    failed = true;
+                }
+            }
+        }
+        println!();
+        if run.violations() > 0 {
+            eprintln!("chaos-campaign: {} invariant violation(s)", run.violations());
+            failed = true;
         }
     }
     for cmd in &rr {

@@ -11,7 +11,12 @@
 //!   evaluation pipeline runs it;
 //! * **hardened** — the registry's `hardened:capped@185` stack: the same
 //!   governor with the counter sanitizer enabled and the safe-state
-//!   fallback watchdog armed on both the counter and the cap path.
+//!   fallback watchdog armed on both the counter and the cap path;
+//! * **ladder** — the registry's `hardened:ladder@185` stack: instead of
+//!   an all-or-nothing park, anomalies step the policy down a
+//!   graceful-degradation ladder (full Harmonia → CG-only → frequency-only
+//!   → safe state) with hysteresis and exponential backoff on the way
+//!   back up.
 //!
 //! Fault firing is a pure function of the plan seed
 //! ([`FaultPlan::seed_from_env`], overridable via `HARMONIA_FAULT_SEED`),
@@ -20,7 +25,7 @@
 use crate::context::Context;
 use crate::report::Report;
 use harmonia::governor::{PolicyResources, PolicySpec};
-use harmonia::runtime::Runtime;
+use harmonia::runtime::{RetryPolicy, Runtime};
 use harmonia::telemetry::{self, TraceHandle};
 use harmonia_sim::{FaultKind, FaultPlan, FaultSpec, FaultyModel};
 use harmonia_types::Watts;
@@ -54,6 +59,13 @@ pub struct ChaosOutcome {
     pub faults_detected: u64,
     /// Actuator faults the runtime shim injected.
     pub faults_injected: u64,
+    /// Invocations spent on each degradation rung (full, cg-only,
+    /// freq-only, safe-state); all zero for non-ladder stacks.
+    pub rung_residency: [u64; 4],
+    /// Ladder demotions (rung steps down); 0 for non-ladder stacks.
+    pub rung_demotions: u64,
+    /// Ladder promotions (rung steps back up); 0 for non-ladder stacks.
+    pub rung_promotions: u64,
 }
 
 impl ChaosOutcome {
@@ -74,8 +86,10 @@ pub struct ChaosCell {
     pub fault: String,
     /// The stock pipeline's outcome.
     pub unhardened: ChaosOutcome,
-    /// The hardened pipeline's outcome.
+    /// The hardened (parked-watchdog) pipeline's outcome.
     pub hardened: ChaosOutcome,
+    /// The degradation-ladder pipeline's outcome.
+    pub ladder: ChaosOutcome,
 }
 
 /// The outcome of a chaos run: the printable resilience table plus the
@@ -147,6 +161,43 @@ impl ChaosRun {
             .map(|c| c.hardened.safe_residency())
             .fold(0.0, f64::max)
     }
+
+    /// Geometric mean of the ladder pipeline's ED² degradation over the
+    /// fault cells.
+    pub fn ladder_degradation(&self) -> f64 {
+        self.geomean(|c| Self::degradation(c.ladder.ed2, self.clean.ladder.ed2))
+    }
+
+    /// The worst ladder safe-state (bottom-rung) residency across the
+    /// fault cells.
+    pub fn ladder_max_safe_residency(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(|c| c.ladder.safe_residency())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether the ladder degrades no worse than the parked-watchdog
+    /// hardened stack across the fault matrix.
+    pub fn ladder_not_worse(&self) -> bool {
+        self.ladder_degradation() <= self.hardened_degradation() * 1.0001
+    }
+
+    /// Whether the ladder spends strictly less time in the safe state than
+    /// the parked-watchdog stack — the point of degrading stepwise.
+    pub fn ladder_lower_residency(&self) -> bool {
+        let (ladder, parked) = (self.ladder_max_safe_residency(), self.max_safe_residency());
+        ladder < parked || (parked == 0.0 && ladder == 0.0)
+    }
+
+    /// Whether the cap held in every cell, whatever rung the ladder sat
+    /// on: no violations at all from the ladder stack.
+    pub fn ladder_zero_cap_violations(&self) -> bool {
+        self.cells
+            .iter()
+            .chain(std::iter::once(&self.clean))
+            .all(|c| c.ladder.cap_violations == 0 && c.ladder.violations_while_fallback == 0)
+    }
 }
 
 /// The fault matrix: one plan per fault class, all under one seed. The
@@ -197,21 +248,22 @@ pub fn fault_matrix(seed: u64) -> Vec<(&'static str, FaultPlan)> {
     ]
 }
 
-/// Runs one pipeline (hardened or not) under one fault plan.
-fn run_pipeline(ctx: &Context, app: &Application, plan: &FaultPlan, hardened: bool) -> ChaosOutcome {
+/// Runs one registry stack under one fault plan.
+fn run_pipeline(ctx: &Context, app: &Application, plan: &FaultPlan, spec: PolicySpec) -> ChaosOutcome {
     let faulty = FaultyModel::new(ctx.model(), plan.clone());
     let handle = TraceHandle::new();
-    let rt = Runtime::new(&faulty, ctx.power())
+    let mut rt = Runtime::new(&faulty, ctx.power())
         .with_telemetry(handle.clone())
         .with_faults(plan);
-    // Both cells come from the registry: the hardened one is the full
-    // sanitize + dual-watchdog stack; the stock one is the plain capped
-    // policy the evaluation pipeline runs.
-    let spec = if hardened {
-        PolicySpec::HardenedCapped(CHAOS_CAP)
-    } else {
-        PolicySpec::Capped(CHAOS_CAP)
-    };
+    // The ladder cell runs the full robustness pipeline: graceful
+    // degradation *plus* the retry/backoff actuator, so denied and
+    // partially-applied DVFS transitions are retried or rolled back
+    // instead of silently running at the wrong operating point.
+    if matches!(spec, PolicySpec::HardenedLadder(_)) {
+        rt = rt.with_actuator(RetryPolicy::default());
+    }
+    // Every cell comes from the registry, so the table measures exactly
+    // the stacks users can name on the command line.
     let resources = PolicyResources::new(ctx.predictor(), &faulty, ctx.power());
     let policy = spec.build(&resources);
     let mut gov = policy.governor;
@@ -226,6 +278,9 @@ fn run_pipeline(ctx: &Context, app: &Application, plan: &FaultPlan, hardened: bo
         sanitizer_rejects: s.sanitizer_rejects,
         faults_detected: s.faults_detected,
         faults_injected: s.faults_injected,
+        rung_residency: policy.stats.rung_residency(),
+        rung_demotions: policy.stats.rung_demotions(),
+        rung_promotions: policy.stats.rung_promotions(),
     }
 }
 
@@ -256,8 +311,9 @@ pub fn chaos_app(ctx: &Context, name: &str) -> Option<ChaosRun> {
         .into_iter()
         .map(|(label, plan)| ChaosCell {
             fault: label.to_string(),
-            unhardened: run_pipeline(ctx, &app, &plan, false),
-            hardened: run_pipeline(ctx, &app, &plan, true),
+            unhardened: run_pipeline(ctx, &app, &plan, PolicySpec::Capped(CHAOS_CAP)),
+            hardened: run_pipeline(ctx, &app, &plan, PolicySpec::HardenedCapped(CHAOS_CAP)),
+            ladder: run_pipeline(ctx, &app, &plan, PolicySpec::HardenedLadder(CHAOS_CAP)),
         })
         .collect();
     let clean = all.remove(0);
@@ -280,11 +336,14 @@ pub fn chaos_app(ctx: &Context, name: &str) -> Option<ChaosRun> {
             "fault",
             "ED² unhardened",
             "ED² hardened",
+            "ED² ladder",
             "×clean (unhard)",
             "×clean (hard)",
-            "cap viol (u/h)",
+            "×clean (ladder)",
+            "cap viol (u/h/l)",
             "viol@fallback",
-            "safe-state res",
+            "safe res (h/l)",
+            "rungs f/c/q/s",
             "rejects",
             "detected",
         ],
@@ -292,15 +351,24 @@ pub fn chaos_app(ctx: &Context, name: &str) -> Option<ChaosRun> {
     for cell in std::iter::once(&run.clean).chain(run.cells.iter()) {
         let u = &cell.unhardened;
         let h = &cell.hardened;
+        let l = &cell.ladder;
+        let [rf, rc, rq, rs] = l.rung_residency;
         report.push_row(vec![
             cell.fault.clone(),
             fmt_ed2(u.ed2),
             fmt_ed2(h.ed2),
+            fmt_ed2(l.ed2),
             fmt_ratio(ChaosRun::degradation(u.ed2, run.clean.unhardened.ed2)),
             fmt_ratio(ChaosRun::degradation(h.ed2, run.clean.hardened.ed2)),
-            format!("{}/{}", u.cap_violations, h.cap_violations),
+            fmt_ratio(ChaosRun::degradation(l.ed2, run.clean.ladder.ed2)),
+            format!("{}/{}/{}", u.cap_violations, h.cap_violations, l.cap_violations),
             h.violations_while_fallback.to_string(),
-            format!("{:.1}%", h.safe_residency() * 100.0),
+            format!(
+                "{:.1}%/{:.1}%",
+                h.safe_residency() * 100.0,
+                l.safe_residency() * 100.0
+            ),
+            format!("{rf}/{rc}/{rq}/{rs}"),
             h.sanitizer_rejects.to_string(),
             h.faults_detected.to_string(),
         ]);
@@ -328,6 +396,26 @@ pub fn chaos_app(ctx: &Context, name: &str) -> Option<ChaosRun> {
         run.max_safe_residency() * 100.0,
         RESIDENCY_BOUND * 100.0,
         if run.max_safe_residency() < RESIDENCY_BOUND {
+            "yes"
+        } else {
+            "NO"
+        }
+    ));
+    report.note(format!(
+        "ladder ED² degradation geomean {} vs hardened {} — ladder degradation within hardened: {}",
+        fmt_ratio(run.ladder_degradation()),
+        fmt_ratio(run.hardened_degradation()),
+        if run.ladder_not_worse() { "yes" } else { "NO" }
+    ));
+    report.note(format!(
+        "ladder max safe-state residency {:.1}% vs parked hardened {:.1}% — ladder residency strictly lower: {}",
+        run.ladder_max_safe_residency() * 100.0,
+        run.max_safe_residency() * 100.0,
+        if run.ladder_lower_residency() { "yes" } else { "NO" }
+    ));
+    report.note(format!(
+        "zero cap violations in any ladder rung: {}",
+        if run.ladder_zero_cap_violations() {
             "yes"
         } else {
             "NO"
@@ -393,5 +481,22 @@ mod tests {
         assert!(a.hardened_wins(), "hardened must degrade less than stock");
         assert!(a.zero_violations_while_fallback());
         assert!(a.max_safe_residency() < RESIDENCY_BOUND);
+        // Ladder acceptance: degrades no worse than the parked hardened
+        // pipeline, spends strictly less time in the safe state, and honours
+        // the power cap in every rung.
+        assert!(
+            a.ladder_not_worse(),
+            "ladder geomean degradation {} must not exceed hardened {}",
+            a.ladder_degradation(),
+            a.hardened_degradation()
+        );
+        assert!(
+            a.ladder_lower_residency(),
+            "ladder safe residency {} must be strictly below parked {}",
+            a.ladder_max_safe_residency(),
+            a.max_safe_residency()
+        );
+        assert!(a.ladder_zero_cap_violations());
     }
 }
+

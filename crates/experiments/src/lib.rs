@@ -39,9 +39,11 @@
 //! | `appendix` / `appendix-<app>` | per-application deep dives |
 //! | `trace-<app>` | decision-trace summary (the `trace <app>` subcommand) |
 //! | `chaos-<app>` | fault-matrix resilience table (the `chaos <app>` subcommand) |
+//! | `chaos-campaign` | seeded fault-plan fuzzer with invariant checks (the `chaos-campaign` subcommand) |
 //! | `rr-record-<app>-<policy>` | recorded-session summary (the `rr` subcommand) |
 
 pub mod appendix;
+pub mod campaign_cmd;
 pub mod chaos_cmd;
 pub mod context;
 pub mod evaluation;

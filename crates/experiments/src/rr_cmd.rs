@@ -20,9 +20,9 @@
 
 use crate::context::Context;
 use crate::report::Report;
-use harmonia::governor::PolicySpec;
+use harmonia::governor::{PolicySpec, PolicyStats};
 use harmonia::metrics::RunReport;
-use harmonia::runtime::Runtime;
+use harmonia::runtime::{RetryPolicy, Runtime};
 use harmonia_rr::{codec, differ, Divergence, Recorder, ReplayError, ReplayModel, Replayer, SessionEvent};
 use harmonia_sim::{FaultKind, FaultPlan, FaultSpec, FaultyModel, TimingModel};
 use harmonia_workloads::suite;
@@ -54,6 +54,9 @@ pub struct RecordedSession {
     pub bytes: Vec<u8>,
     /// The live run the session was recorded from.
     pub run: RunReport,
+    /// The policy stack's shared counters (cap violations, rung residency,
+    /// ...) — the chaos campaign's invariant checks read these.
+    pub stats: PolicyStats,
     /// Printable summary.
     pub report: Report,
 }
@@ -120,6 +123,20 @@ pub fn record_session(
     spec: PolicySpec,
     plan: Option<&FaultPlan>,
 ) -> Option<RecordedSession> {
+    record_session_with(ctx, name, spec, plan, None)
+}
+
+/// [`record_session`] with the reliable-actuation shim optionally engaged:
+/// with a [`RetryPolicy`], DPM faults resolve through the retry/backoff
+/// state machine and every terminal verdict lands in the trace as a v2
+/// `actuation-resolved` event.
+pub fn record_session_with(
+    ctx: &Context,
+    name: &str,
+    spec: PolicySpec,
+    plan: Option<&FaultPlan>,
+    actuator: Option<RetryPolicy>,
+) -> Option<RecordedSession> {
     let app = suite::all()
         .into_iter()
         .find(|a| a.name.eq_ignore_ascii_case(name))?;
@@ -129,17 +146,23 @@ pub fn record_session(
         policy: spec.name(),
         fault_seed: plan.map(FaultPlan::seed).unwrap_or(0),
     });
+    let policy = ctx.policy(spec);
+    let stats = policy.stats;
+    let mut governor = policy.governor;
     let run = match plan {
         Some(plan) => {
             let faulty = FaultyModel::new(ctx.model(), plan.clone());
-            Runtime::new(&faulty, ctx.power())
+            let mut rt = Runtime::new(&faulty, ctx.power())
                 .with_faults(plan)
-                .with_recorder(recorder.clone())
-                .run(&app, &mut ctx.policy(spec).governor)
+                .with_recorder(recorder.clone());
+            if let Some(retry) = actuator {
+                rt = rt.with_actuator(retry);
+            }
+            rt.run(&app, &mut governor)
         }
         None => Runtime::new(ctx.model(), ctx.power())
             .with_recorder(recorder.clone())
-            .run(&app, &mut ctx.policy(spec).governor),
+            .run(&app, &mut governor),
     };
     let events = recorder.events();
     let bytes = codec::encode(&events);
@@ -168,6 +191,10 @@ pub fn record_session(
     row("decisions", count_label(&events, "decision").to_string());
     row("samples", count_label(&events, "sample").to_string());
     row("actuator faults", count_label(&events, "actuation").to_string());
+    row(
+        "actuation resolutions",
+        count_label(&events, "actuation-resolved").to_string(),
+    );
     row("sanitizer substitutions", count_label(&events, "conditioned").to_string());
     row("total time", format!("{:.4e} s", run.total_time.value()));
     row("card energy", format!("{:.4e} J", run.card_energy.value()));
@@ -184,6 +211,7 @@ pub fn record_session(
         events,
         bytes,
         run,
+        stats,
         report,
     })
 }
@@ -306,6 +334,52 @@ mod tests {
         assert!(kinds.iter().any(|k| k.is_counter()));
         assert!(kinds.iter().any(|k| k.is_actuator()));
         assert_eq!(plan.seed(), 7);
+    }
+
+    #[test]
+    fn actuated_chaos_session_records_v2_and_replays_bit_exactly() {
+        let ctx = Context::new();
+        let plan = chaos_plan(0xB0B)
+            .with(FaultSpec::new(FaultKind::DvfsDeny, 0.4));
+        let rec = record_session_with(
+            &ctx,
+            "sort",
+            PolicySpec::Harmonia,
+            Some(&plan),
+            Some(RetryPolicy::default()),
+        )
+        .expect("Sort is in the suite");
+        assert!(
+            count_label(&rec.events, "actuation-resolved") > 0,
+            "retry shim must resolve at least one perturbed actuation"
+        );
+        assert_eq!(
+            rec.bytes[8..10],
+            2u16.to_le_bytes(),
+            "resolved actuations need a v2 stream"
+        );
+        let rep = replay_session(&ctx, &rec.events).expect("replays");
+        assert!(
+            rep.divergence.is_none(),
+            "{}",
+            differ::diff_report(&rec.events, &rep.events)
+        );
+        assert!(rep.replay_error.is_none(), "{:?}", rep.replay_error);
+        assert_eq!(rep.run, rec.run);
+    }
+
+    #[test]
+    fn truncated_trace_error_names_the_last_complete_event() {
+        let ctx = Context::new();
+        let rec = record_session(&ctx, "maxflops", PolicySpec::Baseline, None)
+            .expect("MaxFlops is in the suite");
+        let dir = std::env::temp_dir().join("harmonia-rr-truncation-test");
+        let path = write_trace(&dir, "cut.hrr", &rec.bytes[..rec.bytes.len() - 4])
+            .expect("writes");
+        let err = read_trace(&path).expect_err("truncated trace must fail");
+        assert!(err.contains("truncated"), "{err}");
+        assert!(err.contains("last complete event"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

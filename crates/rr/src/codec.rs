@@ -4,10 +4,18 @@
 //!
 //! ```text
 //! magic     8 bytes   b"HRRTRACE"
-//! version   u16       FORMAT_VERSION; readers reject anything newer
+//! version   u16       minimal version for the events; readers reject
+//!                     anything newer than FORMAT_VERSION
 //! count     varint    number of events
 //! events    count ×   tag u8 + variant payload
 //! ```
+//!
+//! Version history: v1 is the original vocabulary (tags 0–5); v2 adds the
+//! retry-pipeline `actuation-resolved` event (tag 6). The encoder writes
+//! the **minimal** version the events need — a session with no resolved
+//! actuations still encodes as a byte-identical v1 stream — and the
+//! decoder accepts both, rejecting tag 6 inside a v1 stream as a
+//! [`CodecError::BadTag`].
 //!
 //! Scalars: `u64`/`u32` as LEB128 varints, `f64` as its raw 8-byte bit
 //! pattern (NaN payloads survive — power-glitch samples must round-trip
@@ -21,7 +29,7 @@
 //! [`CodecError`] with the byte offset it was detected at.
 
 use crate::{CfgPoint, SessionEvent};
-use harmonia_sim::{CounterSample, FaultKind};
+use harmonia_sim::{ActuationOutcome, CounterSample, FaultKind};
 use harmonia_types::Seconds;
 use std::collections::HashMap;
 use std::error::Error;
@@ -30,10 +38,15 @@ use std::fmt;
 /// The 8-byte stream magic.
 pub const MAGIC: [u8; 8] = *b"HRRTRACE";
 
-/// Current format version. Bump on any layout change; readers reject
-/// streams written by a newer version with
-/// [`CodecError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u16 = 1;
+/// Newest format version this build reads and writes. Bump on any layout
+/// change; readers reject streams written by a newer version with
+/// [`CodecError::UnsupportedVersion`]. The encoder stamps each stream with
+/// the *minimal* version its events need, so older readers keep working on
+/// traces that never use the newer vocabulary.
+pub const FORMAT_VERSION: u16 = 2;
+
+/// First version with the `actuation-resolved` event (tag 6).
+const VERSION_ACTUATION_RESOLVED: u16 = 2;
 
 const TAG_SESSION_START: u8 = 0;
 const TAG_DECISION: u8 = 1;
@@ -41,6 +54,7 @@ const TAG_ACTUATION: u8 = 2;
 const TAG_SAMPLE: u8 = 3;
 const TAG_CONDITIONED: u8 = 4;
 const TAG_SESSION_END: u8 = 5;
+const TAG_ACTUATION_RESOLVED: u8 = 6;
 
 /// A malformed or unsupported session-trace stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +73,10 @@ pub enum CodecError {
     Truncated {
         /// Byte offset the read started at.
         offset: usize,
+        /// Index and variant label of the last event that decoded
+        /// completely before the stream ended; `None` when the cut landed
+        /// inside the header or the first event.
+        last_event: Option<(usize, &'static str)>,
     },
     /// An unknown event tag.
     BadTag {
@@ -97,8 +115,14 @@ impl fmt::Display for CodecError {
                 f,
                 "session trace format v{found} is newer than the supported v{supported}"
             ),
-            CodecError::Truncated { offset } => {
-                write!(f, "session trace truncated at byte {offset}")
+            CodecError::Truncated { offset, last_event } => {
+                write!(f, "session trace truncated at byte {offset}")?;
+                match last_event {
+                    Some((index, label)) => {
+                        write!(f, " (last complete event: #{index} {label})")
+                    }
+                    None => write!(f, " (no event decoded completely)"),
+                }
             }
             CodecError::BadTag { tag, offset } => {
                 write!(f, "unknown event tag {tag} at byte {offset}")
@@ -182,12 +206,27 @@ impl<'a> Interner<'a> {
     }
 }
 
+/// The minimal format version able to express `events`. Streams without
+/// any v2-only event still encode as v1, byte-identical to what older
+/// builds wrote — committed golden traces survive the version bump.
+fn minimal_version(events: &[SessionEvent]) -> u16 {
+    if events
+        .iter()
+        .any(|e| matches!(e, SessionEvent::ActuationResolved { .. }))
+    {
+        VERSION_ACTUATION_RESOLVED
+    } else {
+        1
+    }
+}
+
 /// Encodes a session into the versioned binary format. The encoding is
-/// canonical: the same events always produce the same bytes.
+/// canonical: the same events always produce the same bytes, and the
+/// header carries the minimal version those events need.
 pub fn encode(events: &[SessionEvent]) -> Vec<u8> {
     let mut out = Vec::with_capacity(16 + events.len() * 64);
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&minimal_version(events).to_le_bytes());
     put_varint(&mut out, events.len() as u64);
     let mut interner = Interner { ids: HashMap::new() };
     for event in events {
@@ -209,6 +248,28 @@ pub fn encode(events: &[SessionEvent]) -> Vec<u8> {
                 interner.put_kernel(&mut out, kernel);
                 put_varint(&mut out, *iteration);
                 out.push(kind.code());
+                put_cfg(&mut out, *wanted);
+                put_cfg(&mut out, *actual);
+            }
+            SessionEvent::ActuationResolved {
+                kernel,
+                iteration,
+                outcome,
+                attempts,
+                kinds,
+                wanted,
+                actual,
+            } => {
+                out.push(TAG_ACTUATION_RESOLVED);
+                interner.put_kernel(&mut out, kernel);
+                put_varint(&mut out, *iteration);
+                out.push(outcome.code());
+                put_varint(&mut out, u64::from(outcome.param()));
+                put_varint(&mut out, u64::from(*attempts));
+                put_varint(&mut out, kinds.len() as u64);
+                for kind in kinds {
+                    out.push(kind.code());
+                }
                 put_cfg(&mut out, *wanted);
                 put_cfg(&mut out, *actual);
             }
@@ -265,7 +326,7 @@ impl<'a> Reader<'a> {
         let end = start
             .checked_add(n)
             .filter(|&e| e <= self.bytes.len())
-            .ok_or(CodecError::Truncated { offset: start })?;
+            .ok_or(CodecError::Truncated { offset: start, last_event: None })?;
         self.pos = end;
         Ok(&self.bytes[start..end])
     }
@@ -362,6 +423,14 @@ impl<'a> Reader<'a> {
         FaultKind::from_code(code)
             .ok_or(CodecError::Malformed { offset, what: "fault-kind code" })
     }
+
+    fn outcome(&mut self) -> Result<ActuationOutcome, CodecError> {
+        let offset = self.pos;
+        let code = self.u8()?;
+        let param = self.u32()?;
+        ActuationOutcome::from_code(code, param)
+            .ok_or(CodecError::Malformed { offset, what: "actuation-outcome code" })
+    }
 }
 
 /// Decodes a session trace, validating the header, every event, and the
@@ -379,7 +448,7 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<SessionEvent>, CodecError> {
     }
     let version = u16::from_le_bytes(
         r.take(2)
-            .map_err(|_| CodecError::Truncated { offset: MAGIC.len() })?
+            .map_err(|_| CodecError::Truncated { offset: MAGIC.len(), last_event: None })?
             .try_into()
             .expect("2 bytes"),
     );
@@ -393,51 +462,87 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<SessionEvent>, CodecError> {
     let count = usize::try_from(count)
         .map_err(|_| CodecError::Malformed { offset: 10, what: "event count" })?;
     let mut table: Vec<String> = Vec::new();
-    let mut events = Vec::with_capacity(count.min(1 << 20));
+    let mut events: Vec<SessionEvent> = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
-        let tag_offset = r.pos;
-        let tag = r.u8()?;
-        let event = match tag {
-            TAG_SESSION_START => SessionEvent::SessionStart {
-                app: r.string()?,
-                policy: r.string()?,
-                fault_seed: r.varint()?,
+        let decoded = (|| {
+            let tag_offset = r.pos;
+            let tag = r.u8()?;
+            Ok(match tag {
+                TAG_SESSION_START => SessionEvent::SessionStart {
+                    app: r.string()?,
+                    policy: r.string()?,
+                    fault_seed: r.varint()?,
+                },
+                TAG_DECISION => SessionEvent::Decision {
+                    kernel: r.kernel(&mut table)?,
+                    iteration: r.varint()?,
+                    cfg: r.cfg()?,
+                },
+                TAG_ACTUATION => SessionEvent::Actuation {
+                    kernel: r.kernel(&mut table)?,
+                    iteration: r.varint()?,
+                    kind: r.fault_kind()?,
+                    wanted: r.cfg()?,
+                    actual: r.cfg()?,
+                },
+                TAG_ACTUATION_RESOLVED if version >= VERSION_ACTUATION_RESOLVED => {
+                    let kernel = r.kernel(&mut table)?;
+                    let iteration = r.varint()?;
+                    let outcome = r.outcome()?;
+                    let attempts = r.u32()?;
+                    let kinds_offset = r.pos;
+                    let n = r.varint()?;
+                    let n = usize::try_from(n).map_err(|_| CodecError::Malformed {
+                        offset: kinds_offset,
+                        what: "fault-kind count",
+                    })?;
+                    let mut kinds = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        kinds.push(r.fault_kind()?);
+                    }
+                    SessionEvent::ActuationResolved {
+                        kernel,
+                        iteration,
+                        outcome,
+                        attempts,
+                        kinds,
+                        wanted: r.cfg()?,
+                        actual: r.cfg()?,
+                    }
+                }
+                TAG_SAMPLE => SessionEvent::Sample {
+                    kernel: r.kernel(&mut table)?,
+                    iteration: r.varint()?,
+                    cfg: r.cfg()?,
+                    time_s: r.f64()?,
+                    counters: r.counters()?,
+                    stepped_waves: r.varint()?,
+                    fast_forwarded_waves: r.varint()?,
+                },
+                TAG_CONDITIONED => SessionEvent::Conditioned {
+                    kernel: r.kernel(&mut table)?,
+                    iteration: r.varint()?,
+                    time_s: r.f64()?,
+                    counters: r.counters()?,
+                },
+                TAG_SESSION_END => SessionEvent::SessionEnd {
+                    total_time_s: r.f64()?,
+                    card_energy_j: r.f64()?,
+                    gpu_energy_j: r.f64()?,
+                    mem_energy_j: r.f64()?,
+                },
+                tag => return Err(CodecError::BadTag { tag, offset: tag_offset }),
+            })
+        })();
+        // A truncation mid-event is only diagnosable with a landmark:
+        // stamp in the last event that decoded completely.
+        let event = decoded.map_err(|e| match e {
+            CodecError::Truncated { offset, last_event: None } => CodecError::Truncated {
+                offset,
+                last_event: events.last().map(|ev| (events.len() - 1, ev.label())),
             },
-            TAG_DECISION => SessionEvent::Decision {
-                kernel: r.kernel(&mut table)?,
-                iteration: r.varint()?,
-                cfg: r.cfg()?,
-            },
-            TAG_ACTUATION => SessionEvent::Actuation {
-                kernel: r.kernel(&mut table)?,
-                iteration: r.varint()?,
-                kind: r.fault_kind()?,
-                wanted: r.cfg()?,
-                actual: r.cfg()?,
-            },
-            TAG_SAMPLE => SessionEvent::Sample {
-                kernel: r.kernel(&mut table)?,
-                iteration: r.varint()?,
-                cfg: r.cfg()?,
-                time_s: r.f64()?,
-                counters: r.counters()?,
-                stepped_waves: r.varint()?,
-                fast_forwarded_waves: r.varint()?,
-            },
-            TAG_CONDITIONED => SessionEvent::Conditioned {
-                kernel: r.kernel(&mut table)?,
-                iteration: r.varint()?,
-                time_s: r.f64()?,
-                counters: r.counters()?,
-            },
-            TAG_SESSION_END => SessionEvent::SessionEnd {
-                total_time_s: r.f64()?,
-                card_energy_j: r.f64()?,
-                gpu_energy_j: r.f64()?,
-                mem_energy_j: r.f64()?,
-            },
-            tag => return Err(CodecError::BadTag { tag, offset: tag_offset }),
-        };
+            other => other,
+        })?;
         events.push(event);
     }
     if r.pos != bytes.len() {
@@ -575,6 +680,83 @@ mod tests {
             a.len(),
             encode(&unique).len()
         );
+    }
+
+    fn resolved(kernel: &str) -> SessionEvent {
+        SessionEvent::ActuationResolved {
+            kernel: kernel.into(),
+            iteration: 2,
+            outcome: ActuationOutcome::Retried(3),
+            attempts: 4,
+            kinds: vec![FaultKind::DvfsDeny, FaultKind::DvfsDelay, FaultKind::DvfsDeny],
+            wanted: CfgPoint { cu: 32, cu_mhz: 1000, mem_mhz: 1375 },
+            actual: CfgPoint { cu: 32, cu_mhz: 1000, mem_mhz: 1375 },
+        }
+    }
+
+    #[test]
+    fn sessions_without_resolved_actuations_still_encode_as_v1() {
+        let bytes = encode(&events());
+        assert_eq!(bytes[8..10], 1u16.to_le_bytes(), "minimal version must be v1");
+        let mut evs = events();
+        evs.insert(2, resolved("BFS"));
+        let bytes = encode(&evs);
+        assert_eq!(bytes[8..10], 2u16.to_le_bytes(), "resolved actuation needs v2");
+    }
+
+    #[test]
+    fn resolved_actuations_round_trip() {
+        let mut evs = events();
+        evs.insert(2, resolved("BFS"));
+        evs.insert(
+            3,
+            SessionEvent::ActuationResolved {
+                kernel: "BFS".into(),
+                iteration: 3,
+                outcome: ActuationOutcome::RolledBack,
+                attempts: 5,
+                kinds: vec![FaultKind::DvfsNeighbor],
+                wanted: CfgPoint { cu: 32, cu_mhz: 1000, mem_mhz: 1375 },
+                actual: CfgPoint { cu: 24, cu_mhz: 850, mem_mhz: 1375 },
+            },
+        );
+        let bytes = encode(&evs);
+        let back = decode(&bytes).expect("v2 decodes");
+        assert_eq!(back, evs);
+        assert_eq!(encode(&back), bytes, "canonical re-encode");
+    }
+
+    #[test]
+    fn resolved_tag_inside_a_v1_stream_is_rejected() {
+        let mut evs = events();
+        evs.insert(2, resolved("BFS"));
+        let mut bytes = encode(&evs);
+        bytes[8..10].copy_from_slice(&1u16.to_le_bytes());
+        assert!(
+            matches!(decode(&bytes), Err(CodecError::BadTag { tag: 6, .. })),
+            "tag 6 must be invalid in a v1 stream"
+        );
+    }
+
+    #[test]
+    fn truncation_names_the_last_complete_event() {
+        let bytes = encode(&events());
+        let err = decode(&bytes[..bytes.len() - 1]).expect_err("truncated");
+        match err {
+            CodecError::Truncated { last_event: Some((index, label)), .. } => {
+                // The cut lands inside the session-end footer; the last
+                // complete event is the conditioned record before it.
+                assert_eq!((index, label), (4, "conditioned"));
+            }
+            other => panic!("expected contextual truncation, got {other:?}"),
+        }
+        let display = decode(&bytes[..bytes.len() - 1]).unwrap_err().to_string();
+        assert!(display.contains("#4 conditioned"), "{display}");
+        // A cut inside the first event has no landmark.
+        match decode(&bytes[..12]).expect_err("truncated header") {
+            CodecError::Truncated { last_event: None, .. } => {}
+            other => panic!("expected landmark-free truncation, got {other:?}"),
+        }
     }
 
     #[test]

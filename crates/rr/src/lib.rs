@@ -39,7 +39,7 @@ pub use differ::{diff_report, first_divergence, Divergence};
 pub use model::{RecordingModel, ReplayModel};
 
 use harmonia_sim::model::FastForwardStats;
-use harmonia_sim::{CounterSample, FaultKind, SimResult};
+use harmonia_sim::{ActuationOutcome, CounterSample, FaultKind, SimResult};
 use harmonia_types::{HwConfig, Seconds};
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -126,6 +126,27 @@ pub enum SessionEvent {
         iteration: u64,
         /// Which actuator fault fired.
         kind: FaultKind,
+        /// The governor's decision.
+        wanted: CfgPoint,
+        /// The configuration that actually took effect.
+        actual: CfgPoint,
+    },
+    /// The reliable-actuation shim resolved this invocation's configuration
+    /// transition through its retry/backoff state machine. Recorded only
+    /// when at least one attempt was perturbed — a clean first-attempt
+    /// apply records nothing, so sessions run without the shim (or without
+    /// faults) keep their byte-identical v1 traces.
+    ActuationResolved {
+        /// Kernel name.
+        kernel: String,
+        /// Outer application iteration.
+        iteration: u64,
+        /// Terminal outcome of the retry state machine.
+        outcome: ActuationOutcome,
+        /// Total attempts made (1 is the initial attempt).
+        attempts: u32,
+        /// Fault kinds hit, in attempt order.
+        kinds: Vec<FaultKind>,
         /// The governor's decision.
         wanted: CfgPoint,
         /// The configuration that actually took effect.
@@ -246,6 +267,26 @@ impl PartialEq for SessionEvent {
                 Actuation { kernel: k2, iteration: i2, kind: f2, wanted: w2, actual: a2 },
             ) => k1 == k2 && i1 == i2 && f1 == f2 && w1 == w2 && a1 == a2,
             (
+                ActuationResolved {
+                    kernel: k1,
+                    iteration: i1,
+                    outcome: o1,
+                    attempts: t1,
+                    kinds: f1,
+                    wanted: w1,
+                    actual: a1,
+                },
+                ActuationResolved {
+                    kernel: k2,
+                    iteration: i2,
+                    outcome: o2,
+                    attempts: t2,
+                    kinds: f2,
+                    wanted: w2,
+                    actual: a2,
+                },
+            ) => k1 == k2 && i1 == i2 && o1 == o2 && t1 == t2 && f1 == f2 && w1 == w2 && a1 == a2,
+            (
                 Sample {
                     kernel: k1,
                     iteration: i1,
@@ -295,6 +336,7 @@ impl SessionEvent {
             SessionEvent::SessionStart { .. } => "session-start",
             SessionEvent::Decision { .. } => "decision",
             SessionEvent::Actuation { .. } => "actuation",
+            SessionEvent::ActuationResolved { .. } => "actuation-resolved",
             SessionEvent::Sample { .. } => "sample",
             SessionEvent::Conditioned { .. } => "conditioned",
             SessionEvent::SessionEnd { .. } => "session-end",
@@ -306,6 +348,7 @@ impl SessionEvent {
         match self {
             SessionEvent::Decision { kernel, .. }
             | SessionEvent::Actuation { kernel, .. }
+            | SessionEvent::ActuationResolved { kernel, .. }
             | SessionEvent::Sample { kernel, .. }
             | SessionEvent::Conditioned { kernel, .. } => Some(kernel),
             _ => None,
@@ -317,6 +360,7 @@ impl SessionEvent {
         match self {
             SessionEvent::Decision { iteration, .. }
             | SessionEvent::Actuation { iteration, .. }
+            | SessionEvent::ActuationResolved { iteration, .. }
             | SessionEvent::Sample { iteration, .. }
             | SessionEvent::Conditioned { iteration, .. } => Some(*iteration),
             _ => None,
@@ -370,6 +414,48 @@ impl SessionEvent {
                 }
                 if f1 != f2 {
                     push_diff(&mut out, "kind", f1.label().to_string(), f2.label().to_string());
+                }
+                if w1 != w2 {
+                    push_diff(&mut out, "wanted", w1.to_string(), w2.to_string());
+                }
+                if a1 != a2 {
+                    push_diff(&mut out, "actual", a1.to_string(), a2.to_string());
+                }
+            }
+            (
+                ActuationResolved {
+                    kernel: k1,
+                    iteration: i1,
+                    outcome: o1,
+                    attempts: t1,
+                    kinds: f1,
+                    wanted: w1,
+                    actual: a1,
+                },
+                ActuationResolved {
+                    kernel: k2,
+                    iteration: i2,
+                    outcome: o2,
+                    attempts: t2,
+                    kinds: f2,
+                    wanted: w2,
+                    actual: a2,
+                },
+            ) => {
+                if k1 != k2 {
+                    push_diff(&mut out, "kernel", k1.clone(), k2.clone());
+                }
+                if i1 != i2 {
+                    push_diff(&mut out, "iteration", i1.to_string(), i2.to_string());
+                }
+                if o1 != o2 {
+                    push_diff(&mut out, "outcome", outcome_string(*o1), outcome_string(*o2));
+                }
+                if t1 != t2 {
+                    push_diff(&mut out, "attempts", t1.to_string(), t2.to_string());
+                }
+                if f1 != f2 {
+                    push_diff(&mut out, "kinds", kinds_string(f1), kinds_string(f2));
                 }
                 if w1 != w2 {
                     push_diff(&mut out, "wanted", w1.to_string(), w2.to_string());
@@ -460,6 +546,19 @@ fn push_diff(out: &mut Vec<String>, field: &str, a: String, b: String) {
     out.push(format!("{field}: {a} != {b}"));
 }
 
+/// `retried(3)` / `applied` — the outcome label with its parameter.
+fn outcome_string(o: ActuationOutcome) -> String {
+    match o {
+        ActuationOutcome::Retried(n) => format!("retried({n})"),
+        other => other.label().to_string(),
+    }
+}
+
+fn kinds_string(kinds: &[FaultKind]) -> String {
+    let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+    format!("[{}]", labels.join(","))
+}
+
 fn diff_counters(a: &CounterSample, b: &CounterSample, out: &mut Vec<String>) {
     let (ba, bb) = (counter_bits(a), counter_bits(b));
     for ((field, xa), xb) in COUNTER_FIELDS.iter().zip(ba).zip(bb) {
@@ -487,6 +586,23 @@ impl fmt::Display for SessionEvent {
                     f,
                     "actuation {kernel}#{iteration} {} wanted {wanted} got {actual}",
                     kind.label()
+                )
+            }
+            SessionEvent::ActuationResolved {
+                kernel,
+                iteration,
+                outcome,
+                attempts,
+                kinds,
+                wanted,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "actuation-resolved {kernel}#{iteration} {} after {attempts} attempt(s) \
+                     {} wanted {wanted} got {actual}",
+                    outcome_string(*outcome),
+                    kinds_string(kinds)
                 )
             }
             SessionEvent::Sample { kernel, iteration, cfg, time_s, counters, .. } => {
@@ -582,6 +698,32 @@ impl Cursor {
     }
 }
 
+/// A recorded actuation outcome served back to the live run, in either of
+/// the trace's two shapes: the v1 single-shot fault record, or the v2
+/// retry-pipeline resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayedActuation {
+    /// A v1 [`SessionEvent::Actuation`]: one fault fired, no retries.
+    Fault {
+        /// Which actuator fault fired.
+        kind: FaultKind,
+        /// The configuration that actually took effect.
+        actual: HwConfig,
+    },
+    /// A v2 [`SessionEvent::ActuationResolved`]: the retry shim's terminal
+    /// verdict for the invocation.
+    Resolved {
+        /// Terminal outcome of the retry state machine.
+        outcome: ActuationOutcome,
+        /// Total attempts made.
+        attempts: u32,
+        /// Fault kinds hit, in attempt order.
+        kinds: Vec<FaultKind>,
+        /// The configuration that actually took effect.
+        actual: HwConfig,
+    },
+}
+
 /// Serves a recorded session back to a live run: actuation outcomes to the
 /// runtime's DPM shim and counter samples to a [`ReplayModel`], consuming
 /// the trace strictly in order. Clones share one cursor.
@@ -613,10 +755,32 @@ impl Replayer {
         }
     }
 
-    /// The recorded actuation outcome for this invocation, if one was
-    /// recorded: scans past deterministic events; stops (without consuming)
-    /// at the invocation's sample when actuation was clean.
+    /// The recorded single-fault actuation for this invocation, if one was
+    /// recorded. The legacy (v1) probe: a recorded retry-pipeline
+    /// resolution at the cursor is a structural error through this method —
+    /// use [`actuation_event_for`](Self::actuation_event_for) to serve both
+    /// shapes.
     pub fn actuation_for(&self, kernel: &str, iteration: u64) -> Option<(FaultKind, HwConfig)> {
+        match self.actuation_event_for(kernel, iteration) {
+            Some(ReplayedActuation::Fault { kind, actual }) => Some((kind, actual)),
+            Some(ReplayedActuation::Resolved { .. }) => {
+                let mut c = self.inner.lock().expect("replayer poisoned");
+                let pos = c.pos.saturating_sub(1);
+                c.fail(
+                    pos,
+                    "recorded retry-pipeline resolution served through the legacy probe".into(),
+                );
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// The recorded actuation outcome for this invocation, if one was
+    /// recorded, in either trace shape: scans past deterministic events;
+    /// stops (without consuming) at the invocation's sample when actuation
+    /// was clean.
+    pub fn actuation_event_for(&self, kernel: &str, iteration: u64) -> Option<ReplayedActuation> {
         let mut c = self.inner.lock().expect("replayer poisoned");
         loop {
             let pos = c.pos;
@@ -627,7 +791,7 @@ impl Replayer {
                         let hw = actual.to_hw();
                         c.pos = pos + 1;
                         match hw {
-                            Some(hw) => Some((kind, hw)),
+                            Some(actual) => Some(ReplayedActuation::Fault { kind, actual }),
                             None => {
                                 c.fail(pos, "recorded actuation is off the hardware grid".into());
                                 None
@@ -636,6 +800,44 @@ impl Replayer {
                     } else {
                         let msg = format!(
                             "recorded actuation is for {k}#{it}, live run is at {kernel}#{iteration}"
+                        );
+                        c.fail(pos, msg);
+                        c.pos = pos + 1;
+                        None
+                    };
+                }
+                Some(SessionEvent::ActuationResolved {
+                    kernel: k,
+                    iteration: it,
+                    outcome,
+                    attempts,
+                    kinds,
+                    actual,
+                    ..
+                }) => {
+                    return if k == kernel && *it == iteration {
+                        let (outcome, attempts, kinds) = (*outcome, *attempts, kinds.clone());
+                        let hw = actual.to_hw();
+                        c.pos = pos + 1;
+                        match hw {
+                            Some(actual) => Some(ReplayedActuation::Resolved {
+                                outcome,
+                                attempts,
+                                kinds,
+                                actual,
+                            }),
+                            None => {
+                                c.fail(
+                                    pos,
+                                    "recorded actuation resolution is off the hardware grid".into(),
+                                );
+                                None
+                            }
+                        }
+                    } else {
+                        let msg = format!(
+                            "recorded actuation resolution is for {k}#{it}, \
+                             live run is at {kernel}#{iteration}"
                         );
                         c.fail(pos, msg);
                         c.pos = pos + 1;
@@ -697,7 +899,8 @@ impl Replayer {
                     c.fail(pos, format!("trace exhausted before {kernel}#{iteration}"));
                     return None;
                 }
-                Some(SessionEvent::Actuation { .. }) => {
+                Some(SessionEvent::Actuation { .. })
+                | Some(SessionEvent::ActuationResolved { .. }) => {
                     // An actuation the runtime never asked for (e.g. replay
                     // driven without `with_replay`): note it and move on.
                     c.fail(pos, "unconsumed actuation event".into());
@@ -797,6 +1000,46 @@ mod tests {
         assert_eq!(r1.time.value(), 0.25);
         assert!(rep.error().is_none());
         assert_eq!(rep.remaining(), 0);
+    }
+
+    #[test]
+    fn replayer_serves_resolved_actuations() {
+        let cfg = CfgPoint { cu: 32, cu_mhz: 1000, mem_mhz: 1375 };
+        let degraded = CfgPoint { cu: 24, cu_mhz: 800, mem_mhz: 1375 };
+        let hw = cfg.to_hw().unwrap();
+        let events = vec![
+            SessionEvent::Decision { kernel: "k".into(), iteration: 0, cfg },
+            SessionEvent::ActuationResolved {
+                kernel: "k".into(),
+                iteration: 0,
+                outcome: ActuationOutcome::RolledBack,
+                attempts: 3,
+                kinds: vec![FaultKind::DvfsDeny, FaultKind::DvfsNeighbor],
+                wanted: cfg,
+                actual: degraded,
+            },
+            sample("k", 0, 0.5),
+        ];
+        let rep = Replayer::new(events.clone());
+        match rep.actuation_event_for("k", 0) {
+            Some(ReplayedActuation::Resolved { outcome, attempts, kinds, actual }) => {
+                assert_eq!(outcome, ActuationOutcome::RolledBack);
+                assert_eq!(attempts, 3);
+                assert_eq!(kinds, vec![FaultKind::DvfsDeny, FaultKind::DvfsNeighbor]);
+                assert_eq!(actual, degraded.to_hw().unwrap());
+            }
+            other => panic!("expected resolved actuation, got {other:?}"),
+        }
+        assert!(rep.sample_for(hw, "k", 0).is_some());
+        assert!(rep.error().is_none());
+
+        // The legacy probe must not silently coerce a resolution.
+        let rep = Replayer::new(events);
+        assert!(rep.actuation_for("k", 0).is_none());
+        let err = rep.error().expect("legacy probe flagged");
+        assert!(err.message.contains("legacy probe"), "{err}");
+        // The sample is still served so the run can complete.
+        assert!(rep.sample_for(hw, "k", 0).is_some());
     }
 
     #[test]

@@ -145,6 +145,71 @@ impl FaultKind {
     }
 }
 
+/// Terminal outcome of the runtime's retrying actuator shim
+/// (`Runtime::with_actuator`): what ultimately happened to one requested
+/// DVFS transition after retries, rollback, or timeout. Carried by
+/// `ActuationResolved` trace/session events; wire codes are append-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActuationOutcome {
+    /// The transition completed on the first attempt (possibly at a
+    /// firmware-clamped operating point — thermal throttling is an
+    /// environmental constraint, not an actuation failure).
+    Applied,
+    /// Transient denials/delays were re-issued; the transition landed on
+    /// the carried attempt ordinal (1-based: `Retried(2)` means two
+    /// re-issues after the initial request).
+    Retried(u32),
+    /// The retry budget ran out with every attempt denied; the hardware
+    /// stays at the last-good configuration.
+    TimedOut,
+    /// The transition landed on the wrong grid point (partial application)
+    /// and was rolled back to the last-good configuration.
+    RolledBack,
+}
+
+impl ActuationOutcome {
+    /// Stable single-byte wire code (the retry count travels separately).
+    pub fn code(self) -> u8 {
+        match self {
+            ActuationOutcome::Applied => 0,
+            ActuationOutcome::Retried(_) => 1,
+            ActuationOutcome::TimedOut => 2,
+            ActuationOutcome::RolledBack => 3,
+        }
+    }
+
+    /// The outcome for a wire code; `param` supplies `Retried`'s count.
+    /// `None` for codes this build does not know.
+    pub fn from_code(code: u8, param: u32) -> Option<ActuationOutcome> {
+        match code {
+            0 => Some(ActuationOutcome::Applied),
+            1 => Some(ActuationOutcome::Retried(param)),
+            2 => Some(ActuationOutcome::TimedOut),
+            3 => Some(ActuationOutcome::RolledBack),
+            _ => None,
+        }
+    }
+
+    /// The `Retried` count, `0` for every other outcome — the wire-side
+    /// companion of [`from_code`](Self::from_code).
+    pub fn param(self) -> u32 {
+        match self {
+            ActuationOutcome::Retried(n) => n,
+            _ => 0,
+        }
+    }
+
+    /// Short stable label used in trace events and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ActuationOutcome::Applied => "applied",
+            ActuationOutcome::Retried(_) => "retried",
+            ActuationOutcome::TimedOut => "timed-out",
+            ActuationOutcome::RolledBack => "rolled-back",
+        }
+    }
+}
+
 /// One scheduled fault: a kind, a per-invocation firing probability, a
 /// kind-specific magnitude, and an iteration window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -245,7 +310,9 @@ impl FaultPlan {
 
     /// Rolls spec `idx` for this invocation; `Some(rng)` when it fires, with
     /// the RNG positioned for the spec's magnitude draws. Deterministic in
-    /// `(seed, idx, kind, kernel, cfg, iteration)`.
+    /// `(seed, idx, kind, kernel, cfg, iteration, attempt)`; `attempt` 0 is
+    /// the original request (the historical byte-stable salt), nonzero
+    /// attempts are the retry shim's re-issued requests, which roll fresh.
     fn roll(
         &self,
         idx: usize,
@@ -253,11 +320,15 @@ impl FaultPlan {
         kernel: &str,
         cfg: HwConfig,
         iteration: u64,
+        attempt: u32,
     ) -> Option<SmallRng> {
         if !spec.in_window(iteration) {
             return None;
         }
-        let salt = 0xB105_F00D_u64 ^ ((idx as u64) << 48) ^ ((spec.kind as u64) << 40);
+        let salt = 0xB105_F00D_u64
+            ^ ((idx as u64) << 48)
+            ^ ((spec.kind as u64) << 40)
+            ^ (u64::from(attempt) << 16);
         let mut rng = rng_for(self.seed ^ salt, kernel, cfg, iteration);
         (rng.gen_range(0.0..1.0) < spec.probability).then_some(rng)
     }
@@ -274,11 +345,26 @@ impl FaultPlan {
         previous: Option<HwConfig>,
         iteration: u64,
     ) -> Option<(FaultKind, HwConfig)> {
+        self.actuate_attempt(kernel, wanted, previous, iteration, 0)
+    }
+
+    /// [`actuate`](Self::actuate) for the retry shim's re-issued requests:
+    /// attempt 0 is bit-identical to `actuate`, nonzero attempts roll the
+    /// fault probabilities fresh — a denied transition may succeed when
+    /// re-issued, which is exactly what retry-with-backoff banks on.
+    pub fn actuate_attempt(
+        &self,
+        kernel: &str,
+        wanted: HwConfig,
+        previous: Option<HwConfig>,
+        iteration: u64,
+        attempt: u32,
+    ) -> Option<(FaultKind, HwConfig)> {
         for (idx, spec) in self.specs.iter().enumerate() {
             if !spec.kind.is_actuator() {
                 continue;
             }
-            let Some(mut rng) = self.roll(idx, spec, kernel, wanted, iteration) else {
+            let Some(mut rng) = self.roll(idx, spec, kernel, wanted, iteration, attempt) else {
                 continue;
             };
             let actual = match spec.kind {
@@ -332,7 +418,7 @@ impl FaultPlan {
             if !spec.kind.is_counter() {
                 continue;
             }
-            let Some(mut rng) = self.roll(idx, spec, &kernel.name, cfg, iteration) else {
+            let Some(mut rng) = self.roll(idx, spec, &kernel.name, cfg, iteration, 0) else {
                 continue;
             };
             let c = &mut result.counters;

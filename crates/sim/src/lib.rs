@@ -72,7 +72,7 @@ pub use calendar::CalendarQueue;
 pub use counters::CounterSample;
 pub use device::GpuDescriptor;
 pub use event::{EventModel, FastForwardPolicy};
-pub use faults::{FaultKind, FaultPlan, FaultSpec, FaultyModel};
+pub use faults::{ActuationOutcome, FaultKind, FaultPlan, FaultSpec, FaultyModel};
 pub use interval::IntervalModel;
 pub use model::{FastForwardStats, SimResult, TimingModel};
 pub use noise::NoisyModel;

@@ -43,3 +43,31 @@ fn hardening_beats_stock_on_the_stress_set() {
         );
     }
 }
+
+#[test]
+fn ladder_degrades_gracefully_on_the_stress_set() {
+    // The degradation-ladder acceptance: stepping down rung-by-rung (with
+    // the retry actuator engaged) must match the parked watchdog's ED²
+    // while spending strictly less time in the terminal safe state, and no
+    // rung may ever let a cap violation through.
+    let ctx = Context::new();
+    for app in ["MaxFlops", "DeviceMemory", "Graph500"] {
+        let run = chaos_cmd::chaos_app(&ctx, app).expect("stress app in suite");
+        assert!(
+            run.ladder_not_worse(),
+            "{app}: ladder degradation {} worse than parked hardened {}",
+            run.ladder_degradation(),
+            run.hardened_degradation()
+        );
+        assert!(
+            run.ladder_lower_residency(),
+            "{app}: ladder safe residency {:.2} not strictly below parked {:.2}",
+            run.ladder_max_safe_residency(),
+            run.max_safe_residency()
+        );
+        assert!(
+            run.ladder_zero_cap_violations(),
+            "{app}: a ladder rung let a cap violation through"
+        );
+    }
+}
