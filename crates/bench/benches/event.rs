@@ -16,12 +16,12 @@
 //! Running this bench regenerates `BENCH_event.json` at the repository root.
 
 use criterion::Criterion;
+use harmonia_bench::{median_secs, write_bench_artifact, BenchJson};
 use harmonia_power::{Activity, PowerModel};
 use harmonia_sim::{EventModel, FastForwardPolicy, KernelProfile, SimResult, TimingModel};
 use harmonia_types::{ConfigSpace, HwConfig};
 use harmonia_workloads::suite;
 use std::hint::black_box;
-use std::time::Instant;
 
 /// Wave cap for the models under benchmark. Raised from the default 8192 to
 /// the regime where long-kernel sweeps actually hurt — the largest suite
@@ -84,19 +84,6 @@ fn bench_event(c: &mut Criterion) {
     });
 }
 
-/// Median of `reps` wall-clock measurements of `f`, in seconds.
-fn median_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
-    let mut times: Vec<f64> = (0..reps)
-        .map(|_| {
-            let start = Instant::now();
-            black_box(f());
-            start.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    times[times.len() / 2]
-}
-
 /// Measures the cold-sweep comparison per kernel, checks accuracy over the
 /// full grid, and writes `BENCH_event.json` at the repository root.
 fn write_artifact() {
@@ -106,7 +93,7 @@ fn write_artifact() {
     let power = PowerModel::hd7970();
     let configs: Vec<HwConfig> = ConfigSpace::hd7970().iter().collect();
 
-    let mut entries = String::new();
+    let mut entries = Vec::new();
     let mut total_off = 0.0;
     let mut total_auto = 0.0;
     let mut worst_dev = 0.0f64;
@@ -135,37 +122,37 @@ fn write_artifact() {
         total_auto += auto_s;
         worst_dev = worst_dev.max(max_dev);
 
-        entries.push_str(&format!(
-            "    {{\n      \"kernel\": {:?},\n      \"off_sweep_ms\": {:.1},\n      \"auto_sweep_ms\": {:.1},\n      \"speedup\": {:.2},\n      \"max_time_deviation_pct\": {:.4},\n      \"waves_skipped_pct\": {:.1},\n      \"ed2_argmin_matches\": {}\n    }},\n",
-            name,
-            off_s * 1e3,
-            auto_s * 1e3,
-            off_s / auto_s,
-            max_dev * 100.0,
-            skipped as f64 / (stepped + skipped) as f64 * 100.0,
-            decisions_match,
-        ));
+        entries.push(
+            BenchJson::object()
+                .field_str("kernel", name)
+                .field_f64("off_sweep_ms", off_s * 1e3, 1)
+                .field_f64("auto_sweep_ms", auto_s * 1e3, 1)
+                .field_f64("speedup", off_s / auto_s, 2)
+                .field_f64("max_time_deviation_pct", max_dev * 100.0, 4)
+                .field_f64(
+                    "waves_skipped_pct",
+                    skipped as f64 / (stepped + skipped) as f64 * 100.0,
+                    1,
+                )
+                .field_bool("ed2_argmin_matches", decisions_match),
+        );
     }
-    entries.truncate(entries.len().saturating_sub(2)); // trailing ",\n"
-    entries.push('\n');
 
-    let json = format!(
-        "{{\n  \"bench\": \"event\",\n  \"wave_cap\": {},\n  \"configs\": {},\n  \"kernels\": [\n{}  ],\n  \"aggregate_speedup\": {:.2},\n  \"worst_deviation_pct\": {:.4}\n}}\n",
-        BENCH_WAVE_CAP,
-        configs.len(),
-        entries,
-        total_off / total_auto,
-        worst_dev * 100.0,
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_event.json");
-    std::fs::write(path, json).expect("write BENCH_event.json");
+    let json = BenchJson::object()
+        .field_str("bench", "event")
+        .field_int("wave_cap", BENCH_WAVE_CAP)
+        .field_int("configs", configs.len() as u64)
+        .field_objects("kernels", entries)
+        .field_f64("aggregate_speedup", total_off / total_auto, 2)
+        .field_f64("worst_deviation_pct", worst_dev * 100.0, 4)
+        .finish();
+    write_bench_artifact("event", &json);
     println!(
         "fast-forward speedup: {:.1}x on a cold {}-config sweep (worst deviation {:.3}%)",
         total_off / total_auto,
         configs.len(),
         worst_dev * 100.0,
     );
-    println!("wrote {path}");
 }
 
 fn main() {

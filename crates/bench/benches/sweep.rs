@@ -21,6 +21,7 @@
 
 use criterion::{BatchSize, Criterion};
 use harmonia::governor::{Ed2Objective, Governor, OracleGovernor, PowerTable};
+use harmonia_bench::{median_secs, write_bench_artifact, BenchJson};
 use harmonia_power::{Activity, PowerModel};
 use harmonia_sim::{
     sweep, EventModel, IntervalModel, KernelProfile, PhaseModulation, PhaseScale, SimCache,
@@ -236,19 +237,6 @@ fn bench_sweep(c: &mut Criterion) {
     });
 }
 
-/// Median of `reps` wall-clock measurements of `f`, in seconds.
-fn median_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
-    let mut times: Vec<f64> = (0..reps)
-        .map(|_| {
-            let start = Instant::now();
-            black_box(f());
-            start.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    times[times.len() / 2]
-}
-
 /// Measures the headline comparisons once more outside criterion and writes
 /// `BENCH_sweep.json` at the repository root.
 fn write_artifact() {
@@ -323,59 +311,32 @@ fn write_artifact() {
     }) / WARM_CALLS as f64;
 
     let threads = sweep::shared_pool_threads();
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"sweep\",\n",
-            "  \"kernel\": {:?},\n",
-            "  \"configs\": {},\n",
-            "  \"iterations\": {},\n",
-            "  \"pool_threads\": {},\n",
-            "  \"event_model\": \"event (max_waves={})\",\n",
-            "  \"event_serial_sweep_ms\": {:.3},\n",
-            "  \"event_engine_cold_ms\": {:.3},\n",
-            "  \"event_engine_warm_ms\": {:.3},\n",
-            "  \"speedup_event_engine_cold_vs_serial\": {:.2},\n",
-            "  \"speedup_event_engine_warm_vs_serial\": {:.2},\n",
-            "  \"sweep_model\": \"interval\",\n",
-            "  \"scalar_sweep_ms\": {:.3},\n",
-            "  \"batched_sweep_ms\": {:.3},\n",
-            "  \"speedup_batched_vs_scalar\": {:.2},\n",
-            "  \"cold_sweep_us\": {:.3},\n",
-            "  \"incremental_resweep_us\": {:.3},\n",
-            "  \"speedup_incremental_vs_cold\": {:.1},\n",
-            "  \"resweep_scales\": {},\n",
-            "  \"ed2_argmin_matches\": {},\n",
-            "  \"oracle_cold_decision_ms\": {:.3},\n",
-            "  \"oracle_warm_redecision_us\": {:.3},\n",
-            "  \"speedup_oracle_warm_redecision\": {:.1}\n",
-            "}}\n",
-        ),
-        k.name,
-        configs.len(),
-        ITERATIONS,
-        threads,
-        BENCH_WAVE_CAP,
-        serial_s * 1e3,
-        cold_s * 1e3,
-        warm_s * 1e3,
-        serial_s / cold_s,
-        serial_s / warm_s,
-        scalar_s * 1e3,
-        batched_s * 1e3,
-        scalar_s / batched_s,
-        plan_cold_s * 1e6,
-        incremental_s * 1e6,
-        plan_cold_s / incremental_s,
-        RESWEEP_SCALES,
-        argmin_matches,
-        oracle_cold_s * 1e3,
-        oracle_warm_s * 1e6,
-        oracle_cold_s / oracle_warm_s,
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
-    std::fs::write(path, json).expect("write BENCH_sweep.json");
-    println!("wrote {path}");
+    let json = BenchJson::object()
+        .field_str("bench", "sweep")
+        .field_str("kernel", &k.name)
+        .field_int("configs", configs.len() as u64)
+        .field_int("iterations", ITERATIONS)
+        .field_int("pool_threads", threads as u64)
+        .field_str("event_model", &format!("event (max_waves={BENCH_WAVE_CAP})"))
+        .field_f64("event_serial_sweep_ms", serial_s * 1e3, 3)
+        .field_f64("event_engine_cold_ms", cold_s * 1e3, 3)
+        .field_f64("event_engine_warm_ms", warm_s * 1e3, 3)
+        .field_f64("speedup_event_engine_cold_vs_serial", serial_s / cold_s, 2)
+        .field_f64("speedup_event_engine_warm_vs_serial", serial_s / warm_s, 2)
+        .field_str("sweep_model", "interval")
+        .field_f64("scalar_sweep_ms", scalar_s * 1e3, 3)
+        .field_f64("batched_sweep_ms", batched_s * 1e3, 3)
+        .field_f64("speedup_batched_vs_scalar", scalar_s / batched_s, 2)
+        .field_f64("cold_sweep_us", plan_cold_s * 1e6, 3)
+        .field_f64("incremental_resweep_us", incremental_s * 1e6, 3)
+        .field_f64("speedup_incremental_vs_cold", plan_cold_s / incremental_s, 1)
+        .field_int("resweep_scales", RESWEEP_SCALES as u64)
+        .field_bool("ed2_argmin_matches", argmin_matches)
+        .field_f64("oracle_cold_decision_ms", oracle_cold_s * 1e3, 3)
+        .field_f64("oracle_warm_redecision_us", oracle_warm_s * 1e6, 3)
+        .field_f64("speedup_oracle_warm_redecision", oracle_cold_s / oracle_warm_s, 1)
+        .finish();
+    write_bench_artifact("sweep", &json);
 }
 
 fn main() {

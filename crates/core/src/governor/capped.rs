@@ -81,6 +81,22 @@ impl<'a, G: Governor> CappedGovernor<'a, G> {
         &self.inner
     }
 
+    /// The budget currently enforced.
+    pub fn cap(&self) -> Watts {
+        self.cap
+    }
+
+    /// Re-targets the budget without rebuilding the stack. Subsequent
+    /// decisions clamp against the new cap and the reported name follows
+    /// it; learned activity, the ledger, and the violation accounting are
+    /// preserved. This is the fleet re-balance hook: a cluster governor
+    /// re-partitions a global envelope across devices every tick, and each
+    /// device's decorator picks up its new share here.
+    pub fn set_cap(&mut self, cap: Watts) {
+        self.cap = cap;
+        self.name = format!("{}@{:.0}W", self.inner.name(), cap.value());
+    }
+
     /// Observed intervals whose projected card power exceeded the cap
     /// (5% enforcement tolerance).
     pub fn cap_violations(&self) -> u64 {
@@ -286,6 +302,22 @@ mod tests {
             hm.total_time,
             base.total_time
         );
+    }
+
+    #[test]
+    fn set_cap_retargets_the_clamp_and_the_name() {
+        let power = PowerModel::hd7970();
+        let k = suite::maxflops().kernels[0].clone();
+        let mut g = CappedGovernor::new(BaselineGovernor::new(), &power, Watts(500.0));
+        assert_eq!(g.cap(), Watts(500.0));
+        // Generous budget: the clamp never engages.
+        assert_eq!(g.decide(&k, 0), HwConfig::max_hd7970());
+        // Tighten mid-session: the very next decision is clamped and the
+        // reported name follows the new budget.
+        g.set_cap(Watts(150.0));
+        assert_eq!(g.cap(), Watts(150.0));
+        assert_eq!(g.name(), "baseline@150W");
+        assert_ne!(g.decide(&k, 1), HwConfig::max_hd7970());
     }
 
     #[test]

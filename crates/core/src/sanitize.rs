@@ -586,7 +586,7 @@ mod tests {
         }
     }
 
-    fn sanitizer() -> CounterSanitizer {
+    fn sanitizer() -> CounterSanitizer<'static> {
         CounterSanitizer::new(SanitizerConfig::default())
     }
 

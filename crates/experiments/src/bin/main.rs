@@ -9,6 +9,7 @@
 //! harmonia-experiments trace <APP> [POLICY]
 //! harmonia-experiments chaos <APP>
 //! harmonia-experiments chaos-campaign [--seeds N]
+//! harmonia-experiments fleet [--devices N] [--cap W] [--ticks T]
 //! harmonia-experiments rr record <APP> [POLICY] [--chaos]
 //! harmonia-experiments rr replay <FILE>
 //! harmonia-experiments rr diff <A> <B>
@@ -30,6 +31,12 @@
 //! invariants (cap honored while parked, grid-valid configurations, finite
 //! accounting, bit-exact replay), shrinks any failing plan to a minimal
 //! reproducer, and exits nonzero on violations.
+//! `fleet [--devices N] [--cap W] [--ticks T]` drives N concurrent device
+//! sessions (cycling the suite) through the shared-store fleet scheduler
+//! under a partitioned global power cap, and prints warm decision
+//! throughput plus the per-application cap-compliance table. Defaults come
+//! from `HARMONIA_FLEET_DEVICES` / `HARMONIA_FLEET_CAP_W` when the flags
+//! are absent.
 //! `rr record <APP> [POLICY] [--chaos]` records a full session — every
 //! stochastic draw the run consumed — into a versioned binary trace
 //! (`results/rr_<app>_<policy>[_chaos].hrr`); `rr replay <FILE>`
@@ -38,11 +45,22 @@
 //! event between two traces.
 
 use harmonia::governor::PolicySpec;
-use harmonia_experiments::{campaign_cmd, chaos_cmd, rr_cmd, run, trace_cmd, Context, ALL_EXPERIMENTS};
+use harmonia_experiments::{
+    campaign_cmd, chaos_cmd, fleet_cmd, rr_cmd, run, trace_cmd, Context, ALL_EXPERIMENTS,
+};
 use harmonia_rr::differ;
 use harmonia_sim::FaultPlan;
+use harmonia_types::Session;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// One parsed `fleet` subcommand (None fields fall back to the
+/// `HARMONIA_FLEET_*` session knobs, then to the subcommand defaults).
+struct FleetArgs {
+    devices: Option<usize>,
+    cap_w: Option<f64>,
+    ticks: Option<u64>,
+}
 
 /// One parsed `rr` subcommand.
 enum RrCmd {
@@ -56,6 +74,7 @@ fn main() -> ExitCode {
     let mut traces: Vec<(String, PolicySpec)> = Vec::new();
     let mut chaos: Vec<String> = Vec::new();
     let mut campaign: Option<u32> = None;
+    let mut fleet: Option<FleetArgs> = None;
     let mut rr: Vec<RrCmd> = Vec::new();
     let mut out_dir = PathBuf::from("results");
     let mut write_csv = true;
@@ -100,6 +119,47 @@ fn main() -> ExitCode {
                     _ => 8,
                 };
                 campaign = Some(seeds);
+            }
+            "fleet" => {
+                let mut parsed = FleetArgs {
+                    devices: None,
+                    cap_w: None,
+                    ticks: None,
+                };
+                loop {
+                    match args.peek().map(String::as_str) {
+                        Some("--devices") => {
+                            args.next();
+                            let Some(n) = args.next().and_then(|n| n.parse::<usize>().ok()).filter(|&n| n > 0) else {
+                                eprintln!("--devices requires a positive integer");
+                                return ExitCode::FAILURE;
+                            };
+                            parsed.devices = Some(n);
+                        }
+                        Some("--cap") => {
+                            args.next();
+                            let Some(w) = args
+                                .next()
+                                .and_then(|w| w.trim_end_matches('W').parse::<f64>().ok())
+                                .filter(|w| w.is_finite() && *w > 0.0)
+                            else {
+                                eprintln!("--cap requires positive finite watts");
+                                return ExitCode::FAILURE;
+                            };
+                            parsed.cap_w = Some(w);
+                        }
+                        Some("--ticks") => {
+                            args.next();
+                            let Some(t) = args.next().and_then(|t| t.parse::<u64>().ok()).filter(|&t| t > 0) else {
+                                eprintln!("--ticks requires a positive integer");
+                                return ExitCode::FAILURE;
+                            };
+                            parsed.ticks = Some(t);
+                        }
+                        _ => break,
+                    }
+                }
+                fleet = Some(parsed);
             }
             "rr" => {
                 let Some(mode) = args.next() else {
@@ -168,7 +228,12 @@ fn main() -> ExitCode {
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() && traces.is_empty() && chaos.is_empty() && campaign.is_none() && rr.is_empty()
+    if ids.is_empty()
+        && traces.is_empty()
+        && chaos.is_empty()
+        && campaign.is_none()
+        && fleet.is_none()
+        && rr.is_empty()
     {
         ids.extend(ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()));
     }
@@ -269,6 +334,35 @@ fn main() -> ExitCode {
         println!();
         if run.violations() > 0 {
             eprintln!("chaos-campaign: {} invariant violation(s)", run.violations());
+            failed = true;
+        }
+    }
+    if let Some(parsed) = &fleet {
+        // Flags win, then the HARMONIA_FLEET_* session knobs, then defaults.
+        let session = Session::from_env();
+        let devices = parsed
+            .devices
+            .or_else(|| session.fleet_devices())
+            .unwrap_or(fleet_cmd::DEFAULT_DEVICES);
+        let cap_w = parsed.cap_w.or_else(|| session.fleet_cap_w());
+        let ticks = parsed.ticks.unwrap_or(fleet_cmd::DEFAULT_TICKS);
+        let run = fleet_cmd::run_fleet(&ctx, devices, cap_w, ticks);
+        println!("{}", run.report);
+        if write_csv {
+            match run.report.write_csv(&out_dir) {
+                Ok(path) => println!("  → {}", path.display()),
+                Err(err) => {
+                    eprintln!("failed to write CSV for fleet: {err}");
+                    failed = true;
+                }
+            }
+        }
+        println!();
+        if run.fleet.cluster_violation_ticks > 0 {
+            eprintln!(
+                "fleet: {} tick(s) exceeded the global cap",
+                run.fleet.cluster_violation_ticks
+            );
             failed = true;
         }
     }

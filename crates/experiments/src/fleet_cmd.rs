@@ -1,0 +1,142 @@
+//! The `fleet` subcommand: drive a cluster of concurrent device sessions
+//! through the shared-store fleet scheduler and print the decision
+//! throughput plus a per-application cap-compliance table.
+//!
+//! Devices cycle through the 14-application suite, so the cluster governor
+//! has genuinely heterogeneous demand to partition. The scheduler runs
+//! twice: a cold pass that pays the one shared sweep per unique kernel,
+//! then the timed warm pass the throughput number comes from — the steady
+//! state a long-lived fleet actually operates in.
+
+use crate::context::Context;
+use crate::report::Report;
+use harmonia_fleet::{FleetReport, FleetScheduler, FleetSpec};
+use harmonia_types::Watts;
+use harmonia_workloads::{suite, Application};
+use std::collections::BTreeMap;
+
+/// Device count when neither `--devices` nor `HARMONIA_FLEET_DEVICES` is
+/// given: large enough to exercise sharing, small enough for interactive
+/// use.
+pub const DEFAULT_DEVICES: usize = 64;
+
+/// Scheduler ticks when `--ticks` is not given.
+pub const DEFAULT_TICKS: u64 = 8;
+
+/// The outcome of one `fleet` invocation: the printable table plus the raw
+/// fleet report and warm throughput the smoke tests assert on.
+#[derive(Debug, Clone)]
+pub struct FleetCmdRun {
+    /// Printable per-application compliance table.
+    pub report: Report,
+    /// The warm pass's full fleet report.
+    pub fleet: FleetReport,
+    /// Warm aggregate decision throughput (decisions per wall-clock second).
+    pub decisions_per_sec: f64,
+}
+
+/// The fleet's application mix: `devices` sessions cycling the suite.
+pub fn fleet_apps(devices: usize) -> Vec<Application> {
+    let menu = suite::all();
+    (0..devices).map(|i| menu[i % menu.len()].clone()).collect()
+}
+
+/// Runs the fleet and builds the compliance table.
+///
+/// `cap_w` of `None` uses the spec's default per-device budget scaled by
+/// the fleet size (see [`FleetSpec::global_cap`]).
+pub fn run_fleet(ctx: &Context, devices: usize, cap_w: Option<f64>, ticks: u64) -> FleetCmdRun {
+    let spec = FleetSpec::Capped(cap_w.map(Watts));
+    let apps = fleet_apps(devices);
+    let sched = FleetScheduler::new(ctx.model(), ctx.power(), spec).with_ticks(ticks);
+    sched.run(&apps); // cold pass: one shared sweep per unique kernel
+    let warm = sched.run(&apps);
+    let decisions_per_sec = warm.decisions_per_sec();
+    let fleet = warm.report;
+
+    let mut report = Report::new(
+        "fleet",
+        format!(
+            "Fleet scheduler — {devices} devices × {ticks} ticks under `{}`",
+            fleet.spec
+        ),
+        &["app", "devices", "decisions", "mean ED²", "cap viol", "mean final cap"],
+    );
+    // Group devices by application for the table: per-device rows would
+    // drown the terminal at realistic fleet sizes.
+    let mut by_app: BTreeMap<&str, Vec<&harmonia_fleet::DeviceReport>> = BTreeMap::new();
+    for dev in &fleet.per_device {
+        by_app.entry(dev.app.as_str()).or_default().push(dev);
+    }
+    for (app, devs) in &by_app {
+        let n = devs.len() as f64;
+        let mean_ed2 = devs.iter().map(|d| d.ed2).sum::<f64>() / n;
+        let violations: u64 = devs.iter().map(|d| d.cap_violations).sum();
+        let caps: Vec<f64> = devs.iter().filter_map(|d| d.final_cap_w).collect();
+        let cap_cell = if caps.is_empty() {
+            "—".to_string()
+        } else {
+            format!("{:.1} W", caps.iter().sum::<f64>() / caps.len() as f64)
+        };
+        report.push_row(vec![
+            (*app).to_string(),
+            devs.len().to_string(),
+            devs.iter().map(|d| d.decisions).sum::<u64>().to_string(),
+            format!("{mean_ed2:.3e}"),
+            violations.to_string(),
+            cap_cell,
+        ]);
+    }
+    report.note(format!(
+        "warm decision throughput: {decisions_per_sec:.0} decisions/sec aggregate ({} decisions in {:.2} ms)",
+        fleet.total_decisions(),
+        warm.wall.as_secs_f64() * 1e3,
+    ));
+    match fleet.global_cap_w {
+        Some(cap) => report.note(format!(
+            "global cap {:.1} W — peak cluster power {:.1} W, violation ticks {} of {}, infeasible ticks {}",
+            cap, fleet.max_cluster_power_w, fleet.cluster_violation_ticks, fleet.ticks, fleet.infeasible_ticks,
+        )),
+        None => report.note(format!(
+            "uncapped — peak cluster power {:.1} W",
+            fleet.max_cluster_power_w
+        )),
+    }
+    report.note(format!(
+        "shared store: {} unique kernels, {} cold sweeps, cache {} hits / {} misses",
+        fleet.unique_kernels, fleet.plans.cold_sweeps, fleet.cache.hits, fleet.cache.misses,
+    ));
+    FleetCmdRun {
+        report,
+        fleet,
+        decisions_per_sec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_command_honors_the_cap_and_groups_by_app() {
+        let ctx = Context::new();
+        let run = run_fleet(&ctx, 8, Some(1500.0), 2);
+        assert_eq!(run.fleet.devices, 8);
+        assert_eq!(run.fleet.global_cap_w, Some(1500.0));
+        assert_eq!(run.fleet.cluster_violation_ticks, 0);
+        // 8 devices cycling the 14-app suite hit 8 distinct apps.
+        assert_eq!(run.report.rows.len(), 8);
+        let devices: usize = run.report.rows.iter().map(|r| r[1].parse::<usize>().unwrap()).sum();
+        assert_eq!(devices, 8);
+        assert!(run.decisions_per_sec > 0.0);
+    }
+
+    #[test]
+    fn default_cap_scales_with_the_fleet() {
+        let ctx = Context::new();
+        let run = run_fleet(&ctx, 3, None, 1);
+        let cap = run.fleet.global_cap_w.expect("capped spec");
+        assert!(cap > 0.0);
+        assert_eq!(run.fleet.cluster_violation_ticks, 0);
+    }
+}

@@ -40,6 +40,7 @@
 //! | `trace-<app>` | decision-trace summary (the `trace <app>` subcommand) |
 //! | `chaos-<app>` | fault-matrix resilience table (the `chaos <app>` subcommand) |
 //! | `chaos-campaign` | seeded fault-plan fuzzer with invariant checks (the `chaos-campaign` subcommand) |
+//! | `fleet` | fleet-scheduler throughput and cap-compliance table (the `fleet` subcommand) |
 //! | `rr-record-<app>-<policy>` | recorded-session summary (the `rr` subcommand) |
 
 pub mod appendix;
@@ -48,6 +49,7 @@ pub mod chaos_cmd;
 pub mod context;
 pub mod evaluation;
 pub mod figures;
+pub mod fleet_cmd;
 pub mod report;
 pub mod rr_cmd;
 pub mod tables;

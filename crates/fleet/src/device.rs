@@ -1,0 +1,293 @@
+//! One device's session: a per-device governor stack over the shared
+//! [`PlanStore`], stepped once per scheduler tick.
+//!
+//! A session owns its application, its governor stack (the shared oracle,
+//! optionally wrapped in the core [`CappedGovernor`] when the fleet
+//! enforces a cluster cap), and its accounting — total time, card energy,
+//! a rolling FNV-1a digest of every granted configuration, and the cap
+//! telemetry the [`ClusterGovernor`](crate::cluster::ClusterGovernor)
+//! water-fills on. Everything a step touches is either session-local or
+//! goes through the store's per-kernel locks, so stepping devices in
+//! parallel is safe and their accounting is interleaving-independent.
+
+use crate::cluster::DeviceDemand;
+use crate::store::{PlanStore, SharedOracleGovernor};
+use harmonia::governor::{CappedGovernor, Governor};
+use harmonia_power::Activity;
+use harmonia_types::{HwConfig, Joules, Seconds, Watts};
+use harmonia_workloads::Application;
+
+/// The per-device policy stack: the shared-store oracle, bare or under a
+/// power-cap clamp.
+enum DeviceGovernor<'s, 'a> {
+    Oracle(SharedOracleGovernor<'s, 'a>),
+    Capped(CappedGovernor<'s, SharedOracleGovernor<'s, 'a>>),
+}
+
+/// What one device contributes to a tick's serial merge: its peak power
+/// during the tick plus the demand telemetry the next re-balance
+/// water-fills on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickOutcome {
+    /// Peak projected card power across the tick's invocations, watts.
+    pub tick_power_w: f64,
+    /// Cap telemetry for the next partition (capped fleets only).
+    pub demand: DeviceDemand,
+}
+
+/// A device's final, deterministic accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// Device id (fleet index).
+    pub id: usize,
+    /// Application the device ran.
+    pub app: String,
+    /// Governor stack name (reflects the final cap share when capped).
+    pub governor: String,
+    /// Total kernel execution time, seconds.
+    pub total_time: Seconds,
+    /// Total card energy, joules.
+    pub card_energy: Joules,
+    /// Energy·delay² over the whole session.
+    pub ed2: f64,
+    /// Decisions made (kernel invocations governed).
+    pub decisions: u64,
+    /// Device-local cap violations (the clamp's 5%-tolerance accounting).
+    pub cap_violations: u64,
+    /// FNV-1a digest of the granted configuration sequence.
+    pub config_digest: u64,
+    /// The device's final cap share, when the fleet ran capped.
+    pub final_cap_w: Option<f64>,
+}
+
+/// One concurrent device session.
+pub struct DeviceSession<'s, 'a> {
+    id: usize,
+    app: Application,
+    governor: DeviceGovernor<'s, 'a>,
+    store: &'s PlanStore<'a>,
+    total_time: Seconds,
+    card_energy: Joules,
+    decisions: u64,
+    digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(mut digest: u64, words: &[u64]) -> u64 {
+    for &w in words {
+        for shift in [0, 16, 32, 48] {
+            digest ^= (w >> shift) & 0xffff;
+            digest = digest.wrapping_mul(FNV_PRIME);
+        }
+    }
+    digest
+}
+
+impl<'s, 'a> DeviceSession<'s, 'a> {
+    /// An uncapped session: the shared oracle governs directly.
+    pub fn oracle(id: usize, app: Application, store: &'s PlanStore<'a>) -> Self {
+        Self::build(id, app, store, DeviceGovernor::Oracle(SharedOracleGovernor::new(store)))
+    }
+
+    /// A capped session: the shared oracle under a [`CappedGovernor`]
+    /// clamp at the device's initial cap share.
+    pub fn capped(id: usize, app: Application, store: &'s PlanStore<'a>, cap: Watts) -> Self {
+        let clamp = CappedGovernor::new(SharedOracleGovernor::new(store), store.power(), cap);
+        Self::build(id, app, store, DeviceGovernor::Capped(clamp))
+    }
+
+    fn build(id: usize, app: Application, store: &'s PlanStore<'a>, governor: DeviceGovernor<'s, 'a>) -> Self {
+        Self {
+            id,
+            app,
+            governor,
+            store,
+            total_time: Seconds(0.0),
+            card_energy: Joules(0.0),
+            decisions: 0,
+            digest: FNV_OFFSET,
+        }
+    }
+
+    /// Device id (fleet index).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Re-targets the device's cap share (no-op for uncapped sessions).
+    /// Called by the scheduler's serial re-balance phase.
+    pub fn set_cap(&mut self, cap: Watts) {
+        if let DeviceGovernor::Capped(g) = &mut self.governor {
+            g.set_cap(cap);
+        }
+    }
+
+    /// Runs one invocation of every kernel in the device's application at
+    /// iteration `tick`, accumulating time/energy/digest and returning the
+    /// tick's merge contribution. Safe to call from any pool worker: all
+    /// shared state goes through the store's per-kernel locks.
+    pub fn step(&mut self, tick: u64) -> TickOutcome {
+        let capped = matches!(self.governor, DeviceGovernor::Capped(_));
+        let power = self.store.power();
+        let floor_cfg = HwConfig::min_hd7970();
+        let mut tick_power = 0.0_f64;
+        let mut demand = DeviceDemand { floor: 0.0, demand: 0.0, weight: 0.0 };
+        let mut benefit = 0.0_f64;
+        for (ki, kernel) in self.app.kernels.iter().enumerate() {
+            // The unconstrained optimum first: for capped fleets it is the
+            // demand telemetry; the plan memo makes the governor's own
+            // lookup free either way.
+            let desired = if capped { Some(self.store.decide(kernel, tick)) } else { None };
+            let granted = match &mut self.governor {
+                DeviceGovernor::Oracle(g) => g.decide(kernel, tick),
+                DeviceGovernor::Capped(g) => g.decide(kernel, tick),
+            };
+            let result = self.store.simulate(kernel, granted, tick);
+            let activity = Activity {
+                valu_activity: result.counters.valu_activity(),
+                dram_bytes_per_sec: result.counters.dram_bytes_per_sec(),
+                dram_traffic_fraction: result.counters.ic_activity,
+            };
+            let breakdown = power.breakdown(granted, &activity);
+            let dt = result.time;
+            self.total_time += dt;
+            self.card_energy += breakdown.card_pwr() * dt;
+            tick_power = tick_power.max(breakdown.card_pwr().value());
+            self.digest = fnv(
+                self.digest,
+                &[
+                    ki as u64,
+                    u64::from(granted.compute.cu_count()),
+                    u64::from(granted.compute.freq().value()),
+                    u64::from(granted.memory.bus_freq().value()),
+                ],
+            );
+            self.decisions += 1;
+            match &mut self.governor {
+                DeviceGovernor::Oracle(g) => g.observe(kernel, tick, granted, &result.counters),
+                DeviceGovernor::Capped(g) => g.observe(kernel, tick, granted, &result.counters),
+            }
+            if let Some(desired) = desired {
+                // Projected draw of the floor and the optimum at the
+                // activity just observed — the floor sim is a cache hit
+                // (the cold sweep covered the whole grid).
+                let floor_res = self.store.simulate(kernel, floor_cfg, tick);
+                let floor_act = Activity {
+                    valu_activity: floor_res.counters.valu_activity(),
+                    dram_bytes_per_sec: floor_res.counters.dram_bytes_per_sec(),
+                    dram_traffic_fraction: floor_res.counters.ic_activity,
+                };
+                let p_floor = power.card_pwr(floor_cfg, &floor_act).value();
+                let p_want = power
+                    .card_pwr(
+                        desired.config,
+                        &Activity {
+                            valu_activity: desired.result.counters.valu_activity(),
+                            dram_bytes_per_sec: desired.result.counters.dram_bytes_per_sec(),
+                            dram_traffic_fraction: desired.result.counters.ic_activity,
+                        },
+                    )
+                    .value();
+                demand.floor = demand.floor.max(p_floor);
+                demand.demand = demand.demand.max(p_want);
+                // Per-invocation ED² lost by running at the floor instead
+                // of the optimum: the marginal benefit the headroom buys.
+                let t_f = floor_res.time.value();
+                let ed2_floor = p_floor * t_f * t_f * t_f;
+                benefit += (ed2_floor - desired.objective).max(0.0);
+            }
+        }
+        let gap = demand.demand - demand.floor;
+        demand.weight = if gap > 0.0 { (benefit / gap).max(0.0) } else { 0.0 };
+        TickOutcome { tick_power_w: tick_power, demand }
+    }
+
+    /// The device's final accounting. The cap-violation count is the
+    /// clamp's own 5%-tolerance ledger; uncapped sessions report zero.
+    pub fn report(&self) -> DeviceReport {
+        let (governor, cap_violations, final_cap_w) = match &self.governor {
+            DeviceGovernor::Oracle(g) => (g.name().to_string(), 0, None),
+            DeviceGovernor::Capped(g) => {
+                (g.name().to_string(), g.cap_violations(), Some(g.cap().value()))
+            }
+        };
+        DeviceReport {
+            id: self.id,
+            app: self.app.name.clone(),
+            governor,
+            total_time: self.total_time,
+            card_energy: self.card_energy,
+            ed2: self.card_energy.value() * self.total_time.value() * self.total_time.value(),
+            decisions: self.decisions,
+            cap_violations,
+            config_digest: self.digest,
+            final_cap_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_power::PowerModel;
+    use harmonia_sim::IntervalModel;
+    use harmonia_workloads::suite;
+
+    #[test]
+    fn an_uncapped_step_accumulates_time_energy_and_digest() {
+        let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let store = PlanStore::new(&model, &power);
+        let mut dev = DeviceSession::oracle(0, suite::stencil(), &store);
+        let out = dev.step(0);
+        assert!(out.tick_power_w > 0.0);
+        let r = dev.report();
+        assert!(r.total_time.value() > 0.0);
+        assert!(r.card_energy.value() > 0.0);
+        assert_eq!(r.decisions, suite::stencil().kernels.len() as u64);
+        assert_ne!(r.config_digest, FNV_OFFSET);
+        assert_eq!(r.final_cap_w, None);
+        assert_eq!(r.cap_violations, 0);
+    }
+
+    #[test]
+    fn identical_devices_produce_identical_reports() {
+        let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let store = PlanStore::new(&model, &power);
+        let mut a = DeviceSession::oracle(0, suite::stencil(), &store);
+        let mut b = DeviceSession::oracle(1, suite::stencil(), &store);
+        for tick in 0..4 {
+            a.step(tick);
+            b.step(tick);
+        }
+        let (ra, rb) = (a.report(), b.report());
+        assert_eq!(ra.total_time.value().to_bits(), rb.total_time.value().to_bits());
+        assert_eq!(ra.card_energy.value().to_bits(), rb.card_energy.value().to_bits());
+        assert_eq!(ra.ed2.to_bits(), rb.ed2.to_bits());
+        assert_eq!(ra.config_digest, rb.config_digest);
+    }
+
+    #[test]
+    fn a_tight_cap_shows_up_in_power_and_telemetry() {
+        let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let store = PlanStore::new(&model, &power);
+        let mut free = DeviceSession::oracle(0, suite::maxflops(), &store);
+        let mut tight = DeviceSession::capped(1, suite::maxflops(), &store, Watts(120.0));
+        let free_out = free.step(0);
+        let tight_out = tight.step(0);
+        assert!(
+            tight_out.tick_power_w < free_out.tick_power_w,
+            "clamped device must draw less: {} vs {}",
+            tight_out.tick_power_w,
+            free_out.tick_power_w
+        );
+        let d = tight_out.demand;
+        assert!(d.floor > 0.0 && d.demand > d.floor, "telemetry: {d:?}");
+        assert!(d.weight >= 0.0);
+        assert!(tight.report().final_cap_w == Some(120.0));
+    }
+}

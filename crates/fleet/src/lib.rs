@@ -1,0 +1,46 @@
+//! Fleet-scale governor service: many device sessions, one power budget.
+//!
+//! Harmonia (the core crate) governs a single GPU. This crate is the
+//! deployment layer the ROADMAP's north star asks for: a [`FleetScheduler`]
+//! drives hundreds to thousands of concurrent device sessions in lock-step
+//! ticks, batching every device's per-tick decision work over the shared
+//! work-stealing [`SweepPool`](harmonia_sim::SweepPool) from `harmonia-sim`.
+//! Three pieces make fleet scale cheap and safe:
+//!
+//! * [`PlanStore`] — a cross-session sweep-plan and simulation-cache store
+//!   keyed by kernel fingerprint. The first device to meet a kernel pays
+//!   the one batched cold sweep; every other device running the same
+//!   kernel replays the memoized decision (`BENCH_sweep.json` puts the
+//!   warm re-decision at ~0.1 µs, so fleet cost is orchestration, not
+//!   modeling).
+//! * [`ClusterGovernor`] — partitions one global power cap across devices
+//!   by water-filling on each device's predicted ED² marginal benefit per
+//!   watt, re-balancing every tick as workloads phase-shift. Each device
+//!   enforces its share with the existing
+//!   [`CappedGovernor`](harmonia::governor::CappedGovernor) stack,
+//!   unchanged.
+//! * Deterministic merge — device steps run in parallel, but every
+//!   reduction (cluster power sums, cap partitioning, report assembly)
+//!   happens serially in device-id order, and all shared-cache access for
+//!   one kernel is serialized through that kernel's plan lock. The
+//!   resulting [`FleetReport`] is byte-identical for any worker count;
+//!   [`FleetReport::canonical`] exposes the bit-exact form tests compare.
+//!
+//! Policies parse from [`FleetSpec`]: `fleet:oracle` (shared-store oracle,
+//! no budget) and `fleet:capped[@W]` (global cluster cap, default
+//! [`DEFAULT_CAP`](harmonia::governor::DEFAULT_CAP) per device) — the
+//! fleet-level generalization of the core registry's `capped[@W]`.
+
+pub mod cluster;
+pub mod device;
+pub mod report;
+pub mod scheduler;
+pub mod spec;
+pub mod store;
+
+pub use cluster::{Allocation, ClusterGovernor, DeviceDemand};
+pub use device::{DeviceReport, DeviceSession, TickOutcome};
+pub use report::{FleetReport, FleetRun};
+pub use scheduler::FleetScheduler;
+pub use spec::FleetSpec;
+pub use store::{PlanStore, SharedOracleGovernor};

@@ -1,0 +1,118 @@
+//! Fleet policy specs — the fleet-level generalization of the core
+//! registry's [`PolicySpec`](harmonia::governor::PolicySpec) names.
+//!
+//! | spec | meaning |
+//! |---|---|
+//! | `fleet:oracle` | shared-store ED² oracle on every device, no budget |
+//! | `fleet:capped[@W]` | one global cluster cap, water-filled across devices (default [`DEFAULT_CAP`] × devices) |
+//!
+//! Budgets follow the registry convention: `@<watts>` with an optional `W`
+//! suffix, e.g. `fleet:capped@150000` or `fleet:capped@150000W`.
+
+use harmonia::governor::DEFAULT_CAP;
+use harmonia_types::Watts;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed fleet policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetSpec {
+    /// Shared-store oracle, no power budget.
+    Oracle,
+    /// Global cluster cap: explicit watts, or `None` for the default of
+    /// [`DEFAULT_CAP`] per device (resolved against the fleet size at run
+    /// time).
+    Capped(Option<Watts>),
+}
+
+impl FleetSpec {
+    /// The global cap for a fleet of `devices`, if this spec enforces one.
+    pub fn global_cap(&self, devices: usize) -> Option<Watts> {
+        match self {
+            FleetSpec::Oracle => None,
+            FleetSpec::Capped(Some(w)) => Some(*w),
+            FleetSpec::Capped(None) => Some(DEFAULT_CAP * devices as f64),
+        }
+    }
+}
+
+impl fmt::Display for FleetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetSpec::Oracle => write!(f, "fleet:oracle"),
+            FleetSpec::Capped(None) => write!(f, "fleet:capped"),
+            FleetSpec::Capped(Some(w)) => write!(f, "fleet:capped@{:.0}", w.value()),
+        }
+    }
+}
+
+impl FromStr for FleetSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (base, suffix) = match s.split_once('@') {
+            Some((base, suffix)) => (base, Some(suffix)),
+            None => (s, None),
+        };
+        match base {
+            "fleet:oracle" => match suffix {
+                None => Ok(FleetSpec::Oracle),
+                Some(_) => Err(format!("'{s}': fleet:oracle takes no budget")),
+            },
+            "fleet:capped" => match suffix {
+                None => Ok(FleetSpec::Capped(None)),
+                Some(raw) => {
+                    let raw = raw.strip_suffix('W').unwrap_or(raw);
+                    let watts: f64 = raw
+                        .parse()
+                        .map_err(|_| format!("'{s}': bad budget '{raw}'"))?;
+                    if !watts.is_finite() || watts <= 0.0 {
+                        return Err(format!("'{s}': budget must be positive finite watts"));
+                    }
+                    Ok(FleetSpec::Capped(Some(Watts(watts))))
+                }
+            },
+            _ => Err(format!(
+                "unknown fleet spec '{s}' (try fleet:oracle or fleet:capped[@W])"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_display() {
+        for s in ["fleet:oracle", "fleet:capped", "fleet:capped@150000"] {
+            let spec: FleetSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s);
+        }
+        assert_eq!(
+            "fleet:capped@150000W".parse::<FleetSpec>().unwrap(),
+            FleetSpec::Capped(Some(Watts(150000.0)))
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!("fleet:oracle@185".parse::<FleetSpec>().is_err());
+        assert!("fleet:capped@zero".parse::<FleetSpec>().is_err());
+        assert!("fleet:capped@-5".parse::<FleetSpec>().is_err());
+        assert!("fleet:capped@inf".parse::<FleetSpec>().is_err());
+        assert!("fleet:harmonia".parse::<FleetSpec>().is_err());
+        assert!("oracle".parse::<FleetSpec>().is_err());
+    }
+
+    #[test]
+    fn default_cap_scales_with_the_fleet() {
+        let spec = FleetSpec::Capped(None);
+        assert_eq!(spec.global_cap(10), Some(DEFAULT_CAP * 10.0));
+        assert_eq!(FleetSpec::Oracle.global_cap(10), None);
+        assert_eq!(
+            FleetSpec::Capped(Some(Watts(500.0))).global_cap(10),
+            Some(Watts(500.0))
+        );
+    }
+}

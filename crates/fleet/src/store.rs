@@ -1,0 +1,236 @@
+//! The cross-session sweep-plan and simulation-cache store.
+//!
+//! One [`PlanStore`] is shared by every device session in a fleet. It owns
+//! a single [`SimCache`] plus one [`SweepPlan`] per kernel *fingerprint*
+//! ([`KernelProfile::cache_key`]), so the first device to meet a kernel
+//! pays the batched cold sweep and every later device — on any worker
+//! thread — replays the memoized decision.
+//!
+//! # Determinism under concurrency
+//!
+//! Fleet reports must be byte-identical for any worker interleaving, and
+//! that includes the cache accounting they embed. All cache traffic for
+//! one kernel goes through that kernel's plan mutex, so the hit/miss
+//! *sequence* per kernel is deterministic; traffic for different kernels
+//! is key-disjoint (the [`CacheKey`](SimCache) embeds the kernel
+//! fingerprint), so concurrent kernels can only interleave counter
+//! increments, never change their totals.
+
+use harmonia::governor::{Ed2Objective, Governor, PowerTable};
+use harmonia_power::PowerModel;
+use harmonia_sim::{
+    CacheStats, CachedModel, CounterSample, Decision, KernelProfile, PlanStats, SimCache,
+    SimResult, SweepPlan, TimingModel,
+};
+use harmonia_types::{ConfigSpace, HwConfig};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Shared sweep plans and simulation cache for a whole fleet.
+pub struct PlanStore<'a> {
+    model: &'a dyn TimingModel,
+    power: &'a PowerModel,
+    /// The sweep grid, materialized once for every plan.
+    configs: Vec<HwConfig>,
+    /// Affine `card_pwr` coefficients per grid lane (frontier bound).
+    affine: PowerTable,
+    cache: SimCache,
+    /// One plan per kernel fingerprint. The outer lock only guards the
+    /// map; each plan's own mutex serializes all sweep and cache work for
+    /// that kernel.
+    plans: RwLock<HashMap<u64, Arc<Mutex<SweepPlan>>>>,
+}
+
+impl<'a> PlanStore<'a> {
+    /// Creates an empty store over the given models and the full HD 7970
+    /// configuration grid.
+    pub fn new(model: &'a dyn TimingModel, power: &'a PowerModel) -> Self {
+        let configs: Vec<HwConfig> = ConfigSpace::hd7970().iter().collect();
+        let affine = PowerTable::probe(power, &configs);
+        Self {
+            model,
+            power,
+            configs,
+            affine,
+            cache: SimCache::new(),
+            plans: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The power model every session projects against.
+    pub fn power(&self) -> &'a PowerModel {
+        self.power
+    }
+
+    /// The sweep grid, in decision order.
+    pub fn configs(&self) -> &[HwConfig] {
+        &self.configs
+    }
+
+    /// The kernel's plan, created on first use. Read-locks the map on the
+    /// hot path; only a genuinely new fingerprint takes the write lock.
+    fn plan_for(&self, kernel: &KernelProfile) -> Arc<Mutex<SweepPlan>> {
+        let key = kernel.cache_key();
+        if let Some(plan) = self.plans.read().expect("plan map poisoned").get(&key) {
+            return Arc::clone(plan);
+        }
+        let mut map = self.plans.write().expect("plan map poisoned");
+        Arc::clone(
+            map.entry(key)
+                .or_insert_with(|| Arc::new(Mutex::new(SweepPlan::new(self.configs.clone())))),
+        )
+    }
+
+    /// The ED²-optimal decision for one invocation, served by the kernel's
+    /// shared plan: one batched cold sweep per kernel fleet-wide, memo
+    /// replay for every repeat, frontier-only re-sweeps for new phase
+    /// scales.
+    pub fn decide(&self, kernel: &KernelProfile, iteration: u64) -> Decision {
+        let plan = self.plan_for(kernel);
+        let mut plan = plan.lock().expect("plan poisoned");
+        let cached = CachedModel::new(self.model, &self.cache);
+        let objective = Ed2Objective::new(self.power, &self.affine);
+        plan.decide(&cached, kernel, iteration, &objective)
+    }
+
+    /// Simulates one invocation through the shared cache, serialized by
+    /// the kernel's plan lock so the accounting stays deterministic.
+    pub fn simulate(&self, kernel: &KernelProfile, cfg: HwConfig, iteration: u64) -> SimResult {
+        let plan = self.plan_for(kernel);
+        let _guard = plan.lock().expect("plan poisoned");
+        self.cache.simulate(self.model, cfg, kernel, iteration)
+    }
+
+    /// Number of distinct kernel fingerprints planned so far.
+    pub fn unique_kernels(&self) -> usize {
+        self.plans.read().expect("plan map poisoned").len()
+    }
+
+    /// Shared-cache accounting snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Sweep accounting summed over every kernel's plan, in fingerprint
+    /// order-independent (commutative integer) totals.
+    pub fn plan_stats(&self) -> PlanStats {
+        let map = self.plans.read().expect("plan map poisoned");
+        let mut total = PlanStats::default();
+        for plan in map.values() {
+            let s = plan.lock().expect("plan poisoned").stats();
+            total.cold_sweeps += s.cold_sweeps;
+            total.incremental_sweeps += s.incremental_sweeps;
+            total.memo_hits += s.memo_hits;
+            total.exact_lanes += s.exact_lanes;
+        }
+        total
+    }
+}
+
+impl std::fmt::Debug for PlanStore<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanStore")
+            .field("kernels", &self.unique_kernels())
+            .field("cache_entries", &self.cache.len())
+            .finish()
+    }
+}
+
+/// A per-session governor view over a shared [`PlanStore`]: every decision
+/// is the store's ED² argmin, so N sessions running the same kernel cost
+/// one sweep total. Stateless — all learning lives in the shared plans —
+/// which is what makes fleet devices interchangeable and their reports
+/// independent of scheduling order.
+pub struct SharedOracleGovernor<'s, 'a> {
+    store: &'s PlanStore<'a>,
+}
+
+impl<'s, 'a> SharedOracleGovernor<'s, 'a> {
+    /// A governor view over `store`.
+    pub fn new(store: &'s PlanStore<'a>) -> Self {
+        Self { store }
+    }
+
+    /// The shared store behind this view.
+    pub fn store(&self) -> &'s PlanStore<'a> {
+        self.store
+    }
+}
+
+impl Governor for SharedOracleGovernor<'_, '_> {
+    fn name(&self) -> &str {
+        "fleet:oracle"
+    }
+
+    fn decide(&mut self, kernel: &KernelProfile, iteration: u64) -> HwConfig {
+        self.store.decide(kernel, iteration).config
+    }
+
+    fn observe(
+        &mut self,
+        _kernel: &KernelProfile,
+        _iteration: u64,
+        _cfg: HwConfig,
+        _counters: &CounterSample,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmonia_sim::{DecisionKind, IntervalModel};
+    use harmonia_workloads::suite;
+
+    #[test]
+    fn one_cold_sweep_serves_every_session() {
+        let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let store = PlanStore::new(&model, &power);
+        let k = &suite::stencil().kernels[0];
+        let first = store.decide(k, 0);
+        assert_eq!(first.kind, DecisionKind::Cold);
+        for _ in 0..8 {
+            let d = store.decide(k, 0);
+            assert_eq!(d.kind, DecisionKind::Memo);
+            assert_eq!(d.config, first.config);
+            assert_eq!(d.result, first.result);
+        }
+        let stats = store.plan_stats();
+        assert_eq!(stats.cold_sweeps, 1);
+        assert_eq!(stats.memo_hits, 8);
+        assert_eq!(store.unique_kernels(), 1);
+        assert_eq!(store.cache_stats().misses, store.configs().len());
+    }
+
+    #[test]
+    fn shared_decisions_match_a_private_oracle() {
+        let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let store = PlanStore::new(&model, &power);
+        let mut shared = SharedOracleGovernor::new(&store);
+        let mut solo = harmonia::governor::OracleGovernor::new(&model, &power);
+        for app in [suite::maxflops(), suite::devicememory(), suite::stencil()] {
+            for k in &app.kernels {
+                for i in 0..3 {
+                    assert_eq!(shared.decide(k, i), solo.decide(k, i), "{} it {i}", k.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_lookups_after_the_cold_sweep_are_hits() {
+        let model = IntervalModel::default();
+        let power = PowerModel::hd7970();
+        let store = PlanStore::new(&model, &power);
+        let k = &suite::stencil().kernels[0];
+        let d = store.decide(k, 0);
+        let misses = store.cache_stats().misses;
+        // Any grid configuration — the argmin, the grid floor — is already
+        // cached by the cold sweep, so accounting sims cost no model work.
+        assert_eq!(store.simulate(k, d.config, 0), d.result);
+        let _ = store.simulate(k, HwConfig::min_hd7970(), 0);
+        assert_eq!(store.cache_stats().misses, misses);
+    }
+}

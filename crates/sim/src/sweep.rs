@@ -121,8 +121,27 @@ where
     let Some(pool) = pool else {
         return (0..n).map(f).collect();
     };
+    run_indexed_on(pool, threads, n, f)
+}
+
+/// [`run_indexed`] on an explicit [`SweepPool`](crate::pool::SweepPool)
+/// instead of the process-wide one, with a per-batch executor cap. Results
+/// come back **in index order** regardless of worker interleaving, exactly
+/// like [`run_indexed`]. A zero-worker pool (or a one-item batch) runs the
+/// whole batch inline on the calling thread. Callers that must vary the
+/// worker count within one process — the fleet scheduler's determinism
+/// tests, for instance — construct private pools and route batches here;
+/// production paths keep using the shared pool.
+pub fn run_indexed_on<T, F>(pool: &crate::pool::SweepPool, cap: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if pool.workers() == 0 || cap <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
     let slots: Vec<Slot<T>> = (0..n).map(|_| Slot::empty()).collect();
-    pool.run(threads.min(n), n, &|i| {
+    pool.run(cap.min(n), n, &|i| {
         let value = f(i);
         // SAFETY: the pool claims each index exactly once, so no two
         // executors ever write the same slot, and the pool's completion

@@ -32,26 +32,38 @@ pub const THREADS_ENV: &str = "HARMONIA_THREADS";
 /// (`HARMONIA_FAULT_SEED=<u64>`).
 pub const FAULT_SEED_ENV: &str = "HARMONIA_FAULT_SEED";
 
+/// Environment variable that sets the fleet scheduler's device count
+/// (`HARMONIA_FLEET_DEVICES=<n>`, positive integers only).
+pub const FLEET_DEVICES_ENV: &str = "HARMONIA_FLEET_DEVICES";
+
+/// Environment variable that sets the fleet scheduler's global power cap in
+/// watts (`HARMONIA_FLEET_CAP_W=<watts>`, positive finite numbers only).
+pub const FLEET_CAP_ENV: &str = "HARMONIA_FLEET_CAP_W";
+
 /// Default fault-plan seed when [`FAULT_SEED_ENV`] is unset or unparsable.
 pub const DEFAULT_FAULT_SEED: u64 = 0xFA17;
 
-/// A process-wide session configuration: the parsed values of the three
+/// A process-wide session configuration: the parsed values of the
 /// `HARMONIA_*` knobs, with builder-style programmatic overrides.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Session {
     trace: bool,
     threads: Option<usize>,
     fault_seed: u64,
+    fleet_devices: Option<usize>,
+    fleet_cap_w: Option<f64>,
 }
 
 impl Default for Session {
     /// The configuration with every knob unset: tracing off, pool width
-    /// from the platform, the default fault seed.
+    /// from the platform, the default fault seed, no fleet overrides.
     fn default() -> Self {
         Self {
             trace: false,
             threads: None,
             fault_seed: DEFAULT_FAULT_SEED,
+            fleet_devices: None,
+            fleet_cap_w: None,
         }
     }
 }
@@ -69,7 +81,10 @@ impl Session {
     /// * trace: enabled iff the value is `1` or `true` (case-insensitive);
     /// * threads: a positive integer, anything else ignored;
     /// * fault seed: a `u64`, anything else falls back to
-    ///   [`DEFAULT_FAULT_SEED`].
+    ///   [`DEFAULT_FAULT_SEED`];
+    /// * fleet devices: a positive integer, anything else ignored;
+    /// * fleet cap: a positive finite number of watts, anything else
+    ///   ignored.
     pub fn from_lookup<F: Fn(&str) -> Option<String>>(lookup: F) -> Self {
         Self {
             trace: lookup(TRACE_ENV)
@@ -80,6 +95,12 @@ impl Session {
             fault_seed: lookup(FAULT_SEED_ENV)
                 .and_then(|v| v.parse::<u64>().ok())
                 .unwrap_or(DEFAULT_FAULT_SEED),
+            fleet_devices: lookup(FLEET_DEVICES_ENV)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0),
+            fleet_cap_w: lookup(FLEET_CAP_ENV)
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|w| w.is_finite() && *w > 0.0),
         }
     }
 
@@ -102,6 +123,20 @@ impl Session {
         self
     }
 
+    /// Overrides the fleet device count; `None` restores "let the caller
+    /// pick" (wins over the environment).
+    pub fn with_fleet_devices(mut self, devices: Option<usize>) -> Self {
+        self.fleet_devices = devices.filter(|&n| n > 0);
+        self
+    }
+
+    /// Overrides the fleet global power cap in watts; `None` restores
+    /// "uncapped" (wins over the environment).
+    pub fn with_fleet_cap_w(mut self, cap_w: Option<f64>) -> Self {
+        self.fleet_cap_w = cap_w.filter(|w| w.is_finite() && *w > 0.0);
+        self
+    }
+
     /// Whether decision telemetry is enabled.
     pub fn trace(&self) -> bool {
         self.trace
@@ -115,6 +150,16 @@ impl Session {
     /// The chaos fault-plan seed.
     pub fn fault_seed(&self) -> u64 {
         self.fault_seed
+    }
+
+    /// The fleet device-count override, if any.
+    pub fn fleet_devices(&self) -> Option<usize> {
+        self.fleet_devices
+    }
+
+    /// The fleet global power cap in watts, if any.
+    pub fn fleet_cap_w(&self) -> Option<f64> {
+        self.fleet_cap_w
     }
 }
 
@@ -221,6 +266,57 @@ mod tests {
     #[test]
     fn zero_thread_override_is_rejected_like_the_env_value() {
         assert_eq!(Session::default().with_threads(Some(0)).threads(), None);
+    }
+
+    #[test]
+    fn fleet_devices_must_be_a_positive_integer() {
+        assert_eq!(
+            Session::from_lookup(lookup(&[(FLEET_DEVICES_ENV, "1024")])).fleet_devices(),
+            Some(1024)
+        );
+        for v in ["0", "-8", "many", "", "2.5"] {
+            assert_eq!(
+                Session::from_lookup(lookup(&[(FLEET_DEVICES_ENV, v)])).fleet_devices(),
+                None,
+                "{v}"
+            );
+        }
+        assert_eq!(Session::default().fleet_devices(), None);
+    }
+
+    #[test]
+    fn fleet_cap_must_be_positive_finite_watts() {
+        assert_eq!(
+            Session::from_lookup(lookup(&[(FLEET_CAP_ENV, "153600")])).fleet_cap_w(),
+            Some(153600.0)
+        );
+        assert_eq!(
+            Session::from_lookup(lookup(&[(FLEET_CAP_ENV, "185.5")])).fleet_cap_w(),
+            Some(185.5)
+        );
+        for v in ["0", "-185", "inf", "NaN", "lots", ""] {
+            assert_eq!(
+                Session::from_lookup(lookup(&[(FLEET_CAP_ENV, v)])).fleet_cap_w(),
+                None,
+                "{v}"
+            );
+        }
+        assert_eq!(Session::default().fleet_cap_w(), None);
+    }
+
+    #[test]
+    fn fleet_overrides_win_and_reject_degenerate_values() {
+        let env = lookup(&[(FLEET_DEVICES_ENV, "8"), (FLEET_CAP_ENV, "100")]);
+        let s = Session::from_lookup(&env)
+            .with_fleet_devices(Some(16))
+            .with_fleet_cap_w(Some(200.0));
+        assert_eq!(s.fleet_devices(), Some(16));
+        assert_eq!(s.fleet_cap_w(), Some(200.0));
+        let cleared = Session::from_lookup(&env)
+            .with_fleet_devices(Some(0))
+            .with_fleet_cap_w(Some(f64::NAN));
+        assert_eq!(cleared.fleet_devices(), None);
+        assert_eq!(cleared.fleet_cap_w(), None);
     }
 
     #[test]
