@@ -19,7 +19,7 @@ use harmonia_bench::{median_secs, write_bench_artifact, BenchJson};
 use harmonia_fleet::{FleetScheduler, FleetSpec};
 use harmonia_power::PowerModel;
 use harmonia_sim::{IntervalModel, SweepPool};
-use harmonia_types::Watts;
+use harmonia_types::{DeviceSpec, Watts};
 use harmonia_workloads::{suite, Application};
 use std::hint::black_box;
 
@@ -51,6 +51,22 @@ fn bench_fleet(c: &mut Criterion) {
     sched.run(&apps); // warm the shared store
     c.bench_function("fleet/warm_run_128_sessions", |b| {
         b.iter(|| black_box(sched.run(black_box(&apps))));
+    });
+
+    // Mixed-device warm run: half hd7970, half v100, each class deciding
+    // on its own grid against the shared store.
+    let v100 = DeviceSpec::lookup("v100").expect("v100 in catalog");
+    let v100_model = IntervalModel::new(v100.gpu.clone());
+    let v100_power = PowerModel::for_device(&v100);
+    let assignments: Vec<(usize, Application)> = (0..128)
+        .map(|i| (usize::from(i >= 64), suite::stencil()))
+        .collect();
+    let mixed = FleetScheduler::new(&model, &power, FleetSpec::Oracle)
+        .with_class(&v100_model, &v100_power)
+        .with_ticks(TICKS);
+    mixed.run_mixed(&assignments); // warm both classes' plans
+    c.bench_function("fleet/warm_run_mixed_128_sessions", |b| {
+        b.iter(|| black_box(mixed.run_mixed(black_box(&assignments))));
     });
 }
 
@@ -90,6 +106,7 @@ fn write_artifact() {
 
     let json = BenchJson::object()
         .field_str("bench", "fleet")
+        .field_str("device_class", "hd7970")
         .field_int("devices", DEVICES as u64)
         .field_int("ticks", TICKS)
         .field_int("unique_kernels", report.unique_kernels as u64)
@@ -105,12 +122,57 @@ fn write_artifact() {
         .field_int("cold_sweeps", report.plans.cold_sweeps as u64)
         .field_int("cache_hits", report.cache.hits as u64)
         .field_int("cache_misses", report.cache.misses as u64)
-        .field_bool("report_deterministic", deterministic)
-        .finish();
+        .field_bool("report_deterministic", deterministic);
+
+    // Mixed-device leg: two catalog device classes (hd7970 + v100), half
+    // the fleet each. Each class sweeps and decides on its own grid; the
+    // cluster cap is water-filled across both. Sized against each class's
+    // own solo peak so the cap stays binding-adjacent but satisfiable.
+    let v100 = DeviceSpec::lookup("v100").expect("v100 in catalog");
+    let v100_model = IntervalModel::new(v100.gpu.clone());
+    let v100_power = PowerModel::for_device(&v100);
+    let half = DEVICES / 2;
+    let v100_p0 = solo_peak_power_w(&v100_model, &v100_power);
+    let mixed_cap_w = 0.9 * (p0 + v100_p0) * half as f64;
+    let mixed_spec = FleetSpec::Capped(Some(Watts(mixed_cap_w)));
+    let assignments: Vec<(usize, Application)> = (0..DEVICES)
+        .map(|i| (usize::from(i >= half), suite::stencil()))
+        .collect();
+    let mixed_sched = FleetScheduler::new(&model, &power, mixed_spec)
+        .with_class(&v100_model, &v100_power)
+        .with_ticks(TICKS);
+    mixed_sched.run_mixed(&assignments);
+    let mixed_warm = mixed_sched.run_mixed(&assignments);
+    let mixed_report = &mixed_warm.report;
+    let mixed_s = median_secs(REPS, || mixed_sched.run_mixed(&assignments));
+    let mixed_decisions = mixed_report.total_decisions();
+    let mixed_per_sec = mixed_decisions as f64 / mixed_s;
+
+    let mixed_json = BenchJson::object()
+        .field_str("device_classes", "hd7970+v100")
+        .field_int("devices", DEVICES as u64)
+        .field_int("devices_per_class", half as u64)
+        .field_int("ticks", TICKS)
+        .field_f64("global_cap_w", mixed_cap_w, 1)
+        .field_f64("v100_solo_peak_power_w", v100_p0, 1)
+        .field_int("decisions_per_run", mixed_decisions)
+        .field_f64("warm_run_ms", mixed_s * 1e3, 3)
+        .field_f64("decisions_per_sec", mixed_per_sec, 0)
+        .field_int("cluster_violation_ticks", mixed_report.cluster_violation_ticks)
+        .field_int("infeasible_ticks", mixed_report.infeasible_ticks)
+        .field_f64("max_cluster_power_w", mixed_report.max_cluster_power_w, 1)
+        .field_int("device_cap_violations", mixed_report.total_device_violations())
+        .field_int("cold_sweeps", mixed_report.plans.cold_sweeps as u64);
+
+    let json = json.field_objects("mixed", vec![mixed_json]).finish();
     write_bench_artifact("fleet", &json);
     println!(
         "fleet throughput: {:.0} decisions/sec across {} warm sessions (cap {:.0} W, {} violation ticks, deterministic: {})",
         decisions_per_sec, DEVICES, cap_w, report.cluster_violation_ticks, deterministic,
+    );
+    println!(
+        "mixed fleet (hd7970+v100, {half}+{half}): {:.0} decisions/sec (cap {:.0} W, {} violation ticks)",
+        mixed_per_sec, mixed_cap_w, mixed_report.cluster_violation_ticks,
     );
 }
 

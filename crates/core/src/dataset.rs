@@ -158,7 +158,12 @@ impl TrainingSet {
         model: &M,
         kernels: &[(String, KernelProfile)],
     ) -> TrainingSet {
-        let configs: Vec<_> = ConfigSpace::hd7970().iter().collect();
+        // The swept lattice and the sensitivity probe points both come from
+        // the model's device grid, so catalog devices train on their own
+        // configuration spaces (HD7970 models reproduce the legacy
+        // collection bit for bit).
+        let grid = model.gpu().grid;
+        let configs: Vec<_> = ConfigSpace::for_grid(&grid).iter().collect();
         let cache = SimCache::new();
         let cached = CachedModel::new(model, &cache);
         // Each job sweeps iteration-major (one cache-warm batch per
@@ -190,7 +195,7 @@ impl TrainingSet {
                     counters,
                     // Every probe point is a grid point already swept above,
                     // so the measurement is pure cache hits.
-                    measured: Sensitivity::measure_cached(model, &cache, kernel),
+                    measured: Sensitivity::measure_cached_on(&grid, model, &cache, kernel),
                 }
             })
             .collect();
@@ -204,7 +209,8 @@ impl TrainingSet {
         model: &M,
         kernels: &[(String, KernelProfile)],
     ) -> TrainingSet {
-        let space = ConfigSpace::hd7970();
+        let grid = model.gpu().grid;
+        let space = ConfigSpace::for_grid(&grid);
         let rows = kernels
             .iter()
             .map(|(_, kernel)| {
@@ -221,7 +227,7 @@ impl TrainingSet {
                 TrainingRow {
                     kernel: kernel.name.clone(),
                     counters,
-                    measured: Sensitivity::measure(model, kernel),
+                    measured: Sensitivity::measure_on(&grid, model, kernel),
                 }
             })
             .collect();

@@ -7,18 +7,31 @@
 
 use crate::governor::Governor;
 use harmonia_sim::{CounterSample, KernelProfile};
-use harmonia_types::HwConfig;
+use harmonia_types::{GridSpec, HwConfig};
 
 /// The stock PowerTune-like baseline: always the boost configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BaselineGovernor {
-    _private: (),
+    grid: GridSpec,
+}
+
+impl Default for BaselineGovernor {
+    fn default() -> Self {
+        Self {
+            grid: GridSpec::HD7970,
+        }
+    }
 }
 
 impl BaselineGovernor {
-    /// Creates the baseline governor.
+    /// Creates the baseline governor on the HD7970 grid.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a baseline pinned to `grid`'s maximum configuration.
+    pub fn on_grid(grid: GridSpec) -> Self {
+        Self { grid }
     }
 }
 
@@ -28,7 +41,7 @@ impl Governor for BaselineGovernor {
     }
 
     fn decide(&mut self, _kernel: &KernelProfile, _iteration: u64) -> HwConfig {
-        HwConfig::max_hd7970()
+        HwConfig::max_on(&self.grid)
     }
 
     fn observe(
@@ -55,5 +68,14 @@ mod tests {
             g.observe(&k, i, HwConfig::max_hd7970(), &c);
         }
         assert_eq!(g.name(), "baseline");
+    }
+
+    #[test]
+    fn foreign_grid_boost_is_that_devices_max() {
+        let spec = harmonia_types::DeviceSpec::h100();
+        let mut g = BaselineGovernor::on_grid(*spec.grid());
+        let k = KernelProfile::builder("k").build();
+        assert_eq!(g.decide(&k, 0), HwConfig::max_on(spec.grid()));
+        assert_ne!(g.decide(&k, 0), HwConfig::max_hd7970());
     }
 }

@@ -103,11 +103,14 @@ impl<'a, G: Governor> CappedGovernor<'a, G> {
         self.stats.cap_violations()
     }
 
-    /// Clamps `cfg` under the cap for the given activity estimate.
+    /// Clamps `cfg` under the cap for the given activity estimate. Steps
+    /// run along the power model's device grid, so the decorator clamps
+    /// catalog devices on their own lattices.
     fn clamp(&self, cfg: HwConfig, activity: &Activity) -> HwConfig {
+        let grid = self.power.grid();
         let mut cfg = cfg;
         // Bounded by the total grid depth; each iteration removes one step.
-        for _ in 0..32 {
+        for _ in 0..grid.descent_bound() {
             if self.power.card_pwr(cfg, activity) <= self.cap {
                 break;
             }
@@ -115,7 +118,7 @@ impl<'a, G: Governor> CappedGovernor<'a, G> {
             // projected power.
             let mut best: Option<(HwConfig, f64)> = None;
             for t in Tunable::ALL {
-                if let Some(down) = cfg.step_down(t) {
+                if let Some(down) = cfg.step_down_on(grid, t) {
                     let p = self.power.card_pwr(down, activity).value();
                     if best.as_ref().is_none_or(|(_, bp)| p < *bp) {
                         best = Some((down, p));

@@ -10,7 +10,7 @@ use crate::binning::SensitivityBin;
 use crate::predictor::SensitivityPredictor;
 use crate::sensitivity::Sensitivity;
 use harmonia_sim::CounterSample;
-use harmonia_types::{HwConfig, Tunable};
+use harmonia_types::{GridSpec, HwConfig, Tunable};
 use serde::{Deserialize, Serialize};
 
 /// Binned sensitivity levels, one per tunable.
@@ -40,10 +40,11 @@ impl SensitivityBins {
 pub struct CoarseGrain {
     predictor: SensitivityPredictor,
     tunables: Vec<Tunable>,
+    grid: GridSpec,
 }
 
 impl CoarseGrain {
-    /// Creates a CG block managing all three tunables.
+    /// Creates a CG block managing all three tunables on the HD7970 grid.
     pub fn new(predictor: SensitivityPredictor) -> Self {
         Self::with_tunables(predictor, Tunable::ALL.to_vec())
     }
@@ -53,7 +54,14 @@ impl CoarseGrain {
         Self {
             predictor,
             tunables,
+            grid: GridSpec::HD7970,
         }
+    }
+
+    /// Jumps along `grid` instead of the HD7970 lattice.
+    pub fn with_grid(mut self, grid: GridSpec) -> Self {
+        self.grid = grid;
+        self
     }
 
     /// The managed tunables.
@@ -82,7 +90,7 @@ impl CoarseGrain {
         let mut next = cfg;
         for &t in &self.tunables {
             let fraction = bins.bin_for(t).tunable_fraction();
-            next = next.with_fraction(t, fraction);
+            next = next.with_fraction_on(&self.grid, t, fraction);
         }
         next
     }

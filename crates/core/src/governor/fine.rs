@@ -23,7 +23,7 @@
 //! work-size changes; the raw `VALUBusy` value is still recorded in traces.
 
 use crate::telemetry::{TraceEvent, TraceHandle};
-use harmonia_types::{HwConfig, Tunable};
+use harmonia_types::{GridSpec, HwConfig, Tunable};
 use serde::{Deserialize, Serialize};
 
 /// Relative throughput drop treated as a performance degradation.
@@ -93,8 +93,10 @@ impl FgState {
     /// The rate becomes the gradient baseline, so a CG jump that costs
     /// performance is detected by the very next FG step, and the
     /// configuration feeds "converge to last state with zero gradient".
-    pub fn note(&mut self, rate: f64, cfg: HwConfig) {
-        self.update_best(rate, cfg);
+    /// `grid` normalizes the power proxy that tie-breaks equal-performance
+    /// states.
+    pub fn note(&mut self, grid: &GridSpec, rate: f64, cfg: HwConfig) {
+        self.update_best(grid, rate, cfg);
         self.last_rate = Some(rate);
     }
 
@@ -119,22 +121,23 @@ impl FgState {
         }
     }
 
-    /// Sum of normalized tunable levels — a cheap monotone power proxy used
-    /// to prefer lower-power configurations among equal-performance ones.
-    fn power_proxy(cfg: HwConfig) -> f64 {
+    /// Sum of normalized tunable levels on `grid` — a cheap monotone power
+    /// proxy used to prefer lower-power configurations among
+    /// equal-performance ones.
+    fn power_proxy(grid: &GridSpec, cfg: HwConfig) -> f64 {
         Tunable::ALL
             .iter()
-            .map(|&t| cfg.level(t).fraction)
+            .map(|&t| cfg.level_on(grid, t).fraction)
             .sum()
     }
 
-    fn update_best(&mut self, rate: f64, cfg: HwConfig) {
+    fn update_best(&mut self, grid: &GridSpec, rate: f64, cfg: HwConfig) {
         let better = match (self.best_rate, self.best_cfg) {
             (None, _) | (_, None) => true,
             (Some(best), Some(best_cfg)) => {
                 rate > best * (1.0 + DEGRADATION_TOLERANCE)
                     || (rate >= best * (1.0 - DEGRADATION_TOLERANCE)
-                        && Self::power_proxy(cfg) < Self::power_proxy(best_cfg))
+                        && Self::power_proxy(grid, cfg) < Self::power_proxy(grid, best_cfg))
             }
         };
         if better {
@@ -149,11 +152,12 @@ impl FgState {
 pub struct FineGrain {
     tunables: Vec<Tunable>,
     max_dither: u32,
+    grid: GridSpec,
 }
 
 impl FineGrain {
     /// Creates an FG block managing all three tunables with the default
-    /// dithering bound.
+    /// dithering bound, stepping the HD7970 grid.
     pub fn new() -> Self {
         Self::with_tunables(Tunable::ALL.to_vec())
     }
@@ -163,12 +167,19 @@ impl FineGrain {
         Self {
             tunables,
             max_dither: 2,
+            grid: GridSpec::HD7970,
         }
     }
 
     /// Overrides the dithering bound before convergence is forced.
     pub fn with_max_dither(mut self, max_dither: u32) -> Self {
         self.max_dither = max_dither;
+        self
+    }
+
+    /// Steps along `grid` instead of the HD7970 lattice.
+    pub fn with_grid(mut self, grid: GridSpec) -> Self {
+        self.grid = grid;
         self
     }
 
@@ -210,7 +221,7 @@ impl FineGrain {
         }
         let Some(last) = state.last_rate else {
             state.last_rate = Some(rate);
-            state.update_best(rate, cfg);
+            state.update_best(&self.grid, rate, cfg);
             let next = self.step_downward(state, cfg, &probe_down, trace, kernel, iteration);
             emit_probe(trace, kernel, iteration, cfg, next, &state.last_moves);
             return next;
@@ -219,7 +230,7 @@ impl FineGrain {
         state.last_rate = Some(rate);
         if rate >= last * (1.0 - DEGRADATION_TOLERANCE) {
             // Performance preserved or improved: keep shaving power.
-            state.update_best(rate, cfg);
+            state.update_best(&self.grid, rate, cfg);
             trace.emit(|| TraceEvent::FgAccept {
                 kernel: kernel.to_string(),
                 iteration,
@@ -239,7 +250,7 @@ impl FineGrain {
                 state.last_moves.clear();
                 let mut next = cfg;
                 for t in targets {
-                    if let Some(up) = next.step_up(t) {
+                    if let Some(up) = next.step_up_on(&self.grid, t) {
                         next = up;
                         state.last_moves.push((t, Direction::Up));
                     }
@@ -310,7 +321,7 @@ impl FineGrain {
             for _ in 0..candidates.len() {
                 let t = candidates[state.cursor % candidates.len()];
                 state.cursor += 1;
-                if let Some(down) = next.step_down(t) {
+                if let Some(down) = next.step_down_on(&self.grid, t) {
                     if state.bad.contains(&down) {
                         // already known to degrade performance
                         trace.emit(|| TraceEvent::KnownBadSkip {
@@ -328,7 +339,7 @@ impl FineGrain {
             }
         } else {
             for &t in &candidates {
-                if let Some(down) = next.step_down(t) {
+                if let Some(down) = next.step_down_on(&self.grid, t) {
                     next = down;
                     state.last_moves.push((t, Direction::Down));
                 } else {
@@ -346,7 +357,7 @@ impl FineGrain {
                 state.last_moves.clear();
                 next = cfg;
                 for &t in &candidates {
-                    if let Some(down) = cfg.step_down(t) {
+                    if let Some(down) = cfg.step_down_on(&self.grid, t) {
                         if !state.bad.contains(&down) {
                             next = down;
                             state.last_moves.push((t, Direction::Down));
@@ -380,7 +391,7 @@ impl FineGrain {
             blamed
         };
         for t in targets {
-            if let Some(up) = next.step_up(t) {
+            if let Some(up) = next.step_up_on(&self.grid, t) {
                 next = up;
                 state.last_moves.push((t, Direction::Up));
             }
@@ -569,6 +580,24 @@ mod tests {
             st.best_cfg.is_some(),
             "best state survives retune so mispredictions can be undone"
         );
+    }
+
+    #[test]
+    fn foreign_grid_steps_stay_on_that_lattice() {
+        use harmonia_types::DeviceSpec;
+        let spec = DeviceSpec::v100();
+        let grid = *spec.grid();
+        let fg = FineGrain::new().with_grid(grid);
+        let mut st = FgState::new();
+        let mut cfg = harmonia_types::HwConfig::max_on(&grid);
+        for _ in 0..5 {
+            cfg = fg.step(&mut st, cfg, 100.0, allow_all);
+            assert!(
+                harmonia_types::ComputeConfig::new_on(&grid, cfg.compute.cu_count(), cfg.compute.freq()).is_ok(),
+                "FG stepped off the v100 grid: {cfg}"
+            );
+        }
+        assert!(cfg.compute.cu_count() < grid.cu_max);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::governor::Governor;
 use crate::predictor::SensitivityPredictor;
 use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_sim::{CounterSample, KernelProfile};
-use harmonia_types::{HwConfig, Tunable};
+use harmonia_types::{GridSpec, HwConfig, Tunable};
 use std::collections::HashMap;
 
 /// Configuration switches for [`HarmoniaGovernor`] — used for the paper's
@@ -36,6 +36,9 @@ pub struct HarmoniaConfig {
     pub enable_fg: bool,
     /// Which tunables the governor may touch.
     pub tunables: Vec<Tunable>,
+    /// The device grid the governor steps and jumps along (and whose
+    /// maximum is each kernel's initial configuration).
+    pub grid: GridSpec,
 }
 
 impl Default for HarmoniaConfig {
@@ -44,6 +47,7 @@ impl Default for HarmoniaConfig {
             enable_cg: true,
             enable_fg: true,
             tunables: Tunable::ALL.to_vec(),
+            grid: GridSpec::HD7970,
         }
     }
 }
@@ -69,6 +73,12 @@ impl HarmoniaConfig {
             tunables: vec![Tunable::CuFreq],
             ..Self::default()
         }
+    }
+
+    /// The same switches on a different device grid (builder style).
+    pub fn on_grid(mut self, grid: GridSpec) -> Self {
+        self.grid = grid;
+        self
     }
 }
 
@@ -169,8 +179,9 @@ impl HarmoniaGovernor {
             ),
         };
         Self {
-            cg: CoarseGrain::with_tunables(predictor, config.tunables.clone()),
-            fg: FineGrain::with_tunables(config.tunables.clone()),
+            cg: CoarseGrain::with_tunables(predictor, config.tunables.clone())
+                .with_grid(config.grid),
+            fg: FineGrain::with_tunables(config.tunables.clone()).with_grid(config.grid),
             config,
             name,
             kernels: HashMap::new(),
@@ -179,9 +190,10 @@ impl HarmoniaGovernor {
     }
 
     fn state_mut(&mut self, kernel: &str) -> &mut KernelState {
+        let initial = HwConfig::max_on(&self.config.grid);
         self.kernels
             .entry(kernel.to_string())
-            .or_insert_with(|| KernelState::new(HwConfig::max_hd7970()))
+            .or_insert_with(|| KernelState::new(initial))
     }
 
     /// The configuration currently selected for `kernel` (for inspection).
@@ -212,6 +224,7 @@ impl Governor for HarmoniaGovernor {
     ) {
         let enable_cg = self.config.enable_cg;
         let enable_fg = self.config.enable_fg;
+        let grid = self.config.grid;
         let cg = self.cg.clone();
         let fg = self.fg.clone();
         let trace = self.trace.clone();
@@ -275,7 +288,7 @@ impl Governor for HarmoniaGovernor {
                 // feedback instead.
                 state.reverts += 1;
                 state.cfg_changed_last = false;
-                state.fg.note(rate_now, cfg);
+                state.fg.note(&grid, rate_now, cfg);
                 state.fg.mark_bad_if_slow(rate_now, cfg);
                 let restored = state.prev_cfg;
                 trace.emit(|| TraceEvent::RevertGuard {
@@ -288,7 +301,7 @@ impl Governor for HarmoniaGovernor {
                 return;
             }
             state.reverts = 0;
-            state.fg.note(rate_now, cfg);
+            state.fg.note(&grid, rate_now, cfg);
             // Genuine phase change: coarse-grain jump; the FG search resets
             // but keeps its throughput history so a CG misprediction shows
             // up as a negative gradient next iteration.
@@ -324,7 +337,7 @@ impl Governor for HarmoniaGovernor {
             )
         } else {
             state.last_bins = Some(bins);
-            state.fg.note(rate_now, cfg);
+            state.fg.note(&grid, rate_now, cfg);
             cfg
         };
 
@@ -334,7 +347,7 @@ impl Governor for HarmoniaGovernor {
         state.last_change_was_decrement = next != cfg
             && Tunable::ALL
                 .iter()
-                .all(|&t| next.level(t).index <= cfg.level(t).index);
+                .all(|&t| next.level_on(&grid, t).index <= cfg.level_on(&grid, t).index);
         state.cfg = next;
     }
 }
@@ -506,6 +519,7 @@ mod tests {
             enable_cg: false,
             enable_fg: true,
             tunables: vec![Tunable::MemFreq, Tunable::CuCount],
+            ..HarmoniaConfig::default()
         };
         let g = HarmoniaGovernor::with_config(SensitivityPredictor::paper_table3(), custom);
         assert!(g.name().contains("cg=false"));

@@ -348,6 +348,14 @@ impl<'a> DegradeLayer<'a> {
         self
     }
 
+    /// Overrides the terminal rung's pinned configuration (e.g. a catalog
+    /// device's [`DeviceSpec::safe_state`](harmonia_types::DeviceSpec::safe_state)
+    /// instead of the HD7970 default).
+    pub fn with_safe_state(mut self, safe: HwConfig) -> Self {
+        self.safe = safe;
+        self
+    }
+
     /// Shares `stats` so rung residency/demotions/promotions and fallback
     /// engagements are counted into an external handle.
     pub fn with_stats(mut self, stats: &PolicyStats) -> Self {

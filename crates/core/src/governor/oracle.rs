@@ -258,9 +258,11 @@ pub struct OracleGovernor<'a> {
 }
 
 impl<'a> OracleGovernor<'a> {
-    /// Creates an oracle over the given timing and power models.
+    /// Creates an oracle over the given timing and power models. The sweep
+    /// grid comes from the timing model's device descriptor, so an oracle
+    /// built over a v100 model exhaustively sweeps the v100 lattice.
     pub fn new(model: &'a dyn TimingModel, power: &'a PowerModel) -> Self {
-        let configs: Vec<HwConfig> = ConfigSpace::hd7970().iter().collect();
+        let configs: Vec<HwConfig> = ConfigSpace::for_grid(&model.gpu().grid).iter().collect();
         let affine = PowerTable::probe(power, &configs);
         Self {
             model,

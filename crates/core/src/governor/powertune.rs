@@ -19,18 +19,30 @@ use crate::governor::Governor;
 use crate::telemetry::{TraceEvent, TraceHandle};
 use harmonia_power::{Activity, PowerModel, ThermalModel, ThermalParams};
 use harmonia_sim::{CounterSample, KernelProfile};
-use harmonia_types::{ComputeConfig, HwConfig, MegaHertz, MemoryConfig, Watts};
+use harmonia_types::{ComputeConfig, DvfsTable, GridSpec, HwConfig, MegaHertz, MemoryConfig, Watts};
 
 /// The DPM compute clocks PowerTune steps between (DPM0/1/2 + boost),
-/// mapped onto the managed 100 MHz grid.
-const DPM_CLOCKS: [u32; 4] = [300, 500, 900, 1000];
+/// snapped onto the device's managed frequency grid with consecutive
+/// duplicates merged. On the HD7970 this yields `[300, 500, 900, 1000]`
+/// (DPM2's 925 MHz lands on the 900 MHz grid point).
+fn dpm_ladder(grid: &GridSpec, dvfs: &DvfsTable) -> Vec<u32> {
+    let mut ladder: Vec<u32> = dvfs
+        .states()
+        .iter()
+        .map(|s| grid.snap_cu_freq(s.freq).value())
+        .collect();
+    ladder.dedup();
+    ladder
+}
 
 /// A reactive TDP-constrained compute-clock governor.
 pub struct PowerTuneGovernor<'a> {
     power: &'a PowerModel,
     tdp: Watts,
     thermal: ThermalModel,
-    /// Index into [`DPM_CLOCKS`].
+    /// The DPM clock ladder derived from the device's DVFS table.
+    ladder: Vec<u32>,
+    /// Index into `ladder`.
     state: usize,
     trace: TraceHandle,
 }
@@ -41,13 +53,18 @@ impl<'a> PowerTuneGovernor<'a> {
         Self::with_tdp(power, Watts(250.0))
     }
 
-    /// Creates a PowerTune governor with an explicit power cap.
+    /// Creates a PowerTune governor with an explicit power cap. The DPM
+    /// ladder and maximum CU/memory state come from the power model's
+    /// device (its DVFS table snapped onto its configuration grid).
     pub fn with_tdp(power: &'a PowerModel, tdp: Watts) -> Self {
+        let ladder = dpm_ladder(power.grid(), power.dvfs());
+        let state = ladder.len() - 1; // start at boost
         Self {
             power,
             tdp,
             thermal: ThermalModel::new(ThermalParams::default()),
-            state: DPM_CLOCKS.len() - 1, // start at boost
+            ladder,
+            state,
             trace: TraceHandle::disabled(),
         }
     }
@@ -57,12 +74,17 @@ impl<'a> PowerTuneGovernor<'a> {
         self.thermal.temperature_c()
     }
 
-    fn config_for_state(&self) -> HwConfig {
+    fn config_at(&self, state: usize) -> HwConfig {
+        let grid = self.power.grid();
         HwConfig::new(
-            ComputeConfig::new(32, MegaHertz(DPM_CLOCKS[self.state]))
+            ComputeConfig::new_on(grid, grid.cu_max, MegaHertz(self.ladder[state]))
                 .expect("DPM clocks are on the managed grid"),
-            MemoryConfig::max_hd7970(),
+            MemoryConfig::max_on(grid),
         )
+    }
+
+    fn config_for_state(&self) -> HwConfig {
+        self.config_at(self.state)
     }
 }
 
@@ -102,15 +124,12 @@ impl Governor for PowerTuneGovernor<'_> {
             self.state -= 1;
         } else if !over_power
             && self.thermal.headroom_c() > 5.0
-            && self.state + 1 < DPM_CLOCKS.len()
+            && self.state + 1 < self.ladder.len()
         {
             // Power and thermal headroom available: climb back toward boost.
             // Only climb if the *next* state is predicted to fit the cap.
             let next = self.state + 1;
-            let probe = HwConfig::new(
-                ComputeConfig::new(32, MegaHertz(DPM_CLOCKS[next])).expect("grid"),
-                MemoryConfig::max_hd7970(),
-            );
+            let probe = self.config_at(next);
             if self.power.card_pwr(probe, &activity) <= self.tdp {
                 self.state = next;
             }
@@ -119,8 +138,8 @@ impl Governor for PowerTuneGovernor<'_> {
             self.trace.emit(|| TraceEvent::DpmShift {
                 kernel: kernel.name.clone(),
                 iteration,
-                from_mhz: DPM_CLOCKS[state_before],
-                to_mhz: DPM_CLOCKS[self.state],
+                from_mhz: self.ladder[state_before],
+                to_mhz: self.ladder[self.state],
             });
         }
     }
@@ -205,6 +224,35 @@ mod tests {
         }
         let recovered = g.decide(&light, 20).compute.freq().value();
         assert!(recovered > throttled, "headroom should restore higher clocks");
+    }
+
+    #[test]
+    fn ladder_derives_from_the_device_dvfs_table() {
+        use harmonia_types::DeviceSpec;
+        // The hd7970 ladder reproduces the historical DPM_CLOCKS constant.
+        let hd = PowerModel::hd7970();
+        assert_eq!(dpm_ladder(hd.grid(), hd.dvfs()), vec![300, 500, 900, 1000]);
+        // A foreign device gets its own ladder, entirely on its own grid,
+        // and the governor boosts to that device's max state.
+        let spec = DeviceSpec::v100();
+        let power = PowerModel::for_device(&spec);
+        let ladder = dpm_ladder(power.grid(), power.dvfs());
+        assert!(!ladder.is_empty());
+        for &mhz in &ladder {
+            assert!(
+                ComputeConfig::new_on(spec.grid(), spec.grid().cu_max, MegaHertz(mhz)).is_ok(),
+                "ladder clock {mhz} MHz must be on the v100 grid"
+            );
+        }
+        let model = IntervalModel::new(spec.gpu.clone());
+        let k = suite::stencil().kernels[0].clone();
+        let mut g = PowerTuneGovernor::new(&power);
+        let cfg = g.decide(&k, 0);
+        assert_eq!(cfg.compute.cu_count(), spec.grid().cu_max);
+        assert_eq!(cfg.compute.freq().value(), *ladder.last().unwrap());
+        assert_eq!(cfg.memory, MemoryConfig::max_on(spec.grid()));
+        let c = model.simulate(cfg, &k, 0);
+        g.observe(&k, 0, cfg, &c.counters);
     }
 
     #[test]

@@ -41,7 +41,7 @@ use crate::predictor::SensitivityPredictor;
 use crate::sanitize::SanitizerConfig;
 use harmonia_power::PowerModel;
 use harmonia_sim::TimingModel;
-use harmonia_types::Watts;
+use harmonia_types::{DeviceSpec, Watts};
 use std::fmt;
 use std::str::FromStr;
 
@@ -59,10 +59,13 @@ pub struct PolicyResources<'a> {
     predictor: &'a SensitivityPredictor,
     model: &'a dyn TimingModel,
     power: &'a PowerModel,
+    device: &'a DeviceSpec,
 }
 
 impl<'a> PolicyResources<'a> {
-    /// Bundles the resources the registry builds from.
+    /// Bundles the resources the registry builds from, governing the
+    /// HD7970 catalog device. Use [`with_device`](Self::with_device) to
+    /// target another catalog entry.
     pub fn new(
         predictor: &'a SensitivityPredictor,
         model: &'a dyn TimingModel,
@@ -72,7 +75,18 @@ impl<'a> PolicyResources<'a> {
             predictor,
             model,
             power,
+            device: DeviceSpec::hd7970_static(),
         }
+    }
+
+    /// Retargets every built stack at `device`: governors step along its
+    /// configuration grid, oracles sweep its config space, and hardening
+    /// layers pin to its safe state. The timing and power models should be
+    /// built for the same device (e.g. via
+    /// [`PowerModel::for_device`]) — the registry does not cross-check.
+    pub fn with_device(mut self, device: &'a DeviceSpec) -> Self {
+        self.device = device;
+        self
     }
 
     /// The trained sensitivity predictor.
@@ -88,6 +102,11 @@ impl<'a> PolicyResources<'a> {
     /// The power model.
     pub fn power(&self) -> &'a PowerModel {
         self.power
+    }
+
+    /// The catalog device the built stacks govern.
+    pub fn device(&self) -> &'a DeviceSpec {
+        self.device
     }
 
     /// A concrete (unboxed) oracle over these resources, for callers that
@@ -182,21 +201,18 @@ impl PolicySpec {
     /// stack's composition.
     pub fn build<'a>(&self, res: &PolicyResources<'a>) -> Policy<'a> {
         let stats = PolicyStats::new();
+        let grid = *res.device.grid();
+        let harmonia =
+            |config: HarmoniaConfig| HarmoniaGovernor::with_config(res.predictor.clone(), config.on_grid(grid));
         let governor: BoxGovernor<'a> = match *self {
-            Self::Baseline => Box::new(BaselineGovernor::new()),
-            Self::Cg => Box::new(HarmoniaGovernor::with_config(
-                res.predictor.clone(),
-                HarmoniaConfig::cg_only(),
-            )),
-            Self::Harmonia => Box::new(HarmoniaGovernor::new(res.predictor.clone())),
-            Self::FreqOnly => Box::new(HarmoniaGovernor::with_config(
-                res.predictor.clone(),
-                HarmoniaConfig::freq_only(),
-            )),
+            Self::Baseline => Box::new(BaselineGovernor::on_grid(grid)),
+            Self::Cg => Box::new(harmonia(HarmoniaConfig::cg_only())),
+            Self::Harmonia => Box::new(harmonia(HarmoniaConfig::default())),
+            Self::FreqOnly => Box::new(harmonia(HarmoniaConfig::freq_only())),
             Self::Oracle => Box::new(res.oracle()),
             Self::PowerTune(tdp) => Box::new(PowerTuneGovernor::with_tdp(res.power, tdp)),
             Self::Capped(cap) => Box::new(
-                CappedGovernor::new(HarmoniaGovernor::new(res.predictor.clone()), res.power, cap)
+                CappedGovernor::new(harmonia(HarmoniaConfig::default()), res.power, cap)
                     .with_stats(&stats),
             ),
             Self::HardenedHarmonia => hardened_core(res, &stats),
@@ -210,6 +226,7 @@ impl PolicySpec {
                 let cap_layer = WatchdogLayer::cap(
                     WatchdogConfig {
                         check_actuation: true,
+                        safe: res.device.safe_state(),
                         ..WatchdogConfig::default()
                     },
                     res.power,
@@ -232,18 +249,13 @@ impl PolicySpec {
                 // check compares against what was actually granted.
                 let degrade = DegradeLayer::new(
                     LadderConfig::default(),
-                    Box::new(HarmoniaGovernor::with_config(
-                        res.predictor.clone(),
-                        HarmoniaConfig::cg_only(),
-                    )),
-                    Box::new(HarmoniaGovernor::with_config(
-                        res.predictor.clone(),
-                        HarmoniaConfig::freq_only(),
-                    )),
+                    Box::new(harmonia(HarmoniaConfig::cg_only())),
+                    Box::new(harmonia(HarmoniaConfig::freq_only())),
                 )
+                .with_safe_state(res.device.safe_state())
                 .with_stats(&stats);
                 let ledger = degrade.ledger();
-                let core = degrade.layer(Box::new(HarmoniaGovernor::new(res.predictor.clone())));
+                let core = degrade.layer(Box::new(harmonia(HarmoniaConfig::default())));
                 let sanitized = SanitizeLayer::new(SanitizerConfig::default())
                     .with_stats(&stats)
                     .with_power(res.power)
@@ -261,13 +273,20 @@ impl PolicySpec {
 
 /// The shared hardened core: sanitize → counter watchdog → Harmonia.
 fn hardened_core<'a>(res: &PolicyResources<'a>, stats: &PolicyStats) -> BoxGovernor<'a> {
+    let grid = *res.device.grid();
     let sanitized = SanitizeLayer::new(SanitizerConfig::default())
         .with_stats(stats)
         .with_power(res.power)
-        .layer(Box::new(HarmoniaGovernor::new(res.predictor.clone())));
-    WatchdogLayer::counters(WatchdogConfig::default())
-        .with_stats(stats)
-        .layer(sanitized)
+        .layer(Box::new(HarmoniaGovernor::with_config(
+            res.predictor.clone(),
+            HarmoniaConfig::default().on_grid(grid),
+        )));
+    WatchdogLayer::counters(WatchdogConfig {
+        safe: res.device.safe_state(),
+        ..WatchdogConfig::default()
+    })
+    .with_stats(stats)
+    .layer(sanitized)
 }
 
 impl fmt::Display for PolicySpec {
@@ -399,6 +418,37 @@ mod tests {
         assert!("capped@zero".parse::<PolicySpec>().is_err());
         assert!("capped@-5".parse::<PolicySpec>().is_err());
         assert!("hardened:oracle".parse::<PolicySpec>().is_err());
+    }
+
+    #[test]
+    fn every_stack_governs_every_catalog_device_on_its_own_grid() {
+        let predictor = SensitivityPredictor::paper_table3();
+        for device_name in DeviceSpec::catalog() {
+            let device = DeviceSpec::lookup(device_name).expect(device_name);
+            let model = IntervalModel::new(device.gpu.clone());
+            let power = PowerModel::for_device(&device);
+            let res = PolicyResources::new(&predictor, &model, &power).with_device(&device);
+            assert_eq!(res.device().name, device_name);
+            let space = harmonia_types::ConfigSpace::for_grid(device.grid());
+            let k = harmonia_sim::KernelProfile::builder("k")
+                .workitems(1 << 18)
+                .valu_insts_per_item(8.0)
+                .vfetch_insts_per_item(2.0)
+                .build();
+            for spec_name in PolicySpec::names() {
+                let spec: PolicySpec = spec_name.parse().unwrap();
+                let mut governor = spec.build(&res).governor;
+                for i in 0..3 {
+                    let cfg = governor.decide(&k, i);
+                    assert!(
+                        space.contains(cfg),
+                        "{device_name}/{spec_name}: decision {cfg} is off the device grid"
+                    );
+                    let c = harmonia_sim::TimingModel::simulate(&model, cfg, &k, i);
+                    governor.observe(&k, i, cfg, &c.counters);
+                }
+            }
+        }
     }
 
     #[test]

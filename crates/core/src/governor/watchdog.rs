@@ -27,6 +27,11 @@ use harmonia_types::{ComputeConfig, HwConfig, MegaHertz, MemoryConfig};
 /// The safe PowerTune-equivalent state fallback decisions pin to: all 32
 /// CUs at the 500 MHz DPM clock, memory at full speed. Matching the DPM
 /// table keeps the fallback a state real firmware could actually enter.
+///
+/// This is the HD7970 instance; governors built for another catalog device
+/// set [`WatchdogConfig::safe`] from
+/// [`DeviceSpec::safe_state`](harmonia_types::DeviceSpec::safe_state),
+/// which derives the equivalent mid-ladder DPM state on that device's grid.
 pub fn safe_state() -> HwConfig {
     HwConfig::new(
         ComputeConfig::new(32, MegaHertz(500)).expect("DPM state is on the grid"),
@@ -189,6 +194,25 @@ mod tests {
         assert!(harmonia_types::ConfigSpace::hd7970().contains(safe_state()));
         assert_eq!(safe_state().compute.cu_count(), 32);
         assert_eq!(safe_state().compute.freq().value(), 500);
+    }
+
+    #[test]
+    fn device_safe_states_match_the_hd7970_convention() {
+        use harmonia_types::DeviceSpec;
+        // The catalog's hd7970 safe state is the same config as the legacy
+        // free function, and every device's safe state sits on its own grid.
+        assert_eq!(DeviceSpec::hd7970().safe_state(), safe_state());
+        for name in DeviceSpec::catalog() {
+            let spec = DeviceSpec::lookup(name).expect(name);
+            let safe = spec.safe_state();
+            assert!(
+                harmonia_types::ConfigSpace::for_grid(spec.grid()).contains(safe),
+                "{}: safe state must be on the device grid",
+                spec.name
+            );
+            assert_eq!(safe.compute.cu_count(), spec.grid().cu_max);
+            assert!(safe.compute.freq() < spec.grid().cu_freq_max);
+        }
     }
 
     #[test]

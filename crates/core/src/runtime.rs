@@ -224,9 +224,14 @@ impl<'a> Runtime<'a> {
         loop {
             let ordinal = attempts;
             attempts += 1;
-            let Some((kind, actual)) =
-                plan.actuate_attempt(kernel, decided, previous, iteration, ordinal)
-            else {
+            let Some((kind, actual)) = plan.actuate_attempt_on(
+                &self.model.gpu().grid,
+                kernel,
+                decided,
+                previous,
+                iteration,
+                ordinal,
+            ) else {
                 // This attempt went through cleanly.
                 return (!kinds.is_empty()).then(|| ResolvedActuation {
                     outcome: ActuationOutcome::Retried(attempts - 1),
@@ -366,7 +371,14 @@ impl<'a> Runtime<'a> {
                                 )
                                 .map_or(Actuation::Clean, Actuation::Resolved),
                             None => plan
-                                .actuate(&kernel.name, decided, previous, iteration)
+                                .actuate_attempt_on(
+                                    &self.model.gpu().grid,
+                                    &kernel.name,
+                                    decided,
+                                    previous,
+                                    iteration,
+                                    0,
+                                )
                                 .filter(|&(_, actual)| actual != decided)
                                 .map_or(Actuation::Clean, |(kind, actual)| Actuation::Fault {
                                     kind,

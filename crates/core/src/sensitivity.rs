@@ -7,8 +7,28 @@
 //! are aggregated into a single compute-throughput sensitivity.
 
 use harmonia_sim::{CachedModel, KernelProfile, SimCache, TimingModel};
-use harmonia_types::{ComputeConfig, HwConfig, MegaHertz, MemoryConfig};
+use harmonia_types::{ComputeConfig, GridSpec, HwConfig, MegaHertz, MemoryConfig};
 use serde::{Deserialize, Serialize};
+
+/// The four probe configurations sensitivity measurement simulates on a
+/// grid: the shared maximum plus one lowered point per tunable (half the
+/// CUs, half the compute clock — both snapped onto the grid — and the
+/// minimum memory clock). On [`GridSpec::HD7970`] these are the paper's
+/// (32, 1000, 1375) / (16, 1000, 1375) / (32, 500, 1375) / (32, 1000, 475).
+fn probe_points(grid: &GridSpec) -> [(u32, MegaHertz, MegaHertz); 4] {
+    let cu_hi = grid.cu_max;
+    let cu_target = grid.cu_max / 2;
+    let cu_lo = if cu_target <= grid.cu_min {
+        grid.cu_min
+    } else {
+        grid.cu_min + ((cu_target - grid.cu_min) / grid.cu_step) * grid.cu_step
+    };
+    let f_hi = grid.cu_freq_max;
+    let f_lo = grid.snap_cu_freq(MegaHertz(f_hi.value() / 2));
+    let m_hi = grid.mem_freq_max;
+    let m_lo = grid.mem_freq_min;
+    [(cu_hi, f_hi, m_hi), (cu_lo, f_hi, m_hi), (cu_hi, f_lo, m_hi), (cu_hi, f_hi, m_lo)]
+}
 
 /// A kernel's measured (or predicted) sensitivities, as fractions where 1.0
 /// means perfect proportional scaling with the tunable and 0.0 means no
@@ -50,7 +70,18 @@ impl Sensitivity {
     /// paper executes "multiple times for multiple iterations" and averages;
     /// Section 4.1).
     pub fn measure<M: TimingModel>(model: &M, kernel: &KernelProfile) -> Sensitivity {
-        Self::measure_cached(model, &SimCache::new(), kernel)
+        Self::measure_on(&GridSpec::HD7970, model, kernel)
+    }
+
+    /// [`Sensitivity::measure`] on an arbitrary device grid: the probe
+    /// points come from the grid (see [`probe_points`]) so catalog devices
+    /// measure sensitivity across *their* tunable ranges.
+    pub fn measure_on<M: TimingModel>(
+        grid: &GridSpec,
+        model: &M,
+        kernel: &KernelProfile,
+    ) -> Sensitivity {
+        Self::measure_cached_on(grid, model, &SimCache::new(), kernel)
     }
 
     /// [`Sensitivity::measure`] through a shared simulation cache: the four
@@ -63,18 +94,23 @@ impl Sensitivity {
         cache: &SimCache,
         kernel: &KernelProfile,
     ) -> Sensitivity {
+        Self::measure_cached_on(&GridSpec::HD7970, model, cache, kernel)
+    }
+
+    /// [`Sensitivity::measure_cached`] on an arbitrary device grid.
+    pub fn measure_cached_on<M: TimingModel>(
+        grid: &GridSpec,
+        model: &M,
+        cache: &SimCache,
+        kernel: &KernelProfile,
+    ) -> Sensitivity {
         const ITERS: u64 = Sensitivity::MEASURE_ITERATIONS;
-        // The distinct (cu, freq, mem) probe points behind
-        // `measure_at`: the shared maximum plus one lowered point per
-        // tunable.
-        const PROBES: [(u32, u32, u32); 4] =
-            [(32, 1000, 1375), (16, 1000, 1375), (32, 500, 1375), (32, 1000, 475)];
-        let probe_cfgs: Vec<HwConfig> = PROBES
+        let probe_cfgs: Vec<HwConfig> = probe_points(grid)
             .iter()
             .map(|&(cu, freq, mem)| {
                 HwConfig::new(
-                    ComputeConfig::new(cu, MegaHertz(freq)).expect("valid grid point"),
-                    MemoryConfig::new(MegaHertz(mem)).expect("valid grid point"),
+                    ComputeConfig::new_on(grid, cu, freq).expect("valid grid point"),
+                    MemoryConfig::new_on(grid, mem).expect("valid grid point"),
                 )
             })
             .collect();
@@ -84,7 +120,7 @@ impl Sensitivity {
         }
         let mut acc = Sensitivity::default();
         for i in 0..ITERS {
-            let s = Self::measure_at(&cached, kernel, i);
+            let s = Self::measure_at_on(grid, &cached, kernel, i);
             acc.cu += s.cu;
             acc.freq += s.freq;
             acc.bandwidth += s.bandwidth;
@@ -102,25 +138,36 @@ impl Sensitivity {
         kernel: &KernelProfile,
         iteration: u64,
     ) -> Sensitivity {
+        Self::measure_at_on(&GridSpec::HD7970, model, kernel, iteration)
+    }
+
+    /// [`Sensitivity::measure_at`] on an arbitrary device grid.
+    pub fn measure_at_on<M: TimingModel>(
+        grid: &GridSpec,
+        model: &M,
+        kernel: &KernelProfile,
+        iteration: u64,
+    ) -> Sensitivity {
         Sensitivity {
-            cu: cu_sensitivity(model, kernel, iteration),
-            freq: freq_sensitivity(model, kernel, iteration),
-            bandwidth: bandwidth_sensitivity(model, kernel, iteration),
+            cu: cu_sensitivity_on(grid, model, kernel, iteration),
+            freq: freq_sensitivity_on(grid, model, kernel, iteration),
+            bandwidth: bandwidth_sensitivity_on(grid, model, kernel, iteration),
         }
     }
 }
 
 fn time_at<M: TimingModel>(
+    grid: &GridSpec,
     model: &M,
     kernel: &KernelProfile,
     iteration: u64,
     cu: u32,
-    freq: u32,
-    mem: u32,
+    freq: MegaHertz,
+    mem: MegaHertz,
 ) -> f64 {
     let cfg = HwConfig::new(
-        ComputeConfig::new(cu, MegaHertz(freq)).expect("valid grid point"),
-        MemoryConfig::new(MegaHertz(mem)).expect("valid grid point"),
+        ComputeConfig::new_on(grid, cu, freq).expect("valid grid point"),
+        MemoryConfig::new_on(grid, mem).expect("valid grid point"),
     );
     model.simulate(cfg, kernel, iteration).time.value()
 }
@@ -128,16 +175,40 @@ fn time_at<M: TimingModel>(
 /// Sensitivity of execution time to the number of active CUs, measured
 /// between 16 and 32 CUs with frequency and bandwidth at maximum.
 pub fn cu_sensitivity<M: TimingModel>(model: &M, kernel: &KernelProfile, iteration: u64) -> f64 {
-    let t_hi = time_at(model, kernel, iteration, 32, 1000, 1375);
-    let t_lo = time_at(model, kernel, iteration, 16, 1000, 1375);
-    relative_sensitivity(t_lo, t_hi, 2.0)
+    cu_sensitivity_on(&GridSpec::HD7970, model, kernel, iteration)
+}
+
+/// [`cu_sensitivity`] on an arbitrary device grid: between roughly half
+/// the CUs and all of them, clocks at maximum.
+pub fn cu_sensitivity_on<M: TimingModel>(
+    grid: &GridSpec,
+    model: &M,
+    kernel: &KernelProfile,
+    iteration: u64,
+) -> f64 {
+    let [(cu_hi, f_hi, m_hi), (cu_lo, _, _), _, _] = probe_points(grid);
+    let t_hi = time_at(grid, model, kernel, iteration, cu_hi, f_hi, m_hi);
+    let t_lo = time_at(grid, model, kernel, iteration, cu_lo, f_hi, m_hi);
+    relative_sensitivity(t_lo, t_hi, f64::from(cu_hi) / f64::from(cu_lo))
 }
 
 /// Sensitivity to CU frequency, measured between 500 MHz and 1 GHz.
 pub fn freq_sensitivity<M: TimingModel>(model: &M, kernel: &KernelProfile, iteration: u64) -> f64 {
-    let t_hi = time_at(model, kernel, iteration, 32, 1000, 1375);
-    let t_lo = time_at(model, kernel, iteration, 32, 500, 1375);
-    relative_sensitivity(t_lo, t_hi, 2.0)
+    freq_sensitivity_on(&GridSpec::HD7970, model, kernel, iteration)
+}
+
+/// [`freq_sensitivity`] on an arbitrary device grid: between roughly half
+/// the maximum compute clock (snapped on-grid) and the maximum.
+pub fn freq_sensitivity_on<M: TimingModel>(
+    grid: &GridSpec,
+    model: &M,
+    kernel: &KernelProfile,
+    iteration: u64,
+) -> f64 {
+    let [(cu_hi, f_hi, m_hi), _, (_, f_lo, _), _] = probe_points(grid);
+    let t_hi = time_at(grid, model, kernel, iteration, cu_hi, f_hi, m_hi);
+    let t_lo = time_at(grid, model, kernel, iteration, cu_hi, f_lo, m_hi);
+    relative_sensitivity(t_lo, t_hi, f64::from(f_hi.value()) / f64::from(f_lo.value()))
 }
 
 /// Sensitivity to memory bandwidth, measured between 475 MHz and 1375 MHz
@@ -147,9 +218,21 @@ pub fn bandwidth_sensitivity<M: TimingModel>(
     kernel: &KernelProfile,
     iteration: u64,
 ) -> f64 {
-    let t_hi = time_at(model, kernel, iteration, 32, 1000, 1375);
-    let t_lo = time_at(model, kernel, iteration, 32, 1000, 475);
-    relative_sensitivity(t_lo, t_hi, 1375.0 / 475.0)
+    bandwidth_sensitivity_on(&GridSpec::HD7970, model, kernel, iteration)
+}
+
+/// [`bandwidth_sensitivity`] on an arbitrary device grid: between the
+/// grid's minimum and maximum memory bus clocks.
+pub fn bandwidth_sensitivity_on<M: TimingModel>(
+    grid: &GridSpec,
+    model: &M,
+    kernel: &KernelProfile,
+    iteration: u64,
+) -> f64 {
+    let [(cu_hi, f_hi, m_hi), _, _, (_, _, m_lo)] = probe_points(grid);
+    let t_hi = time_at(grid, model, kernel, iteration, cu_hi, f_hi, m_hi);
+    let t_lo = time_at(grid, model, kernel, iteration, cu_hi, f_hi, m_lo);
+    relative_sensitivity(t_lo, t_hi, f64::from(m_hi.value()) / f64::from(m_lo.value()))
 }
 
 /// `((t_low / t_high) − 1) / (ratio − 1)`: 1.0 when time scales perfectly
@@ -229,6 +312,49 @@ mod tests {
         let k = app.kernel("BPT.FindK").unwrap();
         let cu = cu_sensitivity(&model(), k, 0);
         assert!(cu < 0.05, "BPT CU sensitivity {cu} should be ~negative");
+    }
+
+    #[test]
+    fn probe_points_are_on_grid_for_every_catalog_device() {
+        use harmonia_types::DeviceSpec;
+        // The HD7970 probes are exactly the paper's four points.
+        assert_eq!(
+            probe_points(&GridSpec::HD7970),
+            [
+                (32, MegaHertz(1000), MegaHertz(1375)),
+                (16, MegaHertz(1000), MegaHertz(1375)),
+                (32, MegaHertz(500), MegaHertz(1375)),
+                (32, MegaHertz(1000), MegaHertz(475)),
+            ]
+        );
+        for name in DeviceSpec::catalog() {
+            let spec = DeviceSpec::lookup(name).expect(name);
+            let grid = spec.grid();
+            for (cu, f, m) in probe_points(grid) {
+                assert!(ComputeConfig::new_on(grid, cu, f).is_ok(), "{name} ({cu}, {f:?})");
+                assert!(MemoryConfig::new_on(grid, m).is_ok(), "{name} {m:?}");
+            }
+            // Each lowered probe genuinely differs from the shared maximum,
+            // so the sensitivity ratios are well-defined on every device.
+            let [(cu_hi, f_hi, m_hi), (cu_lo, _, _), (_, f_lo, _), (_, _, m_lo)] =
+                probe_points(grid);
+            assert!(cu_lo < cu_hi, "{name} CU probe");
+            assert!(f_lo < f_hi, "{name} freq probe");
+            assert!(m_lo < m_hi, "{name} mem probe");
+        }
+    }
+
+    #[test]
+    fn catalog_devices_measure_finite_sensitivities() {
+        let app = suite::maxflops();
+        for name in harmonia_types::DeviceSpec::catalog() {
+            let spec = harmonia_types::DeviceSpec::lookup(name).expect(name);
+            let m = IntervalModel::new(spec.gpu.clone());
+            let s = Sensitivity::measure_on(spec.grid(), &m, &app.kernels[0]);
+            assert!(s.cu.is_finite() && s.freq.is_finite() && s.bandwidth.is_finite(), "{name}");
+            // MaxFlops stays compute-bound on every catalog part.
+            assert!(s.compute() > 0.5, "{name} compute sensitivity {}", s.compute());
+        }
     }
 
     #[test]

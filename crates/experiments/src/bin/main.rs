@@ -3,13 +3,15 @@
 //! Usage:
 //!
 //! ```text
-//! harmonia-experiments [EXPERIMENT ...] [--out DIR] [--no-csv] [--json]
+//! harmonia-experiments [EXPERIMENT ...] [--device NAME] [--out DIR] [--no-csv] [--json]
 //! harmonia-experiments all
 //! harmonia-experiments list
+//! harmonia-experiments devices
 //! harmonia-experiments trace <APP> [POLICY]
 //! harmonia-experiments chaos <APP>
 //! harmonia-experiments chaos-campaign [--seeds N]
 //! harmonia-experiments fleet [--devices N] [--cap W] [--ticks T]
+//! harmonia-experiments transfer <SOURCE> <TARGET>
 //! harmonia-experiments rr record <APP> [POLICY] [--chaos]
 //! harmonia-experiments rr replay <FILE>
 //! harmonia-experiments rr diff <A> <B>
@@ -37,6 +39,13 @@
 //! throughput plus the per-application cap-compliance table. Defaults come
 //! from `HARMONIA_FLEET_DEVICES` / `HARMONIA_FLEET_CAP_W` when the flags
 //! are absent.
+//! `--device <NAME>` (or the `HARMONIA_DEVICE` session knob; the flag
+//! wins) selects the catalog device every experiment and subcommand runs
+//! on — `hd7970` (the default), `v100`, `h100`, or `jetson-orin`; the
+//! `devices` subcommand lists them. `transfer <SOURCE> <TARGET>` fits the
+//! sensitivity predictor on the source device and reports its prediction
+//! error and per-app ED² decision quality on the target device, exiting
+//! nonzero when either name is not in the catalog.
 //! `rr record <APP> [POLICY] [--chaos]` records a full session — every
 //! stochastic draw the run consumed — into a versioned binary trace
 //! (`results/rr_<app>_<policy>[_chaos].hrr`); `rr replay <FILE>`
@@ -46,11 +55,12 @@
 
 use harmonia::governor::PolicySpec;
 use harmonia_experiments::{
-    campaign_cmd, chaos_cmd, fleet_cmd, rr_cmd, run, trace_cmd, Context, ALL_EXPERIMENTS,
+    campaign_cmd, chaos_cmd, fleet_cmd, rr_cmd, run, trace_cmd, transfer_cmd, Context,
+    ALL_EXPERIMENTS,
 };
 use harmonia_rr::differ;
 use harmonia_sim::FaultPlan;
-use harmonia_types::Session;
+use harmonia_types::{DeviceSpec, Session};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -75,7 +85,9 @@ fn main() -> ExitCode {
     let mut chaos: Vec<String> = Vec::new();
     let mut campaign: Option<u32> = None;
     let mut fleet: Option<FleetArgs> = None;
+    let mut transfers: Vec<(String, String)> = Vec::new();
     let mut rr: Vec<RrCmd> = Vec::new();
+    let mut device_flag: Option<String> = None;
     let mut out_dir = PathBuf::from("results");
     let mut write_csv = true;
     let mut write_json = false;
@@ -205,6 +217,26 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "transfer" => {
+                let (Some(src), Some(dst)) = (args.next(), args.next()) else {
+                    eprintln!("transfer requires two device names (e.g. `transfer hd7970 v100`)");
+                    return ExitCode::FAILURE;
+                };
+                transfers.push((src, dst));
+            }
+            "devices" => {
+                for name in DeviceSpec::catalog() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--device" => {
+                let Some(name) = args.next() else {
+                    eprintln!("--device requires a catalog device name (try `devices`)");
+                    return ExitCode::FAILURE;
+                };
+                device_flag = Some(name);
+            }
             "--out" => {
                 let Some(dir) = args.next() else {
                     eprintln!("--out requires a directory");
@@ -233,12 +265,27 @@ fn main() -> ExitCode {
         && chaos.is_empty()
         && campaign.is_none()
         && fleet.is_none()
+        && transfers.is_empty()
         && rr.is_empty()
     {
         ids.extend(ALL_EXPERIMENTS.iter().map(|s| (*s).to_string()));
     }
 
-    let ctx = Context::new();
+    // The flag wins, then the HARMONIA_DEVICE session knob, then hd7970.
+    let device_name = device_flag.or_else(|| Session::from_env().device().map(str::to_string));
+    let ctx = match &device_name {
+        Some(name) => match DeviceSpec::lookup(name) {
+            Some(spec) => Context::for_device(spec),
+            None => {
+                eprintln!(
+                    "unknown device: {name:?} (catalog: {})",
+                    DeviceSpec::catalog().join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Context::new(),
+    };
     let mut failed = false;
     for id in &ids {
         match run(&ctx, id) {
@@ -364,6 +411,27 @@ fn main() -> ExitCode {
                 run.fleet.cluster_violation_ticks
             );
             failed = true;
+        }
+    }
+    for (src, dst) in &transfers {
+        match transfer_cmd::run_transfer(src, dst) {
+            Ok(run) => {
+                println!("{}", run.report);
+                if write_csv {
+                    match run.report.write_csv(&out_dir) {
+                        Ok(path) => println!("  → {}", path.display()),
+                        Err(err) => {
+                            eprintln!("failed to write CSV for transfer: {err}");
+                            failed = true;
+                        }
+                    }
+                }
+                println!();
+            }
+            Err(err) => {
+                eprintln!("transfer failed: {err}");
+                failed = true;
+            }
         }
     }
     for cmd in &rr {

@@ -9,6 +9,7 @@ use harmonia::runtime::Runtime;
 use harmonia::telemetry::{TraceEvent, TraceHandle};
 use harmonia_power::PowerModel;
 use harmonia_sim::{sweep, IntervalModel};
+use harmonia_types::DeviceSpec;
 use harmonia_workloads::{suite, Application};
 use std::sync::OnceLock;
 
@@ -35,6 +36,7 @@ pub struct AppEval {
 
 /// Lazily constructed shared state for all experiments.
 pub struct Context {
+    device: DeviceSpec,
     model: IntervalModel,
     power: PowerModel,
     training: OnceLock<TrainingSet>,
@@ -43,15 +45,31 @@ pub struct Context {
 }
 
 impl Context {
-    /// Creates the experiment context over the HD7970 models.
+    /// Creates the experiment context over the HD7970 models (the paper's
+    /// test bed, and the default when no `--device` / `HARMONIA_DEVICE`
+    /// selection is made).
     pub fn new() -> Self {
+        Self::for_device(DeviceSpec::hd7970())
+    }
+
+    /// Creates the experiment context over a catalog device: its timing
+    /// model, power calibration, and configuration grid. Every experiment,
+    /// trace, and subcommand then runs on that device's lattice.
+    /// `for_device(DeviceSpec::hd7970())` is bit-identical to [`Context::new`].
+    pub fn for_device(device: DeviceSpec) -> Self {
         Self {
-            model: IntervalModel::default(),
-            power: PowerModel::hd7970(),
+            model: IntervalModel::new(device.gpu),
+            power: PowerModel::for_device(&device),
+            device,
             training: OnceLock::new(),
             predictor: OnceLock::new(),
             matrix: OnceLock::new(),
         }
+    }
+
+    /// The device this context models.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
     }
 
     /// The timing model.
@@ -82,6 +100,7 @@ impl Context {
     /// on first use).
     pub fn resources(&self) -> PolicyResources<'_> {
         PolicyResources::new(self.predictor(), &self.model, &self.power)
+            .with_device(&self.device)
     }
 
     /// Builds one named policy stack over this context's resources.

@@ -100,7 +100,7 @@ pub fn fig14(ctx: &Context) -> Report {
     let app = suite::graph500();
     let k = app.kernel("Graph500.BottomStepUp").unwrap();
     for i in 0..app.iterations {
-        let c = ctx.model().simulate(HwConfig::max_hd7970(), k, i).counters;
+        let c = ctx.model().simulate(HwConfig::max_on(&ctx.model().gpu().grid), k, i).counters;
         // Demand ops/byte of this BFS level: executed lane work over the
         // level's pre-cache memory traffic.
         let scale = k.phase.scale_for(i);
@@ -346,7 +346,7 @@ pub fn ablation_stacked(ctx: &Context) -> Report {
 pub fn ablation_mem_voltage(ctx: &Context) -> Report {
     use harmonia_power::compute::ComputePowerParams;
     use harmonia_power::memory::MemoryPowerParams;
-    use harmonia_types::{DvfsTable, Watts};
+    use harmonia_types::Watts;
     let mut r = Report::new(
         "ablation-mem-voltage",
         "What-if: memory bus voltage scales with frequency",
@@ -358,11 +358,12 @@ pub fn ablation_mem_voltage(ctx: &Context) -> Report {
             voltage_scaling: true,
             ..MemoryPowerParams::default()
         },
-        DvfsTable::hd7970(),
+        ctx.device().dvfs.clone(),
         Watts(33.0),
-    );
+    )
+    .with_grid(ctx.model().gpu().grid);
     let rt = harmonia::runtime::Runtime::new(ctx.model(), &scaled).without_trace();
-    let res = PolicyResources::new(ctx.predictor(), ctx.model(), &scaled);
+    let res = PolicyResources::new(ctx.predictor(), ctx.model(), &scaled).with_device(ctx.device());
     for e in ctx.matrix() {
         let base = rt.run(&e.app, &mut PolicySpec::Baseline.build(&res).governor);
         let run = rt.run(&e.app, &mut PolicySpec::Harmonia.build(&res).governor);
@@ -420,9 +421,10 @@ pub fn ablation_models(ctx: &Context) -> Report {
         "Timing-model fidelity ladder (time at boost, ms)",
         &["kernel", "interval", "event", "trace", "max/min"],
     );
-    let ev = EventModel::default();
-    let tr = TraceModel::default();
-    let cfg = HwConfig::max_hd7970();
+    let gpu = *ctx.model().gpu();
+    let ev = EventModel::new(gpu);
+    let tr = TraceModel::new(gpu);
+    let cfg = HwConfig::max_on(&ctx.model().gpu().grid);
     let mut worst: f64 = 1.0;
     for (_, k) in suite::training_kernels() {
         let ti = ctx.model().simulate(cfg, &k, 0).time.value() * 1e3;

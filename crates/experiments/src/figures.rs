@@ -16,6 +16,15 @@ fn activity_of(c: &CounterSample) -> Activity {
     }
 }
 
+/// A compute-clock label for table headers: `300 MHz`, `1 GHz`.
+fn mhz_label(f: harmonia_types::MegaHertz) -> String {
+    if f.value().is_multiple_of(1000) {
+        format!("{} GHz", f.value() / 1000)
+    } else {
+        format!("{} MHz", f.value())
+    }
+}
+
 /// Figure 1: card power breakdown for a memory-intensive workload
 /// (XSBench) at the maximum configuration.
 pub fn fig1(ctx: &Context) -> Report {
@@ -25,7 +34,7 @@ pub fn fig1(ctx: &Context) -> Report {
         &["component", "watts", "share"],
     );
     let app = suite::xsbench();
-    let cfg = HwConfig::max_hd7970();
+    let cfg = HwConfig::max_on(&ctx.model().gpu().grid);
     let sim = ctx.model().simulate(cfg, &app.kernels[0], 0);
     let p = ctx.power().breakdown(cfg, &activity_of(&sim.counters));
     let total = p.card_pwr().value();
@@ -82,7 +91,7 @@ pub fn fig2(ctx: &Context) -> Report {
             "peak FMAC throughput",
             format!(
                 "{:.0} GFLOPS @ boost",
-                harmonia_types::ComputeConfig::max_hd7970().peak_gflops()
+                ComputeConfig::max_on(&g.grid).peak_gflops_on(&g.grid)
             ),
         ),
     ];
@@ -108,18 +117,20 @@ pub fn fig3(ctx: &Context) -> Report {
         suite::devicememory().kernels[0].clone(),
         suite::lud().kernel("LUD.Internal").unwrap().clone(),
     ];
-    let min_cfg = HwConfig::min_hd7970();
+    let grid = ctx.model().gpu().grid;
+    let min_cfg = HwConfig::min_on(&grid);
     for kernel in &kernels {
         let t_min = ctx.model().simulate(min_cfg, kernel, 0).time.value();
-        for mem in MemoryConfig::freq_levels() {
-            let mem_cfg = MemoryConfig::new(mem).expect("grid");
+        for mem in grid.mem_freq_levels() {
+            let mem_cfg = MemoryConfig::new_on(&grid, mem).expect("grid");
             // Points along increasing hardware ops/byte at this memory cfg.
             let mut points: Vec<(f64, f64)> = Vec::new();
-            for cu in ComputeConfig::cu_levels() {
-                for f in ComputeConfig::freq_levels() {
-                    let cfg = HwConfig::new(ComputeConfig::new(cu, f).expect("grid"), mem_cfg);
+            for cu in grid.cu_levels() {
+                for f in grid.cu_freq_levels() {
+                    let cfg =
+                        HwConfig::new(ComputeConfig::new_on(&grid, cu, f).expect("grid"), mem_cfg);
                     let t = ctx.model().simulate(cfg, kernel, 0).time.value();
-                    points.push((cfg.hw_ops_per_byte_normalized(), t_min / t));
+                    points.push((cfg.hw_ops_per_byte_normalized_on(&grid), t_min / t));
                 }
             }
             points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
@@ -130,7 +141,7 @@ pub fn fig3(ctx: &Context) -> Report {
                 .map_or(f64::NAN, |p| p.0);
             r.push_row(vec![
                 kernel.name.clone(),
-                num(mem_cfg.peak_bandwidth().value(), 0),
+                num(mem_cfg.peak_bandwidth_on(&grid).value(), 0),
                 num(peak, 1),
                 num(knee, 1),
             ]);
@@ -146,22 +157,24 @@ pub fn fig3(ctx: &Context) -> Report {
 /// fixed 264 GB/s memory configuration, normalized to the minimum hardware
 /// configuration's power.
 pub fn fig4(ctx: &Context) -> Report {
+    let grid = ctx.model().gpu().grid;
     let mut r = Report::new(
         "fig4",
         "DeviceMemory card power across compute configs @ 264 GB/s",
-        &["CUs", "power @300 MHz (norm)", "power @1 GHz (norm)"],
+        &[
+            "CUs",
+            &format!("power @{} (norm)", mhz_label(grid.cu_freq_min)),
+            &format!("power @{} (norm)", mhz_label(grid.cu_freq_max)),
+        ],
     );
     let kernel = suite::devicememory().kernels[0].clone();
-    let mem = MemoryConfig::max_hd7970();
-    let power_at = |cu: u32, f: u32| {
-        let cfg = HwConfig::new(
-            ComputeConfig::new(cu, MegaHertz(f)).expect("grid"),
-            mem,
-        );
+    let mem = MemoryConfig::max_on(&grid);
+    let power_at = |cu: u32, f: MegaHertz| {
+        let cfg = HwConfig::new(ComputeConfig::new_on(&grid, cu, f).expect("grid"), mem);
         let sim = ctx.model().simulate(cfg, &kernel, 0);
         ctx.power().card_pwr(cfg, &activity_of(&sim.counters)).value()
     };
-    let min_cfg = HwConfig::min_hd7970();
+    let min_cfg = HwConfig::min_on(&grid);
     let sim_min = ctx.model().simulate(min_cfg, &kernel, 0);
     let p_ref = ctx
         .power()
@@ -169,9 +182,9 @@ pub fn fig4(ctx: &Context) -> Report {
         .value();
     let mut lo = f64::MAX;
     let mut hi = f64::MIN;
-    for cu in ComputeConfig::cu_levels() {
-        let a = power_at(cu, 300) / p_ref;
-        let b = power_at(cu, 1000) / p_ref;
+    for cu in grid.cu_levels() {
+        let a = power_at(cu, grid.cu_freq_min) / p_ref;
+        let b = power_at(cu, grid.cu_freq_max) / p_ref;
         lo = lo.min(a).min(b);
         hi = hi.max(a).max(b);
         r.push_row(vec![cu.to_string(), num(a, 2), num(b, 2)]);
@@ -191,16 +204,17 @@ pub fn fig5(ctx: &Context) -> Report {
         "MaxFlops card power across memory configs @ 32 CU / 1 GHz",
         &["mem bus (MHz)", "bandwidth (GB/s)", "card power (W)", "vs max"],
     );
+    let grid = ctx.model().gpu().grid;
     let kernel = suite::maxflops().kernels[0].clone();
     let mut p_max = 0.0;
     let mut rows = Vec::new();
-    for mem in MemoryConfig::freq_levels() {
-        let mc = MemoryConfig::new(mem).expect("grid");
-        let cfg = HwConfig::new(ComputeConfig::max_hd7970(), mc);
+    for mem in grid.mem_freq_levels() {
+        let mc = MemoryConfig::new_on(&grid, mem).expect("grid");
+        let cfg = HwConfig::new(ComputeConfig::max_on(&grid), mc);
         let sim = ctx.model().simulate(cfg, &kernel, 0);
         let p = ctx.power().card_pwr(cfg, &activity_of(&sim.counters)).value();
         p_max = f64::max(p_max, p);
-        rows.push((mem.value(), mc.peak_bandwidth().value(), p));
+        rows.push((mem.value(), mc.peak_bandwidth_on(&grid).value(), p));
     }
     let p_min = rows.iter().map(|r| r.2).fold(f64::MAX, f64::min);
     for (mhz, bw, p) in rows {
@@ -227,7 +241,7 @@ pub fn fig6(ctx: &Context) -> Report {
         "Energy- vs ED²- vs performance-optimal configurations",
         &["app", "optimized for", "perf", "energy", "ED²", "config"],
     );
-    let configs: Vec<HwConfig> = ConfigSpace::hd7970().iter().collect();
+    let configs: Vec<HwConfig> = ConfigSpace::for_grid(&ctx.model().gpu().grid).iter().collect();
     for app in [suite::lud(), suite::devicememory()] {
         // Exhaustive sweep: one batched grid pass per (invocation, kernel)
         // through the memoization cache (which collapses the iteration loop
@@ -298,8 +312,9 @@ pub fn fig7(ctx: &Context) -> Report {
         suite::comd().kernel("CoMD.AdvanceVelocity").unwrap().clone(),
     ];
     for k in &pairs {
-        let occ = Occupancy::compute(ctx.model().gpu(), k, 32);
-        let s = sensitivity::Sensitivity::measure(ctx.model(), k);
+        let gpu = ctx.model().gpu();
+        let occ = Occupancy::compute(gpu, k, gpu.grid.cu_max);
+        let s = sensitivity::Sensitivity::measure_on(&gpu.grid, ctx.model(), k);
         r.push_row(vec![
             k.name.clone(),
             format!("{:.0}%", occ.fraction * 100.0),
@@ -325,7 +340,7 @@ pub fn fig8(ctx: &Context) -> Report {
         suite::sort().kernel("Sort.BottomScan").unwrap().clone(),
     ];
     for k in &kernels {
-        let s = sensitivity::freq_sensitivity(ctx.model(), k, 0);
+        let s = sensitivity::freq_sensitivity_on(&ctx.model().gpu().grid, ctx.model(), k, 0);
         r.push_row(vec![
             k.name.clone(),
             format!("{:.0}%", k.branch_divergence * 100.0),
@@ -349,23 +364,26 @@ pub fn characterize(ctx: &Context) -> Report {
         "Platform characterization from synthetic probes (boost config)",
         &["probe", "setting", "observation"],
     );
-    let cfg = HwConfig::max_hd7970();
+    let grid = ctx.model().gpu().grid;
+    let cfg = HwConfig::max_on(&grid);
     let m = ctx.model();
 
     // Ceilings.
     let c = m.simulate(cfg, &probes::compute_probe(1.0), 0);
     let achieved_gflops = c.counters.valu_insts as f64 * 2.0 / c.time.value() / 1e9;
+    let peak_gflops = ComputeConfig::max_on(&grid).peak_gflops_on(&grid);
     r.push_row(vec![
         "compute ceiling".into(),
         "intensity 1.0".into(),
-        format!("{achieved_gflops:.0} GFLOPS (peak 4096)"),
+        format!("{achieved_gflops:.0} GFLOPS (peak {peak_gflops:.0})"),
     ]);
     let b = m.simulate(cfg, &probes::bandwidth_probe(128.0), 0);
+    let peak_bw = MemoryConfig::max_on(&grid).peak_bandwidth_on(&grid).value();
     r.push_row(vec![
         "bandwidth ceiling".into(),
         "128 B/item stream".into(),
         format!(
-            "{:.0} GB/s achieved ({:.0}% of 264 GB/s)",
+            "{:.0} GB/s achieved ({:.0}% of {peak_bw:.0} GB/s)",
             b.counters.achieved_bw_gbps,
             100.0 * b.counters.ic_activity
         ),
@@ -384,7 +402,7 @@ pub fn characterize(ctx: &Context) -> Report {
     // Divergence ladder (the Figure 8 dial).
     for d in [0.0, 0.5, 0.75] {
         let k = probes::divergence_probe(d);
-        let s = harmonia::sensitivity::freq_sensitivity(m, &k, 0);
+        let s = harmonia::sensitivity::freq_sensitivity_on(&grid, m, &k, 0);
         r.push_row(vec![
             "divergence ladder".into(),
             format!("{:.0}% masked", d * 100.0),
@@ -393,11 +411,11 @@ pub fn characterize(ctx: &Context) -> Report {
     }
 
     // Balance knees per memory configuration.
-    for mem in [MemoryConfig::min_hd7970(), MemoryConfig::max_hd7970()] {
+    for mem in [MemoryConfig::min_on(&grid), MemoryConfig::max_on(&grid)] {
         let mut knee = f64::NAN;
         for opb in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
             let k = probes::balance_probe(opb);
-            let cfg = HwConfig::new(harmonia_types::ComputeConfig::max_hd7970(), mem);
+            let cfg = HwConfig::new(ComputeConfig::max_on(&grid), mem);
             let c = m.simulate(cfg, &k, 0).counters;
             if c.valu_busy_pct > 90.0 {
                 knee = opb;
@@ -406,7 +424,7 @@ pub fn characterize(ctx: &Context) -> Report {
         }
         r.push_row(vec![
             "balance knee".into(),
-            format!("{:.0} GB/s", mem.peak_bandwidth().value()),
+            format!("{:.0} GB/s", mem.peak_bandwidth_on(&grid).value()),
             format!("compute-bound from demand ≈ {knee} ops/byte"),
         ]);
     }
@@ -426,27 +444,37 @@ pub fn fig9(ctx: &Context) -> Report {
         "Clock-domain coupling for DeviceMemory",
         &["metric", "value"],
     );
+    let grid = ctx.model().gpu().grid;
     let k = suite::devicememory().kernels[0].clone();
-    let max_cfg = HwConfig::max_hd7970();
+    let max_cfg = HwConfig::max_on(&grid);
     let sim = ctx.model().simulate(max_cfg, &k, 0);
     r.push_row(vec![
         "icActivity at boost".into(),
         format!("{:.2}", sim.counters.ic_activity),
     ]);
-    let time_at = |f: u32| {
+    let time_at = |f: MegaHertz| {
         let cfg = HwConfig::new(
-            ComputeConfig::new(32, MegaHertz(f)).expect("grid"),
-            MemoryConfig::max_hd7970(),
+            ComputeConfig::new_on(&grid, grid.cu_max, f).expect("grid"),
+            MemoryConfig::max_on(&grid),
         );
         ctx.model().simulate(cfg, &k, 0).time.value()
     };
-    let slow_high = time_at(800) / time_at(1000) - 1.0;
-    let slow_low = time_at(300) / time_at(500) - 1.0;
+    // Two compute steps near the top of the grid, and two near the floor
+    // (HD7970: 1000→800 MHz and 500→300 MHz, the paper's contrast points).
+    let top = grid.cu_freq_max;
+    let near_top = MegaHertz(top.value() - 2 * grid.cu_freq_step);
+    let floor = grid.cu_freq_min;
+    let above_floor = MegaHertz(floor.value() + 2 * grid.cu_freq_step);
+    let slow_high = time_at(near_top) / time_at(top) - 1.0;
+    let slow_low = time_at(floor) / time_at(above_floor) - 1.0;
     r.push_row(vec![
-        "slowdown 1000→800 MHz".into(),
+        format!("slowdown {}→{} MHz", top.value(), near_top.value()),
         pct(slow_high),
     ]);
-    r.push_row(vec!["slowdown 500→300 MHz".into(), pct(slow_low)]);
+    r.push_row(vec![
+        format!("slowdown {}→{} MHz", above_floor.value(), floor.value()),
+        pct(slow_low),
+    ]);
     r.note(
         "paper: high icActivity + poor L2 hit rate makes compute frequency matter, \
          especially at low clocks where the L2→MC crossing throttles DRAM bandwidth",

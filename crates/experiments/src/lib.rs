@@ -41,7 +41,12 @@
 //! | `chaos-<app>` | fault-matrix resilience table (the `chaos <app>` subcommand) |
 //! | `chaos-campaign` | seeded fault-plan fuzzer with invariant checks (the `chaos-campaign` subcommand) |
 //! | `fleet` | fleet-scheduler throughput and cap-compliance table (the `fleet` subcommand) |
+//! | `transfer` | cross-device predictor-transfer study (the `transfer <A> <B>` subcommand) |
 //! | `rr-record-<app>-<policy>` | recorded-session summary (the `rr` subcommand) |
+//!
+//! Every experiment runs on the context's device — `hd7970` by default,
+//! any catalog entry via `--device <name>` or `HARMONIA_DEVICE` (see
+//! [`harmonia_types::DeviceSpec`]).
 
 pub mod appendix;
 pub mod campaign_cmd;
@@ -54,6 +59,7 @@ pub mod report;
 pub mod rr_cmd;
 pub mod tables;
 pub mod trace_cmd;
+pub mod transfer_cmd;
 
 #[cfg(test)]
 mod lib_tests;

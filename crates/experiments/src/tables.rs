@@ -4,17 +4,17 @@ use crate::context::Context;
 use crate::report::{num, Report};
 use harmonia::predictor::{SensitivityPredictor, BANDWIDTH_FEATURES, COMPUTE_FEATURES};
 use harmonia_sim::TimingModel;
-use harmonia_types::{DvfsTable, HwConfig};
+use harmonia_types::HwConfig;
 use harmonia_workloads::suite;
 
-/// Table 1: the GPU DVFS table.
-pub fn table1(_ctx: &Context) -> Report {
+/// Table 1: the GPU DVFS table of the context's device.
+pub fn table1(ctx: &Context) -> Report {
     let mut r = Report::new(
         "table1",
-        "AMD HD7970 GPU DVFS table",
+        format!("GPU DVFS table ({})", ctx.device().name),
         &["state", "freq (MHz)", "voltage (V)"],
     );
-    for s in DvfsTable::hd7970().states() {
+    for s in ctx.device().dvfs.states() {
         r.push_row(vec![
             s.name.to_string(),
             s.freq.value().to_string(),
@@ -34,7 +34,8 @@ pub fn table2(ctx: &Context) -> Report {
         &["counter / metric", "description", "sample value"],
     );
     let k = suite::comd().kernel("CoMD.AdvanceVelocity").unwrap().clone();
-    let c = ctx.model().simulate(HwConfig::max_hd7970(), &k, 0).counters;
+    let boost = HwConfig::max_on(&ctx.model().gpu().grid);
+    let c = ctx.model().simulate(boost, &k, 0).counters;
     let rows: [(&str, &str, String); 9] = [
         (
             "VALUUtilization",
@@ -151,7 +152,7 @@ pub fn sensitivity_table(ctx: &Context) -> Report {
             .find(|(_, k)| k.name == row.kernel)
             .map(|(_, k)| k)
             .expect("training rows come from the suite");
-        let occ = harmonia_sim::Occupancy::compute(&gpu, &kernel, 32);
+        let occ = harmonia_sim::Occupancy::compute(&gpu, &kernel, gpu.grid.cu_max);
         r.push_row(vec![
             row.kernel.clone(),
             num(kernel.demand_ops_per_byte(), 2),
@@ -174,6 +175,7 @@ pub fn oracle_configs(ctx: &Context) -> Report {
         "ED²-optimal operating point per kernel (exhaustive oracle, iteration 0)",
         &["kernel", "CUs", "CU MHz", "mem MHz", "mem GB/s"],
     );
+    let grid = ctx.model().gpu().grid;
     let mut oracle = ctx.resources().oracle();
     for (_, kernel) in suite::training_kernels() {
         let cfg = oracle.best_config(&kernel, 0);
@@ -182,7 +184,7 @@ pub fn oracle_configs(ctx: &Context) -> Report {
             cfg.compute.cu_count().to_string(),
             cfg.compute.freq().value().to_string(),
             cfg.memory.bus_freq().value().to_string(),
-            num(cfg.memory.peak_bandwidth().value(), 0),
+            num(cfg.memory.peak_bandwidth_on(&grid).value(), 0),
         ]);
     }
     r.note("compute-bound kernels keep 32 CU / 1 GHz and shed memory; memory-bound kernels");

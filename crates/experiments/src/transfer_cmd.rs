@@ -1,0 +1,202 @@
+//! The `transfer <SOURCE> <TARGET>` subcommand: cross-architecture
+//! predictor transfer.
+//!
+//! Harmonia's sensitivity predictor is fitted offline on one platform
+//! (Section 5.2). The device catalog raises the obvious deployment
+//! question: how well does a model trained on device A steer device B?
+//! This command fits the predictor on the source device's training set,
+//! then evaluates it on the target device twice over:
+//!
+//! 1. **Prediction accuracy** — mean absolute error of the transferred
+//!    predictor against the target's *measured* sensitivities, next to the
+//!    natively fitted predictor's error on the same rows.
+//! 2. **Decision quality** — the full-Harmonia governor run on the target
+//!    device with the transferred predictor, per application, against the
+//!    natively fitted governor and the exhaustive ED² oracle.
+//!
+//! `transfer hd7970 hd7970` is the identity: zero excess error and an ED²
+//! ratio of exactly 1.0 for every application.
+
+use crate::context::Context;
+use crate::report::Report;
+use harmonia::governor::{PolicyResources, PolicySpec};
+use harmonia::runtime::Runtime;
+use harmonia_sim::sweep;
+use harmonia_types::DeviceSpec;
+use harmonia_workloads::suite;
+use std::fmt;
+
+/// Why a transfer run could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransferError {
+    /// A device name that is not in the catalog.
+    UnknownDevice(String),
+}
+
+impl fmt::Display for TransferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferError::UnknownDevice(name) => write!(
+                f,
+                "unknown device: {name:?} (catalog: {})",
+                DeviceSpec::catalog().join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+/// Per-application ED² under the three governors of the transfer study.
+#[derive(Debug, Clone)]
+pub struct TransferAppRow {
+    /// Application name.
+    pub app: String,
+    /// Exhaustive ED² oracle on the target device.
+    pub oracle_ed2: f64,
+    /// Harmonia with the predictor fitted *on the target*.
+    pub native_ed2: f64,
+    /// Harmonia with the predictor fitted *on the source*.
+    pub transfer_ed2: f64,
+}
+
+/// The outcome of one `transfer` invocation.
+#[derive(Debug, Clone)]
+pub struct TransferRun {
+    /// Printable accuracy + decision table.
+    pub report: Report,
+    /// Per-app decision quality rows, in suite order.
+    pub apps: Vec<TransferAppRow>,
+    /// Mean absolute prediction error of the transferred predictor on the
+    /// target's measured sensitivities, `(bandwidth, cu, freq)`.
+    pub cross_mae: (f64, f64, f64),
+    /// The natively fitted predictor's error on the same rows.
+    pub native_mae: (f64, f64, f64),
+    /// Geometric mean of per-app `transfer ED² / native ED²` (1.0 = the
+    /// transferred model decides exactly as well as the native fit).
+    pub ed2_ratio_geomean: f64,
+    /// Applications whose transferred ED² is within 1% of the native fit.
+    pub decision_matches: usize,
+}
+
+/// Fits the predictor on `source`, evaluates it on `target`.
+///
+/// # Errors
+///
+/// Returns [`TransferError::UnknownDevice`] when either name is not in the
+/// catalog — callers (the CLI) turn that into a nonzero exit.
+pub fn run_transfer(source: &str, target: &str) -> Result<TransferRun, TransferError> {
+    let src_spec = DeviceSpec::lookup(source)
+        .ok_or_else(|| TransferError::UnknownDevice(source.to_string()))?;
+    let dst_spec = DeviceSpec::lookup(target)
+        .ok_or_else(|| TransferError::UnknownDevice(target.to_string()))?;
+    let src = Context::for_device(src_spec);
+    let dst = Context::for_device(dst_spec);
+    Ok(transfer_between(&src, &dst))
+}
+
+/// The transfer study between two already-built contexts (the source's
+/// predictor and the target's training set are fitted/collected on first
+/// use and shared with any other experiment on the same context).
+pub fn transfer_between(src: &Context, dst: &Context) -> TransferRun {
+    let transferred = src.predictor();
+    let cross = transferred.mean_abs_error(dst.training());
+    let native = dst.predictor().mean_abs_error(dst.training());
+
+    // Decision quality: the same runtime and policy stacks the evaluation
+    // matrix uses, except the Harmonia stack is built once with the
+    // transferred predictor swapped in.
+    let apps = suite::all();
+    let rows: Vec<TransferAppRow> = sweep::run_indexed(apps.len(), |i| {
+        let app = &apps[i];
+        let rt = Runtime::new(dst.model(), dst.power());
+        let oracle = rt.run(app, &mut dst.policy(PolicySpec::Oracle).governor);
+        let native = rt.run(app, &mut dst.policy(PolicySpec::Harmonia).governor);
+        let res = PolicyResources::new(transferred, dst.model(), dst.power())
+            .with_device(dst.device());
+        let transfer = rt.run(app, &mut PolicySpec::Harmonia.build(&res).governor);
+        TransferAppRow {
+            app: app.name.clone(),
+            oracle_ed2: oracle.ed2(),
+            native_ed2: native.ed2(),
+            transfer_ed2: transfer.ed2(),
+        }
+    });
+
+    let ratios: Vec<f64> = rows.iter().map(|r| r.transfer_ed2 / r.native_ed2).collect();
+    let ed2_ratio_geomean = harmonia_stats::geometric_mean(&ratios).unwrap_or(1.0);
+    let decision_matches = ratios.iter().filter(|r| **r <= 1.01).count();
+
+    let mut report = Report::new(
+        "transfer",
+        format!(
+            "Predictor transfer — fitted on `{}`, deployed on `{}`",
+            src.device().name,
+            dst.device().name
+        ),
+        &["app", "oracle ED²", "native ED²", "transfer ED²", "transfer/native"],
+    );
+    for r in &rows {
+        report.push_row(vec![
+            r.app.clone(),
+            format!("{:.3e}", r.oracle_ed2),
+            format!("{:.3e}", r.native_ed2),
+            format!("{:.3e}", r.transfer_ed2),
+            format!("{:.4}", r.transfer_ed2 / r.native_ed2),
+        ]);
+    }
+    report.note(format!(
+        "prediction MAE on {} (sensitivity points): transferred {:.2}%/{:.2}%/{:.2}% vs native {:.2}%/{:.2}%/{:.2}% (bandwidth/CU/freq)",
+        dst.device().name,
+        cross.bandwidth * 100.0,
+        cross.cu * 100.0,
+        cross.freq * 100.0,
+        native.bandwidth * 100.0,
+        native.cu * 100.0,
+        native.freq * 100.0,
+    ));
+    report.note(format!(
+        "decision quality: geomean transfer/native ED² = {ed2_ratio_geomean:.4}; {decision_matches} of {} apps within 1% of the native fit",
+        rows.len(),
+    ));
+
+    TransferRun {
+        report,
+        apps: rows,
+        cross_mae: (cross.bandwidth, cross.cu, cross.freq),
+        native_mae: (native.bandwidth, native.cu, native.freq),
+        ed2_ratio_geomean,
+        decision_matches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_devices_are_rejected() {
+        let err = run_transfer("gtx480", "hd7970").unwrap_err();
+        assert_eq!(err, TransferError::UnknownDevice("gtx480".into()));
+        let err = run_transfer("hd7970", "").unwrap_err();
+        assert!(matches!(err, TransferError::UnknownDevice(_)));
+        // The message names the catalog so the CLI error is actionable.
+        assert!(err.to_string().contains("hd7970"));
+        assert!(err.to_string().contains("jetson-orin"));
+    }
+
+    #[test]
+    fn self_transfer_is_the_identity() {
+        let run = run_transfer("hd7970", "hd7970").expect("both names are in the catalog");
+        assert_eq!(run.apps.len(), suite::all().len());
+        // Same training set → same fitted predictor → identical decisions.
+        assert_eq!(run.cross_mae, run.native_mae);
+        assert!((run.ed2_ratio_geomean - 1.0).abs() < 1e-12, "{}", run.ed2_ratio_geomean);
+        assert_eq!(run.decision_matches, run.apps.len());
+        for r in &run.apps {
+            assert_eq!(r.transfer_ed2.to_bits(), r.native_ed2.to_bits(), "{}", r.app);
+            // The oracle lower-bounds (or ties) the predictor-driven runs.
+            assert!(r.oracle_ed2 <= r.native_ed2 * 1.0001, "{}", r.app);
+        }
+    }
+}

@@ -14,7 +14,7 @@ use crate::cluster::DeviceDemand;
 use crate::store::{PlanStore, SharedOracleGovernor};
 use harmonia::governor::{CappedGovernor, Governor};
 use harmonia_power::Activity;
-use harmonia_types::{HwConfig, Joules, Seconds, Watts};
+use harmonia_types::{Joules, Seconds, Watts};
 use harmonia_workloads::Application;
 
 /// The per-device policy stack: the shared-store oracle, bare or under a
@@ -40,6 +40,8 @@ pub struct TickOutcome {
 pub struct DeviceReport {
     /// Device id (fleet index).
     pub id: usize,
+    /// Device class (index into the store's registered classes).
+    pub class: usize,
     /// Application the device ran.
     pub app: String,
     /// Governor stack name (reflects the final cap share when capped).
@@ -63,6 +65,7 @@ pub struct DeviceReport {
 /// One concurrent device session.
 pub struct DeviceSession<'s, 'a> {
     id: usize,
+    class: usize,
     app: Application,
     governor: DeviceGovernor<'s, 'a>,
     store: &'s PlanStore<'a>,
@@ -86,21 +89,55 @@ fn fnv(mut digest: u64, words: &[u64]) -> u64 {
 }
 
 impl<'s, 'a> DeviceSession<'s, 'a> {
-    /// An uncapped session: the shared oracle governs directly.
+    /// An uncapped class-0 session: the shared oracle governs directly.
     pub fn oracle(id: usize, app: Application, store: &'s PlanStore<'a>) -> Self {
-        Self::build(id, app, store, DeviceGovernor::Oracle(SharedOracleGovernor::new(store)))
+        Self::oracle_in_class(id, 0, app, store)
     }
 
-    /// A capped session: the shared oracle under a [`CappedGovernor`]
-    /// clamp at the device's initial cap share.
+    /// An uncapped session of device class `class`.
+    pub fn oracle_in_class(id: usize, class: usize, app: Application, store: &'s PlanStore<'a>) -> Self {
+        Self::build(
+            id,
+            class,
+            app,
+            store,
+            DeviceGovernor::Oracle(SharedOracleGovernor::for_class(store, class)),
+        )
+    }
+
+    /// A capped class-0 session: the shared oracle under a
+    /// [`CappedGovernor`] clamp at the device's initial cap share.
     pub fn capped(id: usize, app: Application, store: &'s PlanStore<'a>, cap: Watts) -> Self {
-        let clamp = CappedGovernor::new(SharedOracleGovernor::new(store), store.power(), cap);
-        Self::build(id, app, store, DeviceGovernor::Capped(clamp))
+        Self::capped_in_class(id, 0, app, store, cap)
     }
 
-    fn build(id: usize, app: Application, store: &'s PlanStore<'a>, governor: DeviceGovernor<'s, 'a>) -> Self {
+    /// A capped session of device class `class`: the clamp projects power
+    /// with that class's power model and steps along its grid.
+    pub fn capped_in_class(
+        id: usize,
+        class: usize,
+        app: Application,
+        store: &'s PlanStore<'a>,
+        cap: Watts,
+    ) -> Self {
+        let clamp = CappedGovernor::new(
+            SharedOracleGovernor::for_class(store, class),
+            store.power_of(class),
+            cap,
+        );
+        Self::build(id, class, app, store, DeviceGovernor::Capped(clamp))
+    }
+
+    fn build(
+        id: usize,
+        class: usize,
+        app: Application,
+        store: &'s PlanStore<'a>,
+        governor: DeviceGovernor<'s, 'a>,
+    ) -> Self {
         Self {
             id,
+            class,
             app,
             governor,
             store,
@@ -114,6 +151,11 @@ impl<'s, 'a> DeviceSession<'s, 'a> {
     /// Device id (fleet index).
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// The session's device class.
+    pub fn class(&self) -> usize {
+        self.class
     }
 
     /// Re-targets the device's cap share (no-op for uncapped sessions).
@@ -130,8 +172,8 @@ impl<'s, 'a> DeviceSession<'s, 'a> {
     /// shared state goes through the store's per-kernel locks.
     pub fn step(&mut self, tick: u64) -> TickOutcome {
         let capped = matches!(self.governor, DeviceGovernor::Capped(_));
-        let power = self.store.power();
-        let floor_cfg = HwConfig::min_hd7970();
+        let power = self.store.power_of(self.class);
+        let floor_cfg = self.store.floor_of(self.class);
         let mut tick_power = 0.0_f64;
         let mut demand = DeviceDemand { floor: 0.0, demand: 0.0, weight: 0.0 };
         let mut benefit = 0.0_f64;
@@ -139,12 +181,12 @@ impl<'s, 'a> DeviceSession<'s, 'a> {
             // The unconstrained optimum first: for capped fleets it is the
             // demand telemetry; the plan memo makes the governor's own
             // lookup free either way.
-            let desired = if capped { Some(self.store.decide(kernel, tick)) } else { None };
+            let desired = if capped { Some(self.store.decide_for(self.class, kernel, tick)) } else { None };
             let granted = match &mut self.governor {
                 DeviceGovernor::Oracle(g) => g.decide(kernel, tick),
                 DeviceGovernor::Capped(g) => g.decide(kernel, tick),
             };
-            let result = self.store.simulate(kernel, granted, tick);
+            let result = self.store.simulate_for(self.class, kernel, granted, tick);
             let activity = Activity {
                 valu_activity: result.counters.valu_activity(),
                 dram_bytes_per_sec: result.counters.dram_bytes_per_sec(),
@@ -173,7 +215,7 @@ impl<'s, 'a> DeviceSession<'s, 'a> {
                 // Projected draw of the floor and the optimum at the
                 // activity just observed — the floor sim is a cache hit
                 // (the cold sweep covered the whole grid).
-                let floor_res = self.store.simulate(kernel, floor_cfg, tick);
+                let floor_res = self.store.simulate_for(self.class, kernel, floor_cfg, tick);
                 let floor_act = Activity {
                     valu_activity: floor_res.counters.valu_activity(),
                     dram_bytes_per_sec: floor_res.counters.dram_bytes_per_sec(),
@@ -215,6 +257,7 @@ impl<'s, 'a> DeviceSession<'s, 'a> {
         };
         DeviceReport {
             id: self.id,
+            class: self.class,
             app: self.app.name.clone(),
             governor,
             total_time: self.total_time,

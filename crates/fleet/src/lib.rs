@@ -8,11 +8,15 @@
 //! Three pieces make fleet scale cheap and safe:
 //!
 //! * [`PlanStore`] — a cross-session sweep-plan and simulation-cache store
-//!   keyed by kernel fingerprint. The first device to meet a kernel pays
-//!   the one batched cold sweep; every other device running the same
-//!   kernel replays the memoized decision (`BENCH_sweep.json` puts the
-//!   warm re-decision at ~0.1 µs, so fleet cost is orchestration, not
-//!   modeling).
+//!   keyed by *(device class, kernel fingerprint)*. The first device of a
+//!   class to meet a kernel pays the one batched cold sweep; every other
+//!   device of that class running the same kernel replays the memoized
+//!   decision (`BENCH_sweep.json` puts the warm re-decision at ~0.1 µs, so
+//!   fleet cost is orchestration, not modeling). Heterogeneous fleets
+//!   register extra catalog devices with
+//!   [`FleetScheduler::with_class`]/[`PlanStore::add_class`] and run via
+//!   [`FleetScheduler::run_mixed`]; the shared cache never aliases across
+//!   devices because its key embeds the device fingerprint.
 //! * [`ClusterGovernor`] — partitions one global power cap across devices
 //!   by water-filling on each device's predicted ED² marginal benefit per
 //!   watt, re-balancing every tick as workloads phase-shift. Each device

@@ -87,8 +87,9 @@ impl FleetReport {
         for d in &self.per_device {
             let _ = writeln!(
                 out,
-                "dev {} app={} gov={} time={} energy={} ed2={} decisions={} violations={} digest={:016x} cap={}",
+                "dev {} class={} app={} gov={} time={} energy={} ed2={} decisions={} violations={} digest={:016x} cap={}",
                 d.id,
+                d.class,
                 d.app,
                 d.governor,
                 bits(d.total_time.value()),

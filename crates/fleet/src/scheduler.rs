@@ -29,7 +29,6 @@ use crate::store::PlanStore;
 use harmonia_power::{Activity, PowerModel};
 use harmonia_sim::sweep::run_indexed_on;
 use harmonia_sim::{SweepPool, TimingModel};
-use harmonia_types::HwConfig;
 use harmonia_workloads::Application;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -45,7 +44,9 @@ pub struct FleetScheduler<'a> {
 
 impl<'a> FleetScheduler<'a> {
     /// A scheduler over the given models and policy, defaulting to 16
-    /// ticks on the process-shared sweep pool.
+    /// ticks on the process-shared sweep pool. The models define device
+    /// class 0; heterogeneous fleets add further classes with
+    /// [`with_class`](Self::with_class).
     pub fn new(model: &'a dyn TimingModel, power: &'a PowerModel, spec: FleetSpec) -> Self {
         Self {
             store: PlanStore::new(model, power),
@@ -53,6 +54,14 @@ impl<'a> FleetScheduler<'a> {
             ticks: 16,
             pool: None,
         }
+    }
+
+    /// Registers another device class (its own timing model, power model,
+    /// and configuration grid) for [`run_mixed`](Self::run_mixed) fleets.
+    /// Classes are numbered in registration order, starting after class 0.
+    pub fn with_class(mut self, model: &'a dyn TimingModel, power: &'a PowerModel) -> Self {
+        self.store.add_class(model, power);
+        self
     }
 
     /// Sets the number of scheduler ticks per run.
@@ -78,43 +87,65 @@ impl<'a> FleetScheduler<'a> {
         self.spec
     }
 
-    /// Runs the fleet: one device session per application in `apps`
-    /// (device id = index), for the configured number of ticks. The store
-    /// stays warm across calls.
+    /// Runs a homogeneous class-0 fleet: one device session per
+    /// application in `apps` (device id = index), for the configured
+    /// number of ticks. The store stays warm across calls.
     pub fn run(&self, apps: &[Application]) -> FleetRun {
+        let assignments: Vec<(usize, Application)> =
+            apps.iter().map(|app| (0, app.clone())).collect();
+        self.run_mixed(&assignments)
+    }
+
+    /// Runs a (possibly heterogeneous) fleet: each `(class, app)` pair
+    /// becomes one device session of that class (device id = index).
+    /// Every class decides on its own grid with its own models; the
+    /// cluster governor water-fills one global cap across all of them,
+    /// so a 50 W edge part and a 700 W datacenter part can share a budget
+    /// with their different floors and ceilings respected.
+    pub fn run_mixed(&self, assignments: &[(usize, Application)]) -> FleetRun {
         let start = Instant::now();
-        let devices = apps.len();
+        let devices = assignments.len();
         let global_cap = self.spec.global_cap(devices);
         let cluster = global_cap.map(ClusterGovernor::new);
-        let power = self.store.power();
-        // Conservative pre-observation telemetry: a fully busy card at the
-        // grid floor and ceiling bounds any real activity from above, so
-        // the tick-0 allocation is uniform and safe.
-        let conservative = Activity::streaming(1.0, 1.0);
-        let floor_w = power.card_pwr(HwConfig::min_hd7970(), &conservative).value();
-        let boost_w = power.card_pwr(HwConfig::max_hd7970(), &conservative).value();
-        let mut telemetry: Vec<DeviceDemand> = vec![
-            DeviceDemand {
-                floor: floor_w,
-                demand: boost_w,
-                weight: 0.0,
-            };
-            devices
-        ];
-        let sessions: Vec<Mutex<DeviceSession<'_, 'a>>> = apps
+        // Conservative pre-observation telemetry, per class: a fully busy
+        // card at the class's grid floor and ceiling bounds any real
+        // activity from above, so the tick-0 allocation is safe.
+        let conservative: Vec<(f64, f64)> = (0..self.store.classes())
+            .map(|c| {
+                let power = self.store.power_of(c);
+                let busy = Activity::streaming_on(self.store.grid_of(c), 1.0, 1.0);
+                (
+                    power.card_pwr(self.store.floor_of(c), &busy).value(),
+                    power.card_pwr(self.store.boost_of(c), &busy).value(),
+                )
+            })
+            .collect();
+        let mut telemetry: Vec<DeviceDemand> = assignments
+            .iter()
+            .map(|&(class, _)| {
+                let (floor_w, boost_w) = conservative[class];
+                DeviceDemand {
+                    floor: floor_w,
+                    demand: boost_w,
+                    weight: 0.0,
+                }
+            })
+            .collect();
+        let sessions: Vec<Mutex<DeviceSession<'_, 'a>>> = assignments
             .iter()
             .enumerate()
-            .map(|(id, app)| {
+            .map(|(id, (class, app))| {
                 Mutex::new(match global_cap {
                     // The initial share is refined by the first re-balance
                     // before any decision is made.
-                    Some(cap) => DeviceSession::capped(
+                    Some(cap) => DeviceSession::capped_in_class(
                         id,
+                        *class,
                         app.clone(),
                         &self.store,
                         cap * (1.0 / devices.max(1) as f64),
                     ),
-                    None => DeviceSession::oracle(id, app.clone(), &self.store),
+                    None => DeviceSession::oracle_in_class(id, *class, app.clone(), &self.store),
                 })
             })
             .collect();
@@ -244,6 +275,49 @@ mod tests {
             tight_ed2 >= free_ed2,
             "clamped fleet ED² {tight_ed2} beat the unconstrained {free_ed2}"
         );
+    }
+
+    #[test]
+    fn a_mixed_device_fleet_shares_one_budget_across_classes() {
+        use harmonia_types::DeviceSpec;
+        let hd = IntervalModel::default();
+        let hd_power = PowerModel::hd7970();
+        let orin = DeviceSpec::lookup("jetson-orin").unwrap();
+        let orin_model = IntervalModel::new(orin.gpu.clone());
+        let orin_power = PowerModel::for_device(&orin);
+        // Tight enough to clamp the hd7970s, but feasible: the jetson
+        // floor is tiny next to the hd7970's.
+        let spec = "fleet:capped@700".parse().unwrap();
+        let sched = FleetScheduler::new(&hd, &hd_power, spec)
+            .with_class(&orin_model, &orin_power)
+            .with_ticks(6);
+        let assignments: Vec<(usize, Application)> = (0..6)
+            .map(|i| (i % 2, suite::stencil()))
+            .collect();
+        let run = sched.run_mixed(&assignments);
+        let r = &run.report;
+        assert_eq!(r.devices, 6);
+        assert_eq!(r.cluster_violation_ticks, 0, "max draw {}", r.max_cluster_power_w);
+        assert_eq!(r.infeasible_ticks, 0);
+        // One plan per (class, kernel): both classes planned the same app.
+        assert_eq!(r.unique_kernels as u64, 2 * suite::stencil().kernels.len() as u64);
+        let hd_dev = &r.per_device[0];
+        let orin_dev = &r.per_device[1];
+        assert_eq!(hd_dev.class, 0);
+        assert_eq!(orin_dev.class, 1);
+        // Different silicon, different decisions and draw: the digests
+        // must differ, and the edge part's cap share should sit well
+        // below the datacenter part's.
+        assert_ne!(hd_dev.config_digest, orin_dev.config_digest);
+        assert!(
+            orin_dev.final_cap_w.unwrap() < hd_dev.final_cap_w.unwrap(),
+            "orin {}W vs hd7970 {}W",
+            orin_dev.final_cap_w.unwrap(),
+            hd_dev.final_cap_w.unwrap()
+        );
+        // Same-class devices still get bit-identical treatment.
+        assert_eq!(r.per_device[2].ed2.to_bits(), hd_dev.ed2.to_bits());
+        assert_eq!(r.per_device[3].ed2.to_bits(), orin_dev.ed2.to_bits());
     }
 
     #[test]

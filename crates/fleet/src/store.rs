@@ -1,20 +1,25 @@
 //! The cross-session sweep-plan and simulation-cache store.
 //!
 //! One [`PlanStore`] is shared by every device session in a fleet. It owns
-//! a single [`SimCache`] plus one [`SweepPlan`] per kernel *fingerprint*
-//! ([`KernelProfile::cache_key`]), so the first device to meet a kernel
-//! pays the batched cold sweep and every later device — on any worker
-//! thread — replays the memoized decision.
+//! a single [`SimCache`] plus one [`SweepPlan`] per *(device class,
+//! kernel fingerprint)* pair ([`TimingModel::device_key`],
+//! [`KernelProfile::cache_key`]), so the first device of a class to meet a
+//! kernel pays the batched cold sweep and every later device of that class
+//! — on any worker thread — replays the memoized decision. A store can
+//! carry several device classes (e.g. an hd7970 rack next to a v100 rack):
+//! each class brings its own timing model, power model, and configuration
+//! grid, while the simulation cache is shared (its key embeds the device
+//! fingerprint, so classes never alias).
 //!
 //! # Determinism under concurrency
 //!
 //! Fleet reports must be byte-identical for any worker interleaving, and
 //! that includes the cache accounting they embed. All cache traffic for
-//! one kernel goes through that kernel's plan mutex, so the hit/miss
-//! *sequence* per kernel is deterministic; traffic for different kernels
-//! is key-disjoint (the [`CacheKey`](SimCache) embeds the kernel
-//! fingerprint), so concurrent kernels can only interleave counter
-//! increments, never change their totals.
+//! one (class, kernel) goes through that pair's plan mutex, so the
+//! hit/miss *sequence* per pair is deterministic; traffic for different
+//! pairs is key-disjoint (the [`CacheKey`](SimCache) embeds both the
+//! kernel fingerprint and the device key), so concurrent pairs can only
+//! interleave counter increments, never change their totals.
 
 use harmonia::governor::{Ed2Objective, Governor, PowerTable};
 use harmonia_power::PowerModel;
@@ -26,82 +31,173 @@ use harmonia_types::{ConfigSpace, HwConfig};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
-/// Shared sweep plans and simulation cache for a whole fleet.
-pub struct PlanStore<'a> {
+/// One device class's modeling resources: timing model, power model, and
+/// the materialized sweep grid of that device's configuration space.
+struct ClassResources<'a> {
     model: &'a dyn TimingModel,
     power: &'a PowerModel,
-    /// The sweep grid, materialized once for every plan.
+    /// The class's sweep grid, materialized once for every plan.
     configs: Vec<HwConfig>,
+    /// The class device's grid specification.
+    grid: harmonia_types::GridSpec,
+    /// The class grid's floor configuration (least-power grid point).
+    floor: HwConfig,
+    /// The class grid's ceiling configuration (boost grid point).
+    boost: HwConfig,
     /// Affine `card_pwr` coefficients per grid lane (frontier bound).
     affine: PowerTable,
-    cache: SimCache,
-    /// One plan per kernel fingerprint. The outer lock only guards the
-    /// map; each plan's own mutex serializes all sweep and cache work for
-    /// that kernel.
-    plans: RwLock<HashMap<u64, Arc<Mutex<SweepPlan>>>>,
 }
 
-impl<'a> PlanStore<'a> {
-    /// Creates an empty store over the given models and the full HD 7970
-    /// configuration grid.
-    pub fn new(model: &'a dyn TimingModel, power: &'a PowerModel) -> Self {
-        let configs: Vec<HwConfig> = ConfigSpace::hd7970().iter().collect();
+impl<'a> ClassResources<'a> {
+    fn new(model: &'a dyn TimingModel, power: &'a PowerModel) -> Self {
+        let grid = model.gpu().grid;
+        let configs: Vec<HwConfig> = ConfigSpace::for_grid(&grid).iter().collect();
         let affine = PowerTable::probe(power, &configs);
         Self {
             model,
             power,
             configs,
+            grid,
+            floor: HwConfig::min_on(&grid),
+            boost: HwConfig::max_on(&grid),
             affine,
+        }
+    }
+}
+
+/// Shared sweep plans and simulation cache for a whole fleet.
+pub struct PlanStore<'a> {
+    /// Device classes, in registration order; class 0 is the default every
+    /// single-class entry point targets.
+    classes: Vec<ClassResources<'a>>,
+    cache: SimCache,
+    /// One plan per (device key, kernel fingerprint). The outer lock only
+    /// guards the map; each plan's own mutex serializes all sweep and
+    /// cache work for that pair.
+    plans: RwLock<PlanMap>,
+}
+
+/// Keyed (device fingerprint, kernel fingerprint) → independently locked plan.
+type PlanMap = HashMap<(u64, u64), Arc<Mutex<SweepPlan>>>;
+
+impl<'a> PlanStore<'a> {
+    /// Creates an empty single-class store over the given models and the
+    /// model device's full configuration grid.
+    pub fn new(model: &'a dyn TimingModel, power: &'a PowerModel) -> Self {
+        Self {
+            classes: vec![ClassResources::new(model, power)],
             cache: SimCache::new(),
             plans: RwLock::new(HashMap::new()),
         }
     }
 
-    /// The power model every session projects against.
+    /// Registers another device class (its own models and grid) and
+    /// returns its class id. The simulation cache stays shared — its key
+    /// embeds the device fingerprint, so classes never alias entries.
+    pub fn add_class(&mut self, model: &'a dyn TimingModel, power: &'a PowerModel) -> usize {
+        self.classes.push(ClassResources::new(model, power));
+        self.classes.len() - 1
+    }
+
+    /// Number of registered device classes.
+    pub fn classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    fn class(&self, class: usize) -> &ClassResources<'a> {
+        &self.classes[class]
+    }
+
+    /// The power model class-0 sessions project against.
     pub fn power(&self) -> &'a PowerModel {
-        self.power
+        self.power_of(0)
     }
 
-    /// The sweep grid, in decision order.
+    /// The power model sessions of `class` project against.
+    pub fn power_of(&self, class: usize) -> &'a PowerModel {
+        self.class(class).power
+    }
+
+    /// Class 0's sweep grid, in decision order.
     pub fn configs(&self) -> &[HwConfig] {
-        &self.configs
+        self.configs_of(0)
     }
 
-    /// The kernel's plan, created on first use. Read-locks the map on the
-    /// hot path; only a genuinely new fingerprint takes the write lock.
-    fn plan_for(&self, kernel: &KernelProfile) -> Arc<Mutex<SweepPlan>> {
-        let key = kernel.cache_key();
+    /// The sweep grid of `class`, in decision order.
+    pub fn configs_of(&self, class: usize) -> &[HwConfig] {
+        &self.class(class).configs
+    }
+
+    /// The grid-floor configuration of `class` (least-power grid point).
+    pub fn floor_of(&self, class: usize) -> HwConfig {
+        self.class(class).floor
+    }
+
+    /// The grid-ceiling (boost) configuration of `class`.
+    pub fn boost_of(&self, class: usize) -> HwConfig {
+        self.class(class).boost
+    }
+
+    /// The grid specification of `class`'s device.
+    pub fn grid_of(&self, class: usize) -> &harmonia_types::GridSpec {
+        &self.class(class).grid
+    }
+
+    /// The (class, kernel) plan, created on first use. Read-locks the map
+    /// on the hot path; only a genuinely new pair takes the write lock.
+    fn plan_for(&self, class: usize, kernel: &KernelProfile) -> Arc<Mutex<SweepPlan>> {
+        let res = self.class(class);
+        let key = (res.model.device_key(), kernel.cache_key());
         if let Some(plan) = self.plans.read().expect("plan map poisoned").get(&key) {
             return Arc::clone(plan);
         }
         let mut map = self.plans.write().expect("plan map poisoned");
         Arc::clone(
             map.entry(key)
-                .or_insert_with(|| Arc::new(Mutex::new(SweepPlan::new(self.configs.clone())))),
+                .or_insert_with(|| Arc::new(Mutex::new(SweepPlan::new(res.configs.clone())))),
         )
     }
 
-    /// The ED²-optimal decision for one invocation, served by the kernel's
-    /// shared plan: one batched cold sweep per kernel fleet-wide, memo
-    /// replay for every repeat, frontier-only re-sweeps for new phase
-    /// scales.
+    /// The ED²-optimal decision for one invocation on class 0.
     pub fn decide(&self, kernel: &KernelProfile, iteration: u64) -> Decision {
-        let plan = self.plan_for(kernel);
+        self.decide_for(0, kernel, iteration)
+    }
+
+    /// The ED²-optimal decision for one invocation of `class`, served by
+    /// the (class, kernel) shared plan: one batched cold sweep per pair
+    /// fleet-wide, memo replay for every repeat, frontier-only re-sweeps
+    /// for new phase scales.
+    pub fn decide_for(&self, class: usize, kernel: &KernelProfile, iteration: u64) -> Decision {
+        let res = self.class(class);
+        let plan = self.plan_for(class, kernel);
         let mut plan = plan.lock().expect("plan poisoned");
-        let cached = CachedModel::new(self.model, &self.cache);
-        let objective = Ed2Objective::new(self.power, &self.affine);
+        let cached = CachedModel::new(res.model, &self.cache);
+        let objective = Ed2Objective::new(res.power, &res.affine);
         plan.decide(&cached, kernel, iteration, &objective)
     }
 
-    /// Simulates one invocation through the shared cache, serialized by
-    /// the kernel's plan lock so the accounting stays deterministic.
+    /// Simulates one class-0 invocation through the shared cache.
     pub fn simulate(&self, kernel: &KernelProfile, cfg: HwConfig, iteration: u64) -> SimResult {
-        let plan = self.plan_for(kernel);
-        let _guard = plan.lock().expect("plan poisoned");
-        self.cache.simulate(self.model, cfg, kernel, iteration)
+        self.simulate_for(0, kernel, cfg, iteration)
     }
 
-    /// Number of distinct kernel fingerprints planned so far.
+    /// Simulates one invocation of `class` through the shared cache,
+    /// serialized by the (class, kernel) plan lock so the accounting stays
+    /// deterministic.
+    pub fn simulate_for(
+        &self,
+        class: usize,
+        kernel: &KernelProfile,
+        cfg: HwConfig,
+        iteration: u64,
+    ) -> SimResult {
+        let res = self.class(class);
+        let plan = self.plan_for(class, kernel);
+        let _guard = plan.lock().expect("plan poisoned");
+        self.cache.simulate(res.model, cfg, kernel, iteration)
+    }
+
+    /// Number of distinct (class, kernel) pairs planned so far.
     pub fn unique_kernels(&self) -> usize {
         self.plans.read().expect("plan map poisoned").len()
     }
@@ -137,23 +233,35 @@ impl std::fmt::Debug for PlanStore<'_> {
 }
 
 /// A per-session governor view over a shared [`PlanStore`]: every decision
-/// is the store's ED² argmin, so N sessions running the same kernel cost
-/// one sweep total. Stateless — all learning lives in the shared plans —
-/// which is what makes fleet devices interchangeable and their reports
-/// independent of scheduling order.
+/// is the store's ED² argmin for the session's device class, so N sessions
+/// of one class running the same kernel cost one sweep total. Stateless —
+/// all learning lives in the shared plans — which is what makes fleet
+/// devices interchangeable and their reports independent of scheduling
+/// order.
 pub struct SharedOracleGovernor<'s, 'a> {
     store: &'s PlanStore<'a>,
+    class: usize,
 }
 
 impl<'s, 'a> SharedOracleGovernor<'s, 'a> {
-    /// A governor view over `store`.
+    /// A class-0 governor view over `store`.
     pub fn new(store: &'s PlanStore<'a>) -> Self {
-        Self { store }
+        Self::for_class(store, 0)
+    }
+
+    /// A governor view deciding on `class`'s grid and models.
+    pub fn for_class(store: &'s PlanStore<'a>, class: usize) -> Self {
+        Self { store, class }
     }
 
     /// The shared store behind this view.
     pub fn store(&self) -> &'s PlanStore<'a> {
         self.store
+    }
+
+    /// The device class this view decides for.
+    pub fn class(&self) -> usize {
+        self.class
     }
 }
 
@@ -163,7 +271,7 @@ impl Governor for SharedOracleGovernor<'_, '_> {
     }
 
     fn decide(&mut self, kernel: &KernelProfile, iteration: u64) -> HwConfig {
-        self.store.decide(kernel, iteration).config
+        self.store.decide_for(self.class, kernel, iteration).config
     }
 
     fn observe(
@@ -217,6 +325,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn device_classes_plan_and_decide_independently() {
+        use harmonia_types::DeviceSpec;
+        let hd = IntervalModel::default();
+        let hd_power = PowerModel::hd7970();
+        let v100 = DeviceSpec::v100();
+        let v100_model = IntervalModel::new(v100.gpu.clone());
+        let v100_power = PowerModel::for_device(&v100);
+        let mut store = PlanStore::new(&hd, &hd_power);
+        let class = store.add_class(&v100_model, &v100_power);
+        assert_eq!(store.classes(), 2);
+        assert_ne!(store.configs_of(0).len(), store.configs_of(class).len());
+        let k = &suite::stencil().kernels[0];
+        let d_hd = store.decide_for(0, k, 0);
+        let d_v100 = store.decide_for(class, k, 0);
+        // Same kernel, two plans: each class pays its own cold sweep and
+        // its decision sits on its own grid.
+        assert_eq!(store.unique_kernels(), 2);
+        let v100_space = ConfigSpace::for_grid(&v100.gpu.grid);
+        assert!(v100_space.contains(d_v100.config));
+        assert!(ConfigSpace::hd7970().contains(d_hd.config));
+        // The shared cache holds both grids' points, with zero aliasing:
+        // total misses are exactly the two cold sweeps.
+        assert_eq!(
+            store.cache_stats().misses,
+            store.configs_of(0).len() + store.configs_of(class).len()
+        );
+        // The class-0 decision is byte-identical to a single-class store's.
+        let solo = PlanStore::new(&hd, &hd_power);
+        assert_eq!(solo.decide(k, 0).config, d_hd.config);
+        assert_eq!(solo.decide(k, 0).result, d_hd.result);
     }
 
     #[test]

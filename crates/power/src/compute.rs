@@ -13,54 +13,13 @@
 //! is part of GPUPwr in the paper's accounting (it notes the MC is "about 3%
 //! of the overall memory power"), so it lives here, not in the DRAM model.
 
-use harmonia_types::{DvfsTable, HwConfig, Volts, Watts};
+use harmonia_types::{DvfsTable, HwConfig, Watts};
 use serde::{Deserialize, Serialize};
 
-/// Tunable parameters of the chip power model. Defaults are calibrated so a
-/// fully busy 32-CU/1 GHz chip draws ≈180 W, matching the HD7970's ~250 W
-/// board TDP once memory and board overheads are added.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ComputePowerParams {
-    /// Effective switched capacitance per CU, in W / (V²·GHz) at activity 1.
-    pub c_dyn_per_cu: f64,
-    /// Fraction of a CU's dynamic power burned just by clocking it while it
-    /// is active but not issuing (clock tree, scheduler).
-    pub idle_clock_fraction: f64,
-    /// Leakage per active CU at the reference voltage, in watts.
-    pub leak_per_cu_ref: f64,
-    /// Leakage of the always-on uncore at the reference voltage, in watts.
-    pub leak_uncore_ref: f64,
-    /// Reference voltage for the leakage constants.
-    pub leak_ref_voltage: Volts,
-    /// Exponent of the leakage–voltage relationship (super-linear).
-    pub leak_voltage_exponent: f64,
-    /// Uncore (L2, crossbar, command processor) switched capacitance in
-    /// W / (V²·GHz).
-    pub c_dyn_uncore: f64,
-    /// Additional uncore dynamic power per unit of L2↔DRAM traffic fraction.
-    pub uncore_traffic_coeff: f64,
-    /// Integrated memory-controller power per memory-bus GHz (always-on part).
-    pub mc_per_mem_ghz: f64,
-    /// Memory-controller power at full DRAM traffic, in watts.
-    pub mc_traffic_coeff: f64,
-}
-
-impl Default for ComputePowerParams {
-    fn default() -> Self {
-        Self {
-            c_dyn_per_cu: 2.9,
-            idle_clock_fraction: 0.25,
-            leak_per_cu_ref: 0.72,
-            leak_uncore_ref: 7.0,
-            leak_ref_voltage: Volts(1.19),
-            leak_voltage_exponent: 3.0,
-            c_dyn_uncore: 9.0,
-            uncore_traffic_coeff: 6.0,
-            mc_per_mem_ghz: 0.8,
-            mc_traffic_coeff: 1.2,
-        }
-    }
-}
+// The parameter struct lives in the device catalog (`harmonia_types`) so
+// each catalog entry carries its own chip calibration; re-exported here so
+// existing `harmonia_power::compute::ComputePowerParams` paths keep working.
+pub use harmonia_types::device::ComputePowerParams;
 
 /// Result of evaluating the chip power model.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]

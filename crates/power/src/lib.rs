@@ -46,6 +46,8 @@ pub mod model;
 pub mod thermal;
 pub mod trace;
 
+pub use compute::ComputePowerParams;
+pub use memory::MemoryPowerParams;
 pub use model::{Activity, PowerBreakdown, PowerModel};
 pub use thermal::{ThermalModel, ThermalParams};
 pub use trace::{PowerSample, PowerTrace};

@@ -19,47 +19,10 @@ use harmonia_types::config::MEM_FREQ_MAX;
 use harmonia_types::{HwConfig, Watts};
 use serde::{Deserialize, Serialize};
 
-/// Tunable parameters of the GDDR5 + PHY power model. Defaults are
-/// calibrated so streaming at 264 GB/s costs ≈50 W of memory power —
-/// a significant share of card power, as Figure 1 shows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct MemoryPowerParams {
-    /// DRAM background power per memory-bus GHz (all devices), in watts.
-    pub background_per_ghz: f64,
-    /// PLL plus DDR PHY power per memory-bus GHz, in watts.
-    pub phy_per_ghz: f64,
-    /// Static floor of PHY/PLL power independent of frequency, in watts.
-    pub phy_static: f64,
-    /// Activate/pre-charge energy per byte of DRAM traffic, in pJ/byte.
-    pub activate_pj_per_byte: f64,
-    /// Read/write array energy per byte, in pJ/byte.
-    pub rw_pj_per_byte: f64,
-    /// I/O termination energy per byte, in pJ/byte.
-    pub termination_pj_per_byte: f64,
-    /// Fractional increase in per-byte read/write + termination energy per
-    /// unit of slowdown relative to the maximum bus clock (the "longer
-    /// intervals between array accesses" effect).
-    pub slow_clock_energy_penalty: f64,
-    /// When `true`, scales DRAM power with the square of a hypothetical
-    /// frequency-proportional voltage — the what-if the paper could not
-    /// measure. `false` models the real fixed-voltage platform.
-    pub voltage_scaling: bool,
-}
-
-impl Default for MemoryPowerParams {
-    fn default() -> Self {
-        Self {
-            background_per_ghz: 9.5,
-            phy_per_ghz: 7.5,
-            phy_static: 2.0,
-            activate_pj_per_byte: 25.0,
-            rw_pj_per_byte: 70.0,
-            termination_pj_per_byte: 30.0,
-            slow_clock_energy_penalty: 0.06,
-            voltage_scaling: false,
-        }
-    }
-}
+// The parameter struct lives in the device catalog (`harmonia_types`) so
+// each catalog entry carries its own memory calibration; re-exported here so
+// existing `harmonia_power::memory::MemoryPowerParams` paths keep working.
+pub use harmonia_types::device::MemoryPowerParams;
 
 /// Result of evaluating the memory power model.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -84,7 +47,8 @@ impl MemoryPower {
     }
 }
 
-/// Evaluates memory power for a configuration and observed DRAM traffic.
+/// Evaluates memory power for a configuration and observed DRAM traffic on
+/// the HD7970 (slowdown is measured against its 1375 MHz maximum bus clock).
 ///
 /// * `dram_bytes_per_sec` — achieved DRAM read+write traffic.
 pub fn memory_power(
@@ -92,8 +56,20 @@ pub fn memory_power(
     cfg: HwConfig,
     dram_bytes_per_sec: f64,
 ) -> MemoryPower {
+    memory_power_at(params, cfg, dram_bytes_per_sec, MEM_FREQ_MAX.as_ghz())
+}
+
+/// Evaluates memory power with an explicit reference (maximum) bus clock in
+/// GHz — the device-grid-aware core of [`memory_power`]. Slow-clock access
+/// penalties and the voltage-scaling what-if are both relative to
+/// `f_max_ghz`.
+pub fn memory_power_at(
+    params: &MemoryPowerParams,
+    cfg: HwConfig,
+    dram_bytes_per_sec: f64,
+    f_max_ghz: f64,
+) -> MemoryPower {
     let f_ghz = cfg.memory.bus_freq().as_ghz();
-    let f_max_ghz = MEM_FREQ_MAX.as_ghz();
     let dram_bytes_per_sec = dram_bytes_per_sec.max(0.0);
 
     // Hypothetical voltage scaling (off on the real platform).

@@ -1,8 +1,8 @@
 //! The combined card power model and its observable breakdown.
 
 use crate::compute::{chip_power, ComputePowerParams};
-use crate::memory::{memory_power, MemoryPowerParams};
-use harmonia_types::{DvfsTable, HwConfig, Watts};
+use crate::memory::{memory_power_at, MemoryPowerParams};
+use harmonia_types::{DeviceSpec, DvfsTable, GridSpec, HwConfig, Watts};
 use serde::{Deserialize, Serialize};
 
 /// Activity factors the power model consumes, produced by the simulator's
@@ -20,14 +20,28 @@ pub struct Activity {
 }
 
 impl Activity {
-    /// Convenience constructor for a streaming workload: `valu` ALU
-    /// activity and a memory system running at `traffic_fraction` of the
-    /// maximum 264 GB/s.
+    /// Convenience constructor for a streaming workload on the HD7970:
+    /// `valu` ALU activity and a memory system running at `traffic_fraction`
+    /// of the maximum 264 GB/s.
     pub fn streaming(valu: f64, traffic_fraction: f64) -> Self {
         let traffic_fraction = traffic_fraction.clamp(0.0, 1.0);
         Self {
             valu_activity: valu.clamp(0.0, 1.0),
             dram_bytes_per_sec: traffic_fraction * 264.0e9,
+            dram_traffic_fraction: traffic_fraction,
+        }
+    }
+
+    /// Device-grid-aware [`streaming`](Self::streaming): traffic is
+    /// `traffic_fraction` of the grid's peak bandwidth at the maximum bus
+    /// clock. Identical to `streaming` on the HD7970 grid
+    /// (1375 MHz × 192 B/clk = 264 GB/s exactly).
+    pub fn streaming_on(grid: &GridSpec, valu: f64, traffic_fraction: f64) -> Self {
+        let traffic_fraction = traffic_fraction.clamp(0.0, 1.0);
+        let peak = grid.mem_freq_max.as_hz() * grid.bytes_per_clock();
+        Self {
+            valu_activity: valu.clamp(0.0, 1.0),
+            dram_bytes_per_sec: traffic_fraction * peak,
             dram_traffic_fraction: traffic_fraction,
         }
     }
@@ -94,13 +108,14 @@ impl PowerBreakdown {
     }
 }
 
-/// The calibrated HD7970 card power model.
+/// The calibrated card power model of one device (default: the HD7970).
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PowerModel {
     compute: ComputePowerParams,
     memory: MemoryPowerParams,
     dvfs: DvfsTable,
     other: Watts,
+    grid: GridSpec,
 }
 
 impl PowerModel {
@@ -111,6 +126,19 @@ impl PowerModel {
             memory: MemoryPowerParams::default(),
             dvfs: DvfsTable::hd7970(),
             other: Watts(33.0),
+            grid: GridSpec::HD7970,
+        }
+    }
+
+    /// The power model of a catalog device: its calibration, DVFS table,
+    /// and grid. `for_device(&DeviceSpec::hd7970())` equals `hd7970()`.
+    pub fn for_device(spec: &DeviceSpec) -> Self {
+        Self {
+            compute: spec.power.compute.clone(),
+            memory: spec.power.memory.clone(),
+            dvfs: spec.dvfs.clone(),
+            other: spec.power.other,
+            grid: spec.gpu.grid,
         }
     }
 
@@ -134,10 +162,12 @@ impl PowerModel {
             },
             dvfs: DvfsTable::hd7970(),
             other: Watts(18.0),
+            grid: GridSpec::HD7970,
         }
     }
 
-    /// Builds a model with custom parameters (for calibration studies).
+    /// Builds a model with custom parameters on the HD7970 grid (for
+    /// calibration studies).
     pub fn with_params(
         compute: ComputePowerParams,
         memory: MemoryPowerParams,
@@ -149,12 +179,27 @@ impl PowerModel {
             memory,
             dvfs,
             other,
+            grid: GridSpec::HD7970,
         }
+    }
+
+    /// Rebinds the model to another device grid (for what-if studies that
+    /// start from [`with_params`](Self::with_params) on a catalog device).
+    pub fn with_grid(mut self, grid: GridSpec) -> Self {
+        self.grid = grid;
+        self
     }
 
     /// The DVFS table the model uses for voltage lookup.
     pub fn dvfs(&self) -> &DvfsTable {
         &self.dvfs
+    }
+
+    /// The configuration grid of the device this model is calibrated for.
+    /// Governors derive grid-stepping bounds from here, so a model built by
+    /// [`for_device`](Self::for_device) steps on its own device's lattice.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
     }
 
     /// Evaluates the full card power breakdown at `cfg` under `activity`.
@@ -166,7 +211,12 @@ impl PowerModel {
             activity.valu_activity,
             activity.dram_traffic_fraction,
         );
-        let mem = memory_power(&self.memory, cfg, activity.dram_bytes_per_sec);
+        let mem = memory_power_at(
+            &self.memory,
+            cfg,
+            activity.dram_bytes_per_sec,
+            self.grid.mem_freq_max.as_ghz(),
+        );
         PowerBreakdown {
             cu_dynamic: chip.cu_dynamic,
             leakage: chip.leakage,
@@ -293,6 +343,64 @@ mod tests {
         assert!(s.other_pwr() < d.other_pwr());
         // Compute side is identical.
         assert_eq!(s.cu_dynamic, d.cu_dynamic);
+    }
+
+    #[test]
+    fn for_device_hd7970_equals_the_legacy_model() {
+        let legacy = PowerModel::hd7970();
+        let device = PowerModel::for_device(&DeviceSpec::hd7970());
+        assert_eq!(legacy, device);
+        // And it evaluates bit-identically.
+        let act = Activity::streaming(0.5, 0.8);
+        let cfg = HwConfig::max_hd7970();
+        assert_eq!(legacy.breakdown(cfg, &act), device.breakdown(cfg, &act));
+        assert_eq!(
+            Activity::streaming(0.5, 0.8),
+            Activity::streaming_on(device.grid(), 0.5, 0.8)
+        );
+    }
+
+    #[test]
+    fn catalog_device_tdps_are_plausible() {
+        // Busy streaming power at each device's max config lands near its
+        // published board/module envelope.
+        let bands = [
+            ("hd7970", 200.0, 300.0),
+            ("v100", 230.0, 350.0),
+            ("h100", 500.0, 800.0),
+            ("jetson-orin", 25.0, 70.0),
+        ];
+        for (name, lo, hi) in bands {
+            let spec: DeviceSpec = name.parse().unwrap();
+            let model = PowerModel::for_device(&spec);
+            let cfg = HwConfig::max_on(spec.grid());
+            let act = Activity::streaming_on(spec.grid(), 1.0, 0.9);
+            let p = model.card_pwr(cfg, &act).value();
+            assert!(
+                (lo..hi).contains(&p),
+                "{name}: card power {p:.0} W outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_devices_save_power_at_lower_operating_points() {
+        // The governor premise holds on every device: stepping any tunable
+        // down from max reduces card power.
+        for name in DeviceSpec::catalog() {
+            let spec: DeviceSpec = name.parse().unwrap();
+            let model = PowerModel::for_device(&spec);
+            let act = Activity::streaming_on(spec.grid(), 0.6, 0.6);
+            let max = HwConfig::max_on(spec.grid());
+            let p_max = model.card_pwr(max, &act);
+            for t in harmonia_types::Tunable::ALL {
+                let down = max.step_down_on(spec.grid(), t).unwrap();
+                assert!(
+                    model.card_pwr(down, &act) < p_max,
+                    "{name}: stepping {t} down did not save power"
+                );
+            }
+        }
     }
 
     #[test]

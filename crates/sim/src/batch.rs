@@ -261,13 +261,16 @@ type ScaleMemo = HashMap<ScaleKey, Decision, BuildHasherDefault<ScaleKeyHasher>>
 /// memoization, and incremental frontier re-sweeps when the model exposes
 /// [`SweepTerms`].
 ///
-/// The plan is keyed to one kernel and one model fidelity; if either
-/// changes between calls, all cached state is invalidated and rebuilt.
+/// The plan is keyed to one kernel, one model fidelity, and one device; if
+/// any of them changes between calls, all cached state is invalidated and
+/// rebuilt.
 #[derive(Debug)]
 pub struct SweepPlan {
     configs: Vec<HwConfig>,
-    /// `(kernel cache key, model fidelity key)` the cached state belongs to.
-    identity: Option<(u64, u64)>,
+    /// `(kernel cache key, model fidelity key, model device key)` the
+    /// cached state belongs to — a model simulating a different catalog
+    /// device invalidates the plan exactly like a new kernel.
+    identity: Option<(u64, u64, u64)>,
     terms: Option<SweepTerms>,
     terms_probed: bool,
     /// Whether the current identity has completed its reference cold sweep.
@@ -343,7 +346,7 @@ impl SweepPlan {
         M: TimingModel + ?Sized,
         O: SweepObjective + ?Sized,
     {
-        let identity = (kernel.cache_key(), model.fidelity_key());
+        let identity = (kernel.cache_key(), model.fidelity_key(), model.device_key());
         if self.identity != Some(identity) {
             self.identity = Some(identity);
             self.terms = None;
@@ -583,6 +586,24 @@ mod tests {
         // Fresh single-kernel plans agree with the shared, invalidated one.
         let mut fresh = SweepPlan::new(grid());
         assert_eq!(fresh.decide(&model, &b, 0, &min_time).result, db.result);
+    }
+
+    #[test]
+    fn device_change_invalidates_the_plan() {
+        // The same kernel decided on a different catalog device must not
+        // reuse the hd7970 plan's terms or memo.
+        use harmonia_types::DeviceSpec;
+        let hd = IntervalModel::default();
+        let v100 = IntervalModel::new(DeviceSpec::v100().gpu);
+        let kernel = phased_kernel();
+        let mut plan = SweepPlan::new(grid());
+        let da = plan.decide(&hd, &kernel, 0, &min_time);
+        assert_eq!(da.kind, DecisionKind::Cold);
+        let db = plan.decide(&v100, &kernel, 0, &min_time);
+        assert_eq!(db.kind, DecisionKind::Cold, "new device must not replay the memo");
+        // A fresh plan on the v100 model agrees with the invalidated one.
+        let mut fresh = SweepPlan::new(grid());
+        assert_eq!(fresh.decide(&v100, &kernel, 0, &min_time).result, db.result);
     }
 
     #[test]

@@ -1,154 +1,8 @@
 //! Machine description of the simulated GPU.
+//!
+//! The descriptor now lives in the device catalog (`harmonia_types::device`)
+//! so every catalog entry bundles its geometry with its grid, DVFS table,
+//! and power calibration; this module re-exports it so existing
+//! `harmonia_sim::device::GpuDescriptor` paths keep working.
 
-use serde::{Deserialize, Serialize};
-
-/// Static hardware parameters of the simulated GCN GPU.
-///
-/// Defaults ([`GpuDescriptor::hd7970`]) follow Section 2.2 of the paper:
-/// up to 32 CUs with four 16-lane SIMD units each, 16 KiB L1 data cache and
-/// 64 KiB LDS per CU, a shared 768 KiB L2, and six 64-bit dual-channel
-/// GDDR5 memory controllers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct GpuDescriptor {
-    /// Maximum number of compute units physically present.
-    pub max_cu: u32,
-    /// SIMD vector units per CU.
-    pub simds_per_cu: u32,
-    /// Processing elements (lanes) per SIMD.
-    pub lanes_per_simd: u32,
-    /// Work-items per wavefront (GCN: 64).
-    pub wave_size: u32,
-    /// Hardware wave slots per SIMD (GCN: 10).
-    pub max_waves_per_simd: u32,
-    /// Vector registers available per SIMD lane pool (GCN: 256 per thread).
-    pub vgprs_per_simd: u32,
-    /// Scalar registers available per SIMD (GCN: 512).
-    pub sgprs_per_simd: u32,
-    /// Maximum SGPRs one wave may use (the paper normalizes by 102).
-    pub max_sgprs_per_wave: u32,
-    /// Local data share per CU, in bytes (64 KiB).
-    pub lds_per_cu_bytes: u32,
-    /// L1 data cache per CU, in bytes (16 KiB).
-    pub l1_per_cu_bytes: u32,
-    /// Shared L2 cache, in bytes (768 KiB).
-    pub l2_bytes: u32,
-    /// Number of memory channels (six dual-channel controllers).
-    pub mem_channels: u32,
-    /// Cache line / memory transaction size in bytes.
-    pub line_bytes: u32,
-    /// Fraction of theoretical DRAM bandwidth achievable by a perfect
-    /// streaming access pattern (bank conflicts, refresh, bus turnaround).
-    pub dram_efficiency: f64,
-    /// Bytes per *compute-domain* cycle the L2→memory-controller crossing
-    /// can deliver. This is the clock-domain coupling of Section 3.5: at low
-    /// compute clocks the crossing, not the DRAM, can bound bandwidth.
-    pub crossing_bytes_per_cu_cycle: f64,
-    /// Bytes per compute-domain cycle the L2 can serve to the CUs.
-    pub l2_bytes_per_cu_cycle: f64,
-    /// Unloaded DRAM access latency in nanoseconds at the maximum memory
-    /// bus clock.
-    pub dram_latency_ns: f64,
-    /// Additional latency in nanoseconds per unit of memory-clock slowdown
-    /// (the controller and PHY run slower too).
-    pub dram_latency_slowdown_ns: f64,
-    /// Memory requests a single wave can keep in flight (vector memory
-    /// unit depth).
-    pub outstanding_per_wave: f64,
-}
-
-impl GpuDescriptor {
-    /// The AMD Radeon HD7970 test bed of the paper.
-    pub fn hd7970() -> Self {
-        Self {
-            max_cu: 32,
-            simds_per_cu: 4,
-            lanes_per_simd: 16,
-            wave_size: 64,
-            max_waves_per_simd: 10,
-            vgprs_per_simd: 256,
-            sgprs_per_simd: 512,
-            max_sgprs_per_wave: 102,
-            lds_per_cu_bytes: 64 * 1024,
-            l1_per_cu_bytes: 16 * 1024,
-            l2_bytes: 768 * 1024,
-            mem_channels: 6,
-            line_bytes: 64,
-            dram_efficiency: 0.85,
-            crossing_bytes_per_cu_cycle: 320.0,
-            l2_bytes_per_cu_cycle: 512.0,
-            dram_latency_ns: 190.0,
-            dram_latency_slowdown_ns: 110.0,
-            outstanding_per_wave: 1.5,
-        }
-    }
-
-    /// Total SIMDs for a given active CU count.
-    pub fn simds(&self, active_cus: u32) -> u32 {
-        active_cus * self.simds_per_cu
-    }
-
-    /// Peak vector issue rate in lane-operations per second for an active CU
-    /// count and compute clock in hertz.
-    pub fn peak_lane_ops_per_sec(&self, active_cus: u32, cu_freq_hz: f64) -> f64 {
-        f64::from(self.simds(active_cus) * self.lanes_per_simd) * cu_freq_hz
-    }
-
-    /// DRAM latency in seconds at a given memory bus frequency (hertz),
-    /// relative to the maximum clock `max_hz`.
-    pub fn dram_latency_s(&self, mem_freq_hz: f64, max_hz: f64) -> f64 {
-        let slowdown = (max_hz / mem_freq_hz - 1.0).max(0.0);
-        (self.dram_latency_ns + self.dram_latency_slowdown_ns * slowdown) * 1.0e-9
-    }
-}
-
-impl Default for GpuDescriptor {
-    fn default() -> Self {
-        Self::hd7970()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn hd7970_geometry_matches_paper() {
-        let g = GpuDescriptor::hd7970();
-        assert_eq!(g.max_cu, 32);
-        assert_eq!(g.simds_per_cu, 4);
-        assert_eq!(g.lanes_per_simd, 16);
-        assert_eq!(g.wave_size, 64);
-        assert_eq!(g.max_waves_per_simd, 10);
-        assert_eq!(g.vgprs_per_simd, 256);
-        assert_eq!(g.max_sgprs_per_wave, 102);
-        assert_eq!(g.lds_per_cu_bytes, 65536);
-        assert_eq!(g.l2_bytes, 786432);
-        assert_eq!(g.mem_channels, 6);
-    }
-
-    #[test]
-    fn simd_count_scales_with_cus() {
-        let g = GpuDescriptor::hd7970();
-        assert_eq!(g.simds(32), 128);
-        assert_eq!(g.simds(4), 16);
-    }
-
-    #[test]
-    fn peak_lane_ops_at_max_is_128_gops() {
-        // 128 SIMDs × 16 lanes × 1 GHz = 2048 G lane-ops/s (4096 GFLOPS with
-        // FMAC counting two ops).
-        let g = GpuDescriptor::hd7970();
-        let ops = g.peak_lane_ops_per_sec(32, 1.0e9);
-        assert!((ops - 2048.0e9).abs() < 1.0);
-    }
-
-    #[test]
-    fn dram_latency_grows_as_clock_drops() {
-        let g = GpuDescriptor::hd7970();
-        let max = 1375.0e6;
-        let at_max = g.dram_latency_s(max, max);
-        let at_min = g.dram_latency_s(475.0e6, max);
-        assert!((at_max - 190.0e-9).abs() < 1e-12);
-        assert!(at_min > at_max);
-    }
-}
+pub use harmonia_types::device::{GpuDescriptor, GridSpec};

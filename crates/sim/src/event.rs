@@ -434,7 +434,7 @@ impl EventModel {
         let items = kernel.workitems as f64;
         let dram_bytes = dram_bytes_wave * total_waves as f64;
         let achieved_bw = dram_bytes / t_total;
-        let peak_theoretical = cfg.memory.peak_bandwidth().as_bytes_per_sec();
+        let peak_theoretical = cfg.memory.peak_bandwidth_on(&gpu.grid).as_bytes_per_sec();
         let ic_activity = (achieved_bw / peak_theoretical).clamp(0.0, 1.0);
 
         let valu_busy = (simd_bank.busy_total() + extra_valu_busy_ps) as f64

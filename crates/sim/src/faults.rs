@@ -360,6 +360,29 @@ impl FaultPlan {
         iteration: u64,
         attempt: u32,
     ) -> Option<(FaultKind, HwConfig)> {
+        self.actuate_attempt_on(
+            &harmonia_types::GridSpec::HD7970,
+            kernel,
+            wanted,
+            previous,
+            iteration,
+            attempt,
+        )
+    }
+
+    /// [`actuate_attempt`](Self::actuate_attempt) on an explicit device
+    /// grid: neighbor and throttle faults step along `grid`'s lattice, so a
+    /// chaos run on a catalog device never lands on an off-grid point. The
+    /// hd7970 grid reproduces the legacy methods byte for byte.
+    pub fn actuate_attempt_on(
+        &self,
+        grid: &harmonia_types::GridSpec,
+        kernel: &str,
+        wanted: HwConfig,
+        previous: Option<HwConfig>,
+        iteration: u64,
+        attempt: u32,
+    ) -> Option<(FaultKind, HwConfig)> {
         for (idx, spec) in self.specs.iter().enumerate() {
             if !spec.kind.is_actuator() {
                 continue;
@@ -377,9 +400,19 @@ impl FaultPlan {
                 FaultKind::DvfsNeighbor => {
                     let t = Tunable::ALL[rng.gen_range(0..Tunable::ALL.len())];
                     let up = rng.gen_range(0.0..1.0) < 0.5;
-                    let stepped = if up { wanted.step_up(t) } else { wanted.step_down(t) };
+                    let stepped = if up {
+                        wanted.step_up_on(grid, t)
+                    } else {
+                        wanted.step_down_on(grid, t)
+                    };
                     stepped
-                        .or_else(|| if up { wanted.step_down(t) } else { wanted.step_up(t) })
+                        .or_else(|| {
+                            if up {
+                                wanted.step_down_on(grid, t)
+                            } else {
+                                wanted.step_up_on(grid, t)
+                            }
+                        })
                         .unwrap_or(wanted)
                 }
                 FaultKind::ThermalThrottle => {
@@ -390,7 +423,7 @@ impl FaultPlan {
                     };
                     let mut cfg = wanted;
                     while f64::from(cfg.compute.freq().value()) > ceiling {
-                        match cfg.step_down(Tunable::CuFreq) {
+                        match cfg.step_down_on(grid, Tunable::CuFreq) {
                             Some(down) => cfg = down,
                             None => break,
                         }

@@ -45,7 +45,6 @@ use crate::device::GpuDescriptor;
 use crate::model::{SimResult, TimingModel};
 use crate::occupancy::Occupancy;
 use crate::profile::{KernelProfile, PhaseScale};
-use harmonia_types::config::MEM_FREQ_MAX;
 use harmonia_types::{HwConfig, MemoryConfig, Seconds};
 
 /// Average L2 hit latency in compute cycles.
@@ -197,13 +196,14 @@ impl IntervalModel {
     }
 
     fn mem_pre(&self, memory: MemoryConfig) -> MemPre {
-        let peak_bw_theoretical = memory.peak_bandwidth().as_bytes_per_sec();
+        let grid = &self.gpu.grid;
+        let peak_bw_theoretical = memory.peak_bandwidth_on(grid).as_bytes_per_sec();
         MemPre {
             peak_bw_theoretical,
             peak_bw: peak_bw_theoretical * self.gpu.dram_efficiency,
             dram_latency: self
                 .gpu
-                .dram_latency_s(memory.bus_freq().as_hz(), MEM_FREQ_MAX.as_hz()),
+                .dram_latency_s(memory.bus_freq().as_hz(), grid.mem_freq_max.as_hz()),
         }
     }
 

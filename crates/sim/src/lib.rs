@@ -70,7 +70,7 @@ pub mod trace;
 pub use batch::{Decision, DecisionKind, PlanStats, SweepObjective, SweepPlan, SweepPoint, SweepTerms};
 pub use calendar::CalendarQueue;
 pub use counters::CounterSample;
-pub use device::GpuDescriptor;
+pub use device::{GpuDescriptor, GridSpec};
 pub use event::{EventModel, FastForwardPolicy};
 pub use faults::{ActuationOutcome, FaultKind, FaultPlan, FaultSpec, FaultyModel};
 pub use interval::IntervalModel;

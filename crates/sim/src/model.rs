@@ -152,6 +152,15 @@ pub trait TimingModel: Send + Sync {
     fn fidelity_key(&self) -> u64 {
         0
     }
+
+    /// A key identifying the *device* this model simulates, so caches keyed
+    /// on `(kernel, fidelity)` never alias results across devices with
+    /// different grids or machine parameters. The default — the
+    /// [`GpuDescriptor`] fingerprint — is right for every model; it exists
+    /// as a method so wrappers forward it alongside `fidelity_key`.
+    fn device_key(&self) -> u64 {
+        self.gpu().fingerprint()
+    }
 }
 
 impl<T: TimingModel + ?Sized> TimingModel for &T {
@@ -184,6 +193,10 @@ impl<T: TimingModel + ?Sized> TimingModel for &T {
 
     fn fidelity_key(&self) -> u64 {
         (**self).fidelity_key()
+    }
+
+    fn device_key(&self) -> u64 {
+        (**self).device_key()
     }
 }
 

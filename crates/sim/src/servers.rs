@@ -9,7 +9,6 @@
 //! accounting.
 
 use crate::device::GpuDescriptor;
-use harmonia_types::config::MEM_FREQ_MAX;
 use harmonia_types::HwConfig;
 
 /// Picoseconds per second — integer event time keeps heap ordering exact.
@@ -30,7 +29,7 @@ pub struct MemoryPath {
 impl MemoryPath {
     /// Builds the memory path for `gpu` at operating point `cfg`.
     pub fn new(gpu: &GpuDescriptor, cfg: HwConfig) -> Self {
-        let peak_bw = cfg.memory.peak_bandwidth().as_bytes_per_sec() * gpu.dram_efficiency;
+        let peak_bw = cfg.memory.peak_bandwidth_on(&gpu.grid).as_bytes_per_sec() * gpu.dram_efficiency;
         let f_cu = cfg.compute.freq().as_hz();
         let f_mem = cfg.memory.bus_freq().as_hz();
         Self {
@@ -40,7 +39,7 @@ impl MemoryPath {
             next_channel: 0,
             channel_bw: peak_bw / f64::from(gpu.mem_channels),
             crossing_bw: f_cu * gpu.crossing_bytes_per_cu_cycle,
-            dram_latency_ps: (gpu.dram_latency_s(f_mem, MEM_FREQ_MAX.as_hz()) * PS) as u64,
+            dram_latency_ps: (gpu.dram_latency_s(f_mem, gpu.grid.mem_freq_max.as_hz()) * PS) as u64,
         }
     }
 

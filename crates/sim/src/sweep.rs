@@ -202,6 +202,9 @@ struct CacheKey {
     /// The producing model's fidelity configuration, so exact and
     /// approximating variants of one model never alias an entry.
     fidelity: u64,
+    /// The simulated device ([`TimingModel::device_key`]), so the same
+    /// `(kernel, cfg)` point evaluated on two catalog devices never aliases.
+    device: u64,
 }
 
 impl CacheKey {
@@ -219,6 +222,7 @@ impl CacheKey {
             memory_bits: scale.memory.to_bits(),
             iteration: if model.phase_determined() { 0 } else { iteration },
             fidelity: model.fidelity_key(),
+            device: model.device_key(),
         }
     }
 
@@ -229,7 +233,8 @@ impl CacheKey {
             ^ self.compute_bits.rotate_left(17)
             ^ self.memory_bits.rotate_left(43)
             ^ self.iteration.rotate_left(7)
-            ^ self.fidelity.rotate_left(29)) as usize)
+            ^ self.fidelity.rotate_left(29)
+            ^ self.device.rotate_left(53)) as usize)
             % SHARDS
     }
 }
@@ -454,6 +459,10 @@ impl<M: TimingModel + ?Sized> TimingModel for CachedModel<'_, M> {
     fn fidelity_key(&self) -> u64 {
         self.inner.fidelity_key()
     }
+
+    fn device_key(&self) -> u64 {
+        self.inner.device_key()
+    }
 }
 
 #[cfg(test)]
@@ -609,6 +618,27 @@ mod tests {
         // Warm lookups hit their own fidelity's entry and reproduce it.
         assert_eq!(cache.simulate(&exact, cfg, &k, 0), re);
         assert_eq!(cache.simulate(&fast, cfg, &k, 0), rf);
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn distinct_devices_do_not_alias() {
+        // Same kernel, same configuration point, two catalog devices: the
+        // cache must keep one entry per device and reproduce each model's
+        // own result on warm lookups.
+        use harmonia_types::DeviceSpec;
+        let hd = IntervalModel::default();
+        let v100 = IntervalModel::new(DeviceSpec::v100().gpu);
+        assert_ne!(hd.device_key(), v100.device_key());
+        let cache = SimCache::new();
+        let k = KernelProfile::builder("k").build();
+        let cfg = HwConfig::max_hd7970();
+        let ra = cache.simulate(&hd, cfg, &k, 0);
+        let rb = cache.simulate(&v100, cfg, &k, 0);
+        assert_eq!(cache.len(), 2, "one entry per device");
+        assert_eq!(cache.misses(), 2, "the v100 model must not hit the hd7970 entry");
+        assert_eq!(cache.simulate(&hd, cfg, &k, 0), ra);
+        assert_eq!(cache.simulate(&v100, cfg, &k, 0), rb);
         assert_eq!(cache.hits(), 2);
     }
 

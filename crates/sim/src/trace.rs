@@ -462,7 +462,7 @@ impl TimingModel for TraceModel {
         let t_total = t_sim * scale_factor + overhead;
         let dram_bytes = dram_bytes_sim * scale_factor;
         let achieved_bw = dram_bytes / t_total;
-        let peak_theoretical = cfg.memory.peak_bandwidth().as_bytes_per_sec();
+        let peak_theoretical = cfg.memory.peak_bandwidth_on(&gpu.grid).as_bytes_per_sec();
 
         let valu_busy =
             simd_bank.busy_total() as f64 / PS / (simds as f64 * t_sim.max(1e-12));

@@ -10,38 +10,46 @@
 //! A ([`ComputeConfig`], [`MemoryConfig`]) pair is an [`HwConfig`]; the full
 //! cross product is [`ConfigSpace`] with 8 × 8 × 7 = 448 points — the
 //! "approximately 450" combinations the paper sweeps.
+//!
+//! The ranges and steps above are one [`GridSpec`] — the HD7970 entry of the
+//! device catalog (`crate::device`). Every grid-dependent operation has a
+//! `*_on(&GridSpec)` form; the short legacy names are HD7970 conveniences
+//! that delegate to [`GridSpec::HD7970`] and remain bit-identical to the
+//! pre-catalog code.
 
+use crate::device::GridSpec;
 use crate::units::{GigabytesPerSec, MegaHertz};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// Minimum number of active compute units.
-pub const CU_MIN: u32 = 4;
+pub const CU_MIN: u32 = GridSpec::HD7970.cu_min;
 /// Maximum number of compute units on the HD7970.
-pub const CU_MAX: u32 = 32;
+pub const CU_MAX: u32 = GridSpec::HD7970.cu_max;
 /// Granularity of compute-unit power gating.
-pub const CU_STEP: u32 = 4;
+pub const CU_STEP: u32 = GridSpec::HD7970.cu_step;
 
 /// Minimum compute (shader) clock.
-pub const CU_FREQ_MIN: MegaHertz = MegaHertz(300);
+pub const CU_FREQ_MIN: MegaHertz = GridSpec::HD7970.cu_freq_min;
 /// Maximum compute clock (the 1 GHz boost state).
-pub const CU_FREQ_MAX: MegaHertz = MegaHertz(1000);
+pub const CU_FREQ_MAX: MegaHertz = GridSpec::HD7970.cu_freq_max;
 /// Compute clock granularity.
-pub const CU_FREQ_STEP: u32 = 100;
+pub const CU_FREQ_STEP: u32 = GridSpec::HD7970.cu_freq_step;
 
 /// Minimum memory bus clock (90 GB/s of bandwidth).
-pub const MEM_FREQ_MIN: MegaHertz = MegaHertz(475);
+pub const MEM_FREQ_MIN: MegaHertz = GridSpec::HD7970.mem_freq_min;
 /// Maximum memory bus clock (264 GB/s of bandwidth).
-pub const MEM_FREQ_MAX: MegaHertz = MegaHertz(1375);
+pub const MEM_FREQ_MAX: MegaHertz = GridSpec::HD7970.mem_freq_max;
 /// Memory bus clock granularity (~30 GB/s of bandwidth).
-pub const MEM_FREQ_STEP: u32 = 150;
+pub const MEM_FREQ_STEP: u32 = GridSpec::HD7970.mem_freq_step;
 
 /// GDDR5 moves four data words per bus clock.
-pub const GDDR5_TRANSFER_RATE: f64 = 4.0;
+pub const GDDR5_TRANSFER_RATE: f64 = GridSpec::HD7970.mem_transfer_rate;
 /// Six 64-bit dual-channel controllers form a 384-bit interface.
-pub const MEM_BUS_WIDTH_BITS: u32 = 384;
+pub const MEM_BUS_WIDTH_BITS: u32 = GridSpec::HD7970.mem_bus_width_bits;
 /// Number of memory channels (each controller drives one 64-bit channel pair).
+/// The authoritative per-device value is `GpuDescriptor::mem_channels`.
 pub const MEM_CHANNELS: u32 = 6;
 
 /// Error returned when constructing a configuration outside the platform's
@@ -114,7 +122,8 @@ pub struct ComputeConfig {
 }
 
 impl ComputeConfig {
-    /// Creates a compute configuration, validating range and step grid.
+    /// Creates a compute configuration on the HD7970 grid, validating range
+    /// and step grid.
     ///
     /// # Errors
     ///
@@ -122,10 +131,25 @@ impl ComputeConfig {
     /// multiple of 4, or if `freq` is outside 300..=1000 MHz or not a
     /// multiple of 100 MHz.
     pub fn new(cu_count: u32, freq: MegaHertz) -> Result<Self, ConfigError> {
-        if !(CU_MIN..=CU_MAX).contains(&cu_count) || !cu_count.is_multiple_of(CU_STEP) {
+        Self::new_on(&GridSpec::HD7970, cu_count, freq)
+    }
+
+    /// Creates a compute configuration on an arbitrary device grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `cu_count` or `freq` is outside the grid's
+    /// range or off its step lattice.
+    pub fn new_on(grid: &GridSpec, cu_count: u32, freq: MegaHertz) -> Result<Self, ConfigError> {
+        if !(grid.cu_min..=grid.cu_max).contains(&cu_count)
+            || !(cu_count - grid.cu_min).is_multiple_of(grid.cu_step)
+        {
             return Err(ConfigError::new("CU count", cu_count));
         }
-        if freq < CU_FREQ_MIN || freq > CU_FREQ_MAX || !freq.value().is_multiple_of(CU_FREQ_STEP) {
+        if freq < grid.cu_freq_min
+            || freq > grid.cu_freq_max
+            || !(freq.value() - grid.cu_freq_min.value()).is_multiple_of(grid.cu_freq_step)
+        {
             return Err(ConfigError::new("CU frequency (MHz)", freq.value()));
         }
         Ok(Self { cu_count, freq })
@@ -134,17 +158,27 @@ impl ComputeConfig {
     /// Minimum compute configuration of the HD7970 (4 CUs at 300 MHz) — the
     /// normalization point of the paper's Figures 3–5.
     pub fn min_hd7970() -> Self {
-        Self {
-            cu_count: CU_MIN,
-            freq: CU_FREQ_MIN,
-        }
+        Self::min_on(&GridSpec::HD7970)
     }
 
     /// Maximum compute configuration (32 CUs at the 1 GHz boost clock).
     pub fn max_hd7970() -> Self {
+        Self::max_on(&GridSpec::HD7970)
+    }
+
+    /// Minimum compute configuration of a device grid.
+    pub fn min_on(grid: &GridSpec) -> Self {
         Self {
-            cu_count: CU_MAX,
-            freq: CU_FREQ_MAX,
+            cu_count: grid.cu_min,
+            freq: grid.cu_freq_min,
+        }
+    }
+
+    /// Maximum compute configuration of a device grid.
+    pub fn max_on(grid: &GridSpec) -> Self {
+        Self {
+            cu_count: grid.cu_max,
+            freq: grid.cu_freq_max,
         }
     }
 
@@ -160,25 +194,29 @@ impl ComputeConfig {
         self.freq
     }
 
-    /// Peak single-precision throughput in GFLOP/s, counting fused
-    /// multiply-accumulate as two operations: `CUs × 4 SIMDs × 16 lanes × 2`.
+    /// Peak single-precision throughput in GFLOP/s on the HD7970, counting
+    /// fused multiply-accumulate as two operations:
+    /// `CUs × 4 SIMDs × 16 lanes × 2`.
     ///
     /// At 32 CUs and 1 GHz this is the paper's headline 4096 GFLOPS.
     pub fn peak_gflops(self) -> f64 {
-        f64::from(self.cu_count) * 4.0 * 16.0 * 2.0 * self.freq.as_ghz()
+        self.peak_gflops_on(&GridSpec::HD7970)
     }
 
-    /// All valid CU counts, ascending.
+    /// Peak single-precision throughput in GFLOP/s on a device grid:
+    /// `CUs × flops-per-CU-clock × GHz`.
+    pub fn peak_gflops_on(self, grid: &GridSpec) -> f64 {
+        f64::from(self.cu_count) * grid.flops_per_cu_clock * self.freq.as_ghz()
+    }
+
+    /// All valid CU counts on the HD7970 grid, ascending.
     pub fn cu_levels() -> Vec<u32> {
-        (CU_MIN..=CU_MAX).step_by(CU_STEP as usize).collect()
+        GridSpec::HD7970.cu_levels()
     }
 
-    /// All valid compute frequencies, ascending.
+    /// All valid compute frequencies on the HD7970 grid, ascending.
     pub fn freq_levels() -> Vec<MegaHertz> {
-        (CU_FREQ_MIN.value()..=CU_FREQ_MAX.value())
-            .step_by(CU_FREQ_STEP as usize)
-            .map(MegaHertz)
-            .collect()
+        GridSpec::HD7970.cu_freq_levels()
     }
 }
 
@@ -205,17 +243,28 @@ pub struct MemoryConfig {
 }
 
 impl MemoryConfig {
-    /// Creates a memory configuration, validating range and step grid.
+    /// Creates a memory configuration on the HD7970 grid, validating range
+    /// and step grid.
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] if `bus_freq` is outside 475..=1375 MHz or not
     /// on the 150 MHz grid.
     pub fn new(bus_freq: MegaHertz) -> Result<Self, ConfigError> {
+        Self::new_on(&GridSpec::HD7970, bus_freq)
+    }
+
+    /// Creates a memory configuration on an arbitrary device grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `bus_freq` is outside the grid's range or
+    /// off its step lattice.
+    pub fn new_on(grid: &GridSpec, bus_freq: MegaHertz) -> Result<Self, ConfigError> {
         let v = bus_freq.value();
-        if bus_freq < MEM_FREQ_MIN
-            || bus_freq > MEM_FREQ_MAX
-            || !(v - MEM_FREQ_MIN.value()).is_multiple_of(MEM_FREQ_STEP)
+        if bus_freq < grid.mem_freq_min
+            || bus_freq > grid.mem_freq_max
+            || !(v - grid.mem_freq_min.value()).is_multiple_of(grid.mem_freq_step)
         {
             return Err(ConfigError::new("memory bus frequency (MHz)", v));
         }
@@ -224,15 +273,25 @@ impl MemoryConfig {
 
     /// Minimum memory configuration (475 MHz bus, ~90 GB/s).
     pub fn min_hd7970() -> Self {
-        Self {
-            bus_freq: MEM_FREQ_MIN,
-        }
+        Self::min_on(&GridSpec::HD7970)
     }
 
     /// Maximum memory configuration (1375 MHz bus, 264 GB/s).
     pub fn max_hd7970() -> Self {
+        Self::max_on(&GridSpec::HD7970)
+    }
+
+    /// Minimum memory configuration of a device grid.
+    pub fn min_on(grid: &GridSpec) -> Self {
         Self {
-            bus_freq: MEM_FREQ_MAX,
+            bus_freq: grid.mem_freq_min,
+        }
+    }
+
+    /// Maximum memory configuration of a device grid.
+    pub fn max_on(grid: &GridSpec) -> Self {
+        Self {
+            bus_freq: grid.mem_freq_max,
         }
     }
 
@@ -242,21 +301,22 @@ impl MemoryConfig {
         self.bus_freq
     }
 
-    /// Peak DRAM bandwidth delivered at this bus frequency (Equation 2 of the
-    /// paper): `freq × bus-width × transfer-rate`.
+    /// Peak DRAM bandwidth delivered at this bus frequency on the HD7970
+    /// (Equation 2 of the paper): `freq × bus-width × transfer-rate`.
     ///
     /// At 1375 MHz: `1375e6 × 48 B × 4 = 264 GB/s`.
     pub fn peak_bandwidth(self) -> GigabytesPerSec {
-        let bytes_per_clock = f64::from(MEM_BUS_WIDTH_BITS / 8) * GDDR5_TRANSFER_RATE;
-        GigabytesPerSec::from_bytes_per_sec(self.bus_freq.as_hz() * bytes_per_clock)
+        self.peak_bandwidth_on(&GridSpec::HD7970)
     }
 
-    /// All valid memory bus frequencies, ascending.
+    /// Peak DRAM bandwidth delivered at this bus frequency on a device grid.
+    pub fn peak_bandwidth_on(self, grid: &GridSpec) -> GigabytesPerSec {
+        GigabytesPerSec::from_bytes_per_sec(self.bus_freq.as_hz() * grid.bytes_per_clock())
+    }
+
+    /// All valid memory bus frequencies on the HD7970 grid, ascending.
     pub fn freq_levels() -> Vec<MegaHertz> {
-        (MEM_FREQ_MIN.value()..=MEM_FREQ_MAX.value())
-            .step_by(MEM_FREQ_STEP as usize)
-            .map(MegaHertz)
-            .collect()
+        GridSpec::HD7970.mem_freq_levels()
     }
 }
 
@@ -269,6 +329,9 @@ impl Default for MemoryConfig {
 
 impl fmt::Display for MemoryConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Display is an HD7970 convenience: bandwidth is computed on the
+        // HD7970 bus. Device-aware reporting formats bandwidth through
+        // `peak_bandwidth_on` with the session's grid.
         write!(f, "mem {} ({:.0} GB/s)", self.bus_freq, self.peak_bandwidth().value())
     }
 }
@@ -293,42 +356,73 @@ impl HwConfig {
     /// The minimum hardware configuration (4 CUs, 300 MHz, 90 GB/s): the
     /// normalization baseline of Figures 3–5.
     pub fn min_hd7970() -> Self {
-        Self::new(ComputeConfig::min_hd7970(), MemoryConfig::min_hd7970())
+        Self::min_on(&GridSpec::HD7970)
     }
 
     /// The maximum hardware configuration (32 CUs, 1 GHz, 264 GB/s): the
     /// stock PowerTune baseline under thermal headroom.
     pub fn max_hd7970() -> Self {
-        Self::new(ComputeConfig::max_hd7970(), MemoryConfig::max_hd7970())
+        Self::max_on(&GridSpec::HD7970)
     }
 
-    /// The ops/byte the *hardware* can deliver at this operating point:
-    /// peak compute throughput over peak memory bandwidth. The paper plots
-    /// performance against this quantity in Figure 3.
+    /// The minimum hardware configuration of a device grid (the grid's
+    /// normalization baseline).
+    pub fn min_on(grid: &GridSpec) -> Self {
+        Self::new(ComputeConfig::min_on(grid), MemoryConfig::min_on(grid))
+    }
+
+    /// The maximum hardware configuration of a device grid (the stock
+    /// boost-everything baseline).
+    pub fn max_on(grid: &GridSpec) -> Self {
+        Self::new(ComputeConfig::max_on(grid), MemoryConfig::max_on(grid))
+    }
+
+    /// The ops/byte the *hardware* can deliver at this operating point on
+    /// the HD7970: peak compute throughput over peak memory bandwidth. The
+    /// paper plots performance against this quantity in Figure 3.
     pub fn hw_ops_per_byte(self) -> f64 {
-        self.compute.peak_gflops() / self.memory.peak_bandwidth().value()
+        self.hw_ops_per_byte_on(&GridSpec::HD7970)
     }
 
-    /// Hardware ops/byte normalized to the minimum configuration (the
-    /// X axis of Figure 3).
+    /// Hardware ops/byte on the HD7970 normalized to the minimum
+    /// configuration (the X axis of Figure 3).
     pub fn hw_ops_per_byte_normalized(self) -> f64 {
-        self.hw_ops_per_byte() / Self::min_hd7970().hw_ops_per_byte()
+        self.hw_ops_per_byte_normalized_on(&GridSpec::HD7970)
     }
 
-    /// The level (grid index and normalized fraction) of one tunable.
+    /// The ops/byte the hardware can deliver at this operating point on a
+    /// device grid.
+    pub fn hw_ops_per_byte_on(self, grid: &GridSpec) -> f64 {
+        self.compute.peak_gflops_on(grid) / self.memory.peak_bandwidth_on(grid).value()
+    }
+
+    /// Hardware ops/byte normalized to the grid's minimum configuration.
+    pub fn hw_ops_per_byte_normalized_on(self, grid: &GridSpec) -> f64 {
+        self.hw_ops_per_byte_on(grid) / Self::min_on(grid).hw_ops_per_byte_on(grid)
+    }
+
+    /// The level (grid index and normalized fraction) of one tunable on the
+    /// HD7970 grid.
     pub fn level(self, tunable: Tunable) -> TunableLevel {
+        self.level_on(&GridSpec::HD7970, tunable)
+    }
+
+    /// The level of one tunable on a device grid.
+    pub fn level_on(self, grid: &GridSpec, tunable: Tunable) -> TunableLevel {
         let (index, count) = match tunable {
             Tunable::CuCount => (
-                ((self.compute.cu_count - CU_MIN) / CU_STEP) as usize,
-                ((CU_MAX - CU_MIN) / CU_STEP + 1) as usize,
+                ((self.compute.cu_count - grid.cu_min) / grid.cu_step) as usize,
+                grid.cu_level_count(),
             ),
             Tunable::CuFreq => (
-                ((self.compute.freq.value() - CU_FREQ_MIN.value()) / CU_FREQ_STEP) as usize,
-                ((CU_FREQ_MAX.value() - CU_FREQ_MIN.value()) / CU_FREQ_STEP + 1) as usize,
+                ((self.compute.freq.value() - grid.cu_freq_min.value()) / grid.cu_freq_step)
+                    as usize,
+                grid.cu_freq_level_count(),
             ),
             Tunable::MemFreq => (
-                ((self.memory.bus_freq.value() - MEM_FREQ_MIN.value()) / MEM_FREQ_STEP) as usize,
-                ((MEM_FREQ_MAX.value() - MEM_FREQ_MIN.value()) / MEM_FREQ_STEP + 1) as usize,
+                ((self.memory.bus_freq.value() - grid.mem_freq_min.value()) / grid.mem_freq_step)
+                    as usize,
+                grid.mem_freq_level_count(),
             ),
         };
         TunableLevel {
@@ -338,83 +432,102 @@ impl HwConfig {
         }
     }
 
-    /// Steps one tunable up by one grid step. Returns `None` at the maximum.
+    /// Steps one tunable up by one HD7970 grid step. Returns `None` at the
+    /// maximum.
     ///
     /// This is the "increment state" operation of the fine-grain tuning loop
     /// (Algorithm 1): core step = 100 MHz, memory step = 150 MHz (~30 GB/s),
     /// CU step = 4.
     pub fn step_up(self, tunable: Tunable) -> Option<Self> {
+        self.step_up_on(&GridSpec::HD7970, tunable)
+    }
+
+    /// Steps one tunable up by one step of a device grid. Returns `None` at
+    /// the maximum.
+    pub fn step_up_on(self, grid: &GridSpec, tunable: Tunable) -> Option<Self> {
         let mut next = self;
         match tunable {
             Tunable::CuCount => {
-                if self.compute.cu_count >= CU_MAX {
+                if self.compute.cu_count >= grid.cu_max {
                     return None;
                 }
-                next.compute.cu_count += CU_STEP;
+                next.compute.cu_count += grid.cu_step;
             }
             Tunable::CuFreq => {
-                if self.compute.freq >= CU_FREQ_MAX {
+                if self.compute.freq >= grid.cu_freq_max {
                     return None;
                 }
-                next.compute.freq = MegaHertz(self.compute.freq.value() + CU_FREQ_STEP);
+                next.compute.freq = MegaHertz(self.compute.freq.value() + grid.cu_freq_step);
             }
             Tunable::MemFreq => {
-                if self.memory.bus_freq >= MEM_FREQ_MAX {
+                if self.memory.bus_freq >= grid.mem_freq_max {
                     return None;
                 }
-                next.memory.bus_freq = MegaHertz(self.memory.bus_freq.value() + MEM_FREQ_STEP);
+                next.memory.bus_freq = MegaHertz(self.memory.bus_freq.value() + grid.mem_freq_step);
             }
         }
         Some(next)
     }
 
-    /// Steps one tunable down by one grid step. Returns `None` at the minimum.
+    /// Steps one tunable down by one HD7970 grid step. Returns `None` at the
+    /// minimum.
     ///
     /// This is the "decrement state" operation of the fine-grain tuning loop.
     pub fn step_down(self, tunable: Tunable) -> Option<Self> {
+        self.step_down_on(&GridSpec::HD7970, tunable)
+    }
+
+    /// Steps one tunable down by one step of a device grid. Returns `None`
+    /// at the minimum.
+    pub fn step_down_on(self, grid: &GridSpec, tunable: Tunable) -> Option<Self> {
         let mut next = self;
         match tunable {
             Tunable::CuCount => {
-                if self.compute.cu_count <= CU_MIN {
+                if self.compute.cu_count <= grid.cu_min {
                     return None;
                 }
-                next.compute.cu_count -= CU_STEP;
+                next.compute.cu_count -= grid.cu_step;
             }
             Tunable::CuFreq => {
-                if self.compute.freq <= CU_FREQ_MIN {
+                if self.compute.freq <= grid.cu_freq_min {
                     return None;
                 }
-                next.compute.freq = MegaHertz(self.compute.freq.value() - CU_FREQ_STEP);
+                next.compute.freq = MegaHertz(self.compute.freq.value() - grid.cu_freq_step);
             }
             Tunable::MemFreq => {
-                if self.memory.bus_freq <= MEM_FREQ_MIN {
+                if self.memory.bus_freq <= grid.mem_freq_min {
                     return None;
                 }
-                next.memory.bus_freq = MegaHertz(self.memory.bus_freq.value() - MEM_FREQ_STEP);
+                next.memory.bus_freq = MegaHertz(self.memory.bus_freq.value() - grid.mem_freq_step);
             }
         }
         Some(next)
     }
 
-    /// Sets one tunable to the grid level nearest `fraction` (0.0 = minimum,
-    /// 1.0 = maximum). Used by coarse-grain tuning to translate a sensitivity
-    /// bin into a proportional tunable value.
+    /// Sets one tunable to the HD7970 grid level nearest `fraction`
+    /// (0.0 = minimum, 1.0 = maximum). Used by coarse-grain tuning to
+    /// translate a sensitivity bin into a proportional tunable value.
     pub fn with_fraction(self, tunable: Tunable, fraction: f64) -> Self {
+        self.with_fraction_on(&GridSpec::HD7970, tunable, fraction)
+    }
+
+    /// Sets one tunable to the device-grid level nearest `fraction`.
+    pub fn with_fraction_on(self, grid: &GridSpec, tunable: Tunable, fraction: f64) -> Self {
         let fraction = fraction.clamp(0.0, 1.0);
         let mut next = self;
         match tunable {
             Tunable::CuCount => {
-                let levels = ComputeConfig::cu_levels();
+                let levels = grid.cu_levels();
                 let i = (fraction * (levels.len() - 1) as f64).round() as usize;
                 next.compute.cu_count = levels[i];
             }
             Tunable::CuFreq => {
-                let levels = ComputeConfig::freq_levels();
+                let levels = grid.cu_freq_levels();
                 let i = (fraction * (levels.len() - 1) as f64).round() as usize;
                 next.compute.freq = levels[i];
             }
             Tunable::MemFreq => {
-                let levels = MemoryConfig::freq_levels();
+                let levels = grid.mem_freq_levels();
                 let i = (fraction * (levels.len() - 1) as f64).round() as usize;
                 next.memory.bus_freq = levels[i];
             }
@@ -438,10 +551,12 @@ impl fmt::Display for HwConfig {
     }
 }
 
-/// The full design space of hardware operating points (Section 3.1):
-/// 8 CU counts × 8 compute frequencies × 7 memory frequencies = 448 points.
+/// The full design space of hardware operating points (Section 3.1). For the
+/// HD7970: 8 CU counts × 8 compute frequencies × 7 memory frequencies = 448
+/// points; other catalog devices carry their own grids.
 #[derive(Debug, Clone)]
 pub struct ConfigSpace {
+    grid: GridSpec,
     cu_levels: Vec<u32>,
     cu_freqs: Vec<MegaHertz>,
     mem_freqs: Vec<MegaHertz>,
@@ -450,11 +565,22 @@ pub struct ConfigSpace {
 impl ConfigSpace {
     /// The HD7970 design space the paper sweeps.
     pub fn hd7970() -> Self {
+        Self::for_grid(&GridSpec::HD7970)
+    }
+
+    /// The design space of an arbitrary device grid.
+    pub fn for_grid(grid: &GridSpec) -> Self {
         Self {
-            cu_levels: ComputeConfig::cu_levels(),
-            cu_freqs: ComputeConfig::freq_levels(),
-            mem_freqs: MemoryConfig::freq_levels(),
+            grid: *grid,
+            cu_levels: grid.cu_levels(),
+            cu_freqs: grid.cu_freq_levels(),
+            mem_freqs: grid.mem_freq_levels(),
         }
+    }
+
+    /// The grid this space enumerates.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
     }
 
     /// Number of operating points in the space.
@@ -462,7 +588,7 @@ impl ConfigSpace {
         self.cu_levels.len() * self.cu_freqs.len() * self.mem_freqs.len()
     }
 
-    /// Whether the space is empty (never true for the HD7970 space).
+    /// Whether the space is empty (never true for catalog spaces).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -482,8 +608,8 @@ impl ConfigSpace {
             self.cu_levels.iter().flat_map(move |&c| {
                 self.cu_freqs.iter().map(move |&f| {
                     HwConfig::new(
-                        ComputeConfig::new(c, f).expect("grid values are valid"),
-                        MemoryConfig::new(m).expect("grid values are valid"),
+                        ComputeConfig::new_on(&self.grid, c, f).expect("grid values are valid"),
+                        MemoryConfig::new_on(&self.grid, m).expect("grid values are valid"),
                     )
                 })
             })
@@ -671,5 +797,73 @@ mod tests {
         assert!(text.contains("1000 MHz"));
         assert!(text.contains("264 GB/s"));
         assert_eq!(Tunable::CuCount.to_string(), "#CUs");
+    }
+
+    #[test]
+    fn legacy_helpers_delegate_to_the_hd7970_grid() {
+        let grid = GridSpec::HD7970;
+        assert_eq!(HwConfig::min_on(&grid), HwConfig::min_hd7970());
+        assert_eq!(HwConfig::max_on(&grid), HwConfig::max_hd7970());
+        let cfg = HwConfig::new(
+            ComputeConfig::new(16, MegaHertz(600)).unwrap(),
+            MemoryConfig::new(MegaHertz(925)).unwrap(),
+        );
+        for t in Tunable::ALL {
+            assert_eq!(cfg.step_up(t), cfg.step_up_on(&grid, t));
+            assert_eq!(cfg.step_down(t), cfg.step_down_on(&grid, t));
+            assert_eq!(cfg.level(t), cfg.level_on(&grid, t));
+            assert_eq!(cfg.with_fraction(t, 0.37), cfg.with_fraction_on(&grid, t, 0.37));
+        }
+        assert_eq!(cfg.hw_ops_per_byte(), cfg.hw_ops_per_byte_on(&grid));
+        assert_eq!(
+            cfg.compute.peak_gflops(),
+            cfg.compute.peak_gflops_on(&grid)
+        );
+        assert_eq!(
+            cfg.memory.peak_bandwidth(),
+            cfg.memory.peak_bandwidth_on(&grid)
+        );
+    }
+
+    #[test]
+    fn foreign_grid_space_validates_its_own_lattice() {
+        let grid = GridSpec {
+            cu_min: 8,
+            cu_max: 80,
+            cu_step: 8,
+            cu_freq_min: MegaHertz(600),
+            cu_freq_max: MegaHertz(1500),
+            cu_freq_step: 100,
+            mem_freq_min: MegaHertz(500),
+            mem_freq_max: MegaHertz(875),
+            mem_freq_step: 75,
+            mem_bus_width_bits: 4096,
+            mem_transfer_rate: 2.0,
+            flops_per_cu_clock: 128.0,
+        };
+        assert!(ComputeConfig::new_on(&grid, 80, MegaHertz(1500)).is_ok());
+        assert!(ComputeConfig::new_on(&grid, 32, MegaHertz(1000)).is_ok());
+        assert!(ComputeConfig::new_on(&grid, 4, MegaHertz(1000)).is_err());
+        assert!(ComputeConfig::new_on(&grid, 80, MegaHertz(1550)).is_err());
+        assert!(MemoryConfig::new_on(&grid, MegaHertz(875)).is_ok());
+        assert!(MemoryConfig::new_on(&grid, MegaHertz(1375)).is_err());
+        let space = ConfigSpace::for_grid(&grid);
+        assert_eq!(space.len(), 10 * 10 * 6);
+        for cfg in space.iter() {
+            assert!(space.contains(cfg));
+            for t in Tunable::ALL {
+                let level = cfg.level_on(&grid, t);
+                assert!(level.index < level.count);
+                if let Some(up) = cfg.step_up_on(&grid, t) {
+                    assert_eq!(up.step_down_on(&grid, t).unwrap(), cfg);
+                    assert!(space.contains(up));
+                }
+            }
+        }
+        // Stepping respects the foreign bounds, not the HD7970 ones.
+        let max = HwConfig::max_on(&grid);
+        for t in Tunable::ALL {
+            assert!(max.step_up_on(&grid, t).is_none());
+        }
     }
 }

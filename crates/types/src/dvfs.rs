@@ -72,6 +72,24 @@ impl DvfsTable {
         }
     }
 
+    /// Builds a table from explicit DPM states and a fixed memory-rail
+    /// voltage. Used by the device catalog to describe non-HD7970 parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty or not strictly ascending by frequency.
+    pub fn from_states(states: Vec<DpmState>, memory_voltage: Volts) -> Self {
+        assert!(!states.is_empty(), "DVFS table must not be empty");
+        assert!(
+            states.windows(2).all(|w| w[0].freq < w[1].freq),
+            "DVFS states must ascend strictly by frequency"
+        );
+        Self {
+            states,
+            memory_voltage,
+        }
+    }
+
     /// The published DPM states, ascending by frequency.
     pub fn states(&self) -> &[DpmState] {
         &self.states

@@ -14,9 +14,14 @@
 //!   design space the paper sweeps (Section 3.1).
 //! * [`dvfs`] — the DPM voltage/frequency table of Table 1 (plus the 1 GHz
 //!   boost state) and voltage interpolation for intermediate frequencies.
+//! * [`device`] — the device catalog: [`DeviceSpec`] bundles a
+//!   configuration grid ([`GridSpec`]), the simulator geometry
+//!   ([`GpuDescriptor`]), a DVFS table, and the power-model calibration for
+//!   each named part (`hd7970`, `v100`, `h100`, `jetson-orin`).
 //! * [`session`] — the typed [`Session`] configuration centralizing the
-//!   `HARMONIA_TRACE` / `HARMONIA_THREADS` / `HARMONIA_FAULT_SEED`
-//!   environment knobs behind one parser with programmatic overrides.
+//!   `HARMONIA_TRACE` / `HARMONIA_THREADS` / `HARMONIA_FAULT_SEED` /
+//!   `HARMONIA_DEVICE` environment knobs behind one parser with
+//!   programmatic overrides.
 //!
 //! # Examples
 //!
@@ -34,6 +39,7 @@
 //! ```
 
 pub mod config;
+pub mod device;
 pub mod dvfs;
 pub mod session;
 pub mod units;
@@ -41,6 +47,12 @@ pub mod units;
 pub use config::{
     ComputeConfig, ConfigError, ConfigSpace, HwConfig, MemoryConfig, Tunable, TunableLevel,
 };
+pub use device::{
+    ComputePowerParams, DevicePower, DeviceSpec, GpuDescriptor, GridSpec, MemoryPowerParams,
+    ParseDeviceError,
+};
 pub use dvfs::{DpmState, DvfsTable};
-pub use session::{Session, DEFAULT_FAULT_SEED, FAULT_SEED_ENV, THREADS_ENV, TRACE_ENV};
+pub use session::{
+    Session, DEFAULT_FAULT_SEED, DEVICE_ENV, FAULT_SEED_ENV, THREADS_ENV, TRACE_ENV,
+};
 pub use units::{GigabytesPerSec, Joules, MegaHertz, Seconds, Volts, Watts};

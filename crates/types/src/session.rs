@@ -40,6 +40,12 @@ pub const FLEET_DEVICES_ENV: &str = "HARMONIA_FLEET_DEVICES";
 /// watts (`HARMONIA_FLEET_CAP_W=<watts>`, positive finite numbers only).
 pub const FLEET_CAP_ENV: &str = "HARMONIA_FLEET_CAP_W";
 
+/// Environment variable that selects the target device by catalog name
+/// (`HARMONIA_DEVICE=<name>`, e.g. `hd7970`, `v100`, `h100`, `jetson-orin`).
+/// The raw name is carried verbatim; resolution against the catalog happens
+/// at the construction site so unknown names fail loudly, not silently.
+pub const DEVICE_ENV: &str = "HARMONIA_DEVICE";
+
 /// Default fault-plan seed when [`FAULT_SEED_ENV`] is unset or unparsable.
 pub const DEFAULT_FAULT_SEED: u64 = 0xFA17;
 
@@ -52,6 +58,7 @@ pub struct Session {
     fault_seed: u64,
     fleet_devices: Option<usize>,
     fleet_cap_w: Option<f64>,
+    device: Option<String>,
 }
 
 impl Default for Session {
@@ -64,6 +71,7 @@ impl Default for Session {
             fault_seed: DEFAULT_FAULT_SEED,
             fleet_devices: None,
             fleet_cap_w: None,
+            device: None,
         }
     }
 }
@@ -84,7 +92,9 @@ impl Session {
     ///   [`DEFAULT_FAULT_SEED`];
     /// * fleet devices: a positive integer, anything else ignored;
     /// * fleet cap: a positive finite number of watts, anything else
-    ///   ignored.
+    ///   ignored;
+    /// * device: a non-empty catalog name carried verbatim (trimmed),
+    ///   resolved against the catalog at the construction site.
     pub fn from_lookup<F: Fn(&str) -> Option<String>>(lookup: F) -> Self {
         Self {
             trace: lookup(TRACE_ENV)
@@ -101,6 +111,9 @@ impl Session {
             fleet_cap_w: lookup(FLEET_CAP_ENV)
                 .and_then(|v| v.parse::<f64>().ok())
                 .filter(|w| w.is_finite() && *w > 0.0),
+            device: lookup(DEVICE_ENV)
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty()),
         }
     }
 
@@ -137,6 +150,15 @@ impl Session {
         self
     }
 
+    /// Overrides the target device name; `None` restores the default
+    /// device (wins over the environment). Empty names are rejected.
+    pub fn with_device(mut self, device: Option<String>) -> Self {
+        self.device = device
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty());
+        self
+    }
+
     /// Whether decision telemetry is enabled.
     pub fn trace(&self) -> bool {
         self.trace
@@ -160,6 +182,12 @@ impl Session {
     /// The fleet global power cap in watts, if any.
     pub fn fleet_cap_w(&self) -> Option<f64> {
         self.fleet_cap_w
+    }
+
+    /// The requested device name, if any (raw — resolve it against the
+    /// catalog with `DeviceSpec::from_str`).
+    pub fn device(&self) -> Option<&str> {
+        self.device.as_deref()
     }
 }
 
@@ -185,11 +213,11 @@ mod tests {
         assert_eq!(s.fault_seed(), DEFAULT_FAULT_SEED);
     }
 
-    /// The four CI matrix legs, round-tripped through the parser: default,
-    /// single-thread, traced, and fault-seeded.
+    /// The five CI matrix legs, round-tripped through the parser: default,
+    /// single-thread, traced, fault-seeded, and device-selected.
     #[test]
     fn ci_matrix_legs_parse_to_their_sessions() {
-        let legs: [(&[(&str, &str)], Session); 4] = [
+        let legs: [(&[(&str, &str)], Session); 5] = [
             (&[], Session::default()),
             (
                 &[(THREADS_ENV, "1")],
@@ -200,10 +228,51 @@ mod tests {
                 &[(FAULT_SEED_ENV, "1")],
                 Session::default().with_fault_seed(1),
             ),
+            (
+                &[(DEVICE_ENV, "v100")],
+                Session::default().with_device(Some("v100".to_string())),
+            ),
         ];
         for (vars, expected) in legs {
             assert_eq!(Session::from_lookup(lookup(vars)), expected, "leg {vars:?}");
         }
+    }
+
+    #[test]
+    fn device_is_carried_verbatim_but_trimmed_and_never_empty() {
+        assert_eq!(
+            Session::from_lookup(lookup(&[(DEVICE_ENV, "jetson-orin")])).device(),
+            Some("jetson-orin")
+        );
+        assert_eq!(
+            Session::from_lookup(lookup(&[(DEVICE_ENV, "  h100 ")])).device(),
+            Some("h100")
+        );
+        // Unknown names are carried too — resolution errors at the
+        // construction site, not silently here.
+        assert_eq!(
+            Session::from_lookup(lookup(&[(DEVICE_ENV, "gtx480")])).device(),
+            Some("gtx480")
+        );
+        for v in ["", "   "] {
+            assert_eq!(
+                Session::from_lookup(lookup(&[(DEVICE_ENV, v)])).device(),
+                None,
+                "{v:?}"
+            );
+        }
+        assert_eq!(Session::default().device(), None);
+    }
+
+    #[test]
+    fn device_override_wins_over_the_environment() {
+        let env = lookup(&[(DEVICE_ENV, "v100")]);
+        let s = Session::from_lookup(&env).with_device(Some("h100".to_string()));
+        assert_eq!(s.device(), Some("h100"));
+        let cleared = Session::from_lookup(&env).with_device(None);
+        assert_eq!(cleared.device(), None);
+        let blank = Session::from_lookup(&env).with_device(Some("  ".to_string()));
+        assert_eq!(blank.device(), None);
     }
 
     #[test]

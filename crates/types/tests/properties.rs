@@ -1,9 +1,15 @@
 //! Property tests for the configuration space and DVFS tables.
 
 use harmonia_types::{
-    ComputeConfig, ConfigSpace, DvfsTable, HwConfig, MegaHertz, MemoryConfig, Tunable,
+    ComputeConfig, ConfigSpace, DeviceSpec, DvfsTable, HwConfig, MegaHertz, MemoryConfig, Tunable,
 };
 use proptest::prelude::*;
+
+fn arb_device() -> impl Strategy<Value = DeviceSpec> {
+    (0usize..DeviceSpec::catalog().len()).prop_map(|i| {
+        DeviceSpec::lookup(DeviceSpec::catalog()[i]).expect("catalog names resolve")
+    })
+}
 
 fn arb_config() -> impl Strategy<Value = HwConfig> {
     (0u32..8, 0u32..8, 0u32..7).prop_map(|(cu, f, m)| {
@@ -84,6 +90,56 @@ proptest! {
     }
 
     #[test]
+    fn catalog_fractions_land_on_each_devices_grid(
+        dev in arb_device(),
+        fc in 0.0f64..1.0,
+        ff in 0.0f64..1.0,
+        fm in 0.0f64..1.0,
+    ) {
+        let grid = *dev.grid();
+        let space = ConfigSpace::for_grid(&grid);
+        let cfg = HwConfig::max_on(&grid)
+            .with_fraction_on(&grid, Tunable::CuCount, fc)
+            .with_fraction_on(&grid, Tunable::CuFreq, ff)
+            .with_fraction_on(&grid, Tunable::MemFreq, fm);
+        prop_assert!(space.contains(cfg), "{cfg} off the {} grid", dev.name);
+        // Stepping on the device's own grid stays on it and inverts.
+        for t in Tunable::ALL {
+            if let Some(up) = cfg.step_up_on(&grid, t) {
+                prop_assert!(space.contains(up));
+                prop_assert_eq!(up.step_down_on(&grid, t).expect("inverse"), cfg);
+            }
+            if let Some(down) = cfg.step_down_on(&grid, t) {
+                prop_assert!(space.contains(down));
+                prop_assert_eq!(down.step_up_on(&grid, t).expect("inverse"), cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_snap_cu_freq_lands_on_grid(dev in arb_device(), f in 0u32..4000) {
+        let grid = *dev.grid();
+        let snapped = grid.snap_cu_freq(MegaHertz(f));
+        prop_assert!(
+            grid.cu_freq_levels().contains(&snapped),
+            "{snapped} not a {} CU-frequency level", dev.name
+        );
+        // Snapping an on-grid frequency is the identity.
+        prop_assert_eq!(grid.snap_cu_freq(snapped), snapped);
+    }
+
+    #[test]
+    fn catalog_dvfs_covers_each_devices_grid(dev in arb_device(), frac in 0.0f64..=1.0) {
+        let grid = *dev.grid();
+        let span = f64::from(grid.cu_freq_max.value() - grid.cu_freq_min.value());
+        let f = MegaHertz(grid.cu_freq_min.value() + (frac * span) as u32);
+        let v = dev.dvfs.voltage_for(f);
+        prop_assert!(v.value() > 0.0, "{} voltage must be positive at {f}", dev.name);
+        let v_up = dev.dvfs.voltage_for(MegaHertz(f.value() + grid.cu_freq_step));
+        prop_assert!(v_up >= v, "{} voltage must be monotone in frequency", dev.name);
+    }
+
+    #[test]
     fn serde_round_trip_config(cfg in arb_config()) {
         let json = serde_json::to_string(&cfg).expect("serialize");
         let back: HwConfig = serde_json::from_str(&json).expect("deserialize");
@@ -102,4 +158,27 @@ fn space_iteration_is_stable_and_unique() {
         assert!(set.insert(cfg), "duplicate config {cfg}");
     }
     assert_eq!(set.len(), 448);
+}
+
+#[test]
+fn every_catalog_space_is_unique_and_counts_its_levels() {
+    for name in DeviceSpec::catalog() {
+        let dev = DeviceSpec::lookup(name).expect("catalog names resolve");
+        let grid = *dev.grid();
+        let space = ConfigSpace::for_grid(&grid);
+        let configs: Vec<HwConfig> = space.iter().collect();
+        let mut set = std::collections::HashSet::new();
+        for cfg in &configs {
+            assert!(set.insert(*cfg), "{name}: duplicate config {cfg}");
+        }
+        assert_eq!(
+            set.len(),
+            grid.cu_level_count() * grid.cu_freq_level_count() * grid.mem_freq_level_count(),
+            "{name}: space size must be the product of the per-tunable level counts"
+        );
+        assert!(
+            space.contains(dev.safe_state()),
+            "{name}: the safe state must lie on the device's own grid"
+        );
+    }
 }

@@ -9,7 +9,7 @@ use harmonia::telemetry;
 use harmonia_experiments::report::pct;
 use harmonia_experiments::{run, trace_cmd, Context};
 use harmonia_rr::differ;
-use harmonia_types::Tunable;
+use harmonia_types::{DeviceSpec, Tunable};
 use harmonia_workloads::suite;
 
 const GOLDEN: &str = include_str!("golden/trace_graph500.jsonl");
@@ -36,6 +36,19 @@ fn graph500_trace_matches_the_committed_golden_file() {
              `harmonia-experiments trace Graph500` if intended"
         ),
     }
+}
+
+#[test]
+fn hd7970_catalog_entry_reproduces_the_golden_trace_bit_for_bit() {
+    // The device catalog must not perturb the legacy path: selecting
+    // `hd7970` explicitly (as `--device hd7970` / `HARMONIA_DEVICE=hd7970`
+    // do) yields the same decision-trace bytes as the default context.
+    let ctx = Context::for_device(DeviceSpec::hd7970());
+    let traced = trace_cmd::trace_app(&ctx, "Graph500").expect("Graph500 in suite");
+    assert_eq!(
+        traced.jsonl, GOLDEN,
+        "Context::for_device(hd7970) drifted from the committed golden trace"
+    );
 }
 
 #[test]
